@@ -1,0 +1,55 @@
+//! Ablation A2 (§3.4): the NI cache's Owned state.
+//!
+//! With the optimization off, the NI cache cannot hand a dirty CQ block to
+//! the polling core directly: every core poll of a freshly written CQ entry
+//! costs a writeback round trip through the LLC before the clean copy can
+//! be forwarded.
+
+use criterion::{criterion_group, Criterion};
+use ni_bench::{banner, criterion_config, scale};
+use rackni::experiments::nicache_ablation;
+use rackni::ni_rmc::NiPlacement;
+use rackni::ni_soc::{run_sync_latency, ChipConfig};
+use rackni::report::{f1, pct, Table};
+
+fn print_table() {
+    banner("Ablation A2", "NI-cache Owned-state fast path (NI_split, 64B sync reads)");
+    let (on, off) = nicache_ablation(scale());
+    let mut t = Table::new(&["owned state", "E2E cycles", "delta"]);
+    t.row_owned(vec!["enabled (paper §3.4)".into(), f1(on), "-".into()]);
+    t.row_owned(vec![
+        "disabled".into(),
+        f1(off),
+        pct((off / on - 1.0) * 100.0),
+    ]);
+    println!("{}", t.render());
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_nicache");
+    for (name, owned) in [("owned_on", true), ("owned_off", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = ChipConfig {
+                    placement: NiPlacement::Split,
+                    ..ChipConfig::default()
+                };
+                cfg.coherence.ni_owned_state = owned;
+                run_sync_latency(cfg, 64, 2)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,67 @@
+//! Ablation A1 (§6.2 / §4.3): on-chip routing policy vs. peak bandwidth.
+//!
+//! The paper reports that without CDR the peak bandwidth any design reaches
+//! is less than half (~100GBps) of the ~214GBps achievable with the
+//! NI-aware CDR variant. This bench sweeps XY, YX, O1Turn, plain CDR, and
+//! the paper's CDR+NI class on the NIsplit design.
+
+use criterion::{criterion_group, Criterion};
+use ni_bench::{banner, criterion_config, scale};
+use rackni::experiments::routing_ablation;
+use rackni::ni_noc::RoutingPolicy;
+use rackni::ni_rmc::NiPlacement;
+use rackni::ni_soc::{run_bandwidth, ChipConfig};
+use rackni::paper;
+use rackni::report::{f1, Table};
+
+/// Transfer size for the sweep: 2KB sits on the flat top of Fig. 7.
+const SIZE: u64 = 2048;
+
+fn print_table() {
+    banner("Ablation A1", "routing policy vs. aggregate bandwidth (NI_split, 2KB)");
+    let rows = routing_ablation(scale(), SIZE);
+    let mut t = Table::new(&["routing", "app GBps", "paper note"]);
+    for (policy, gbps) in rows {
+        let note = match policy {
+            RoutingPolicy::CdrNi => "paper's default, peak 214 GBps",
+            RoutingPolicy::Cdr => "MC-oriented CDR [1], NI column still hot",
+            _ => "\"less than half (~100GBps)\" without CDR",
+        };
+        t.row_owned(vec![format!("{policy:?}"), f1(gbps), note.into()]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper: no-CDR peak ~{:.0} GBps, CDR peak {:.0} GBps\n",
+        paper::bandwidth::NO_CDR_PEAK_GBPS,
+        paper::bandwidth::PEAK_APP_GBPS
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_routing");
+    for policy in [RoutingPolicy::Xy, RoutingPolicy::CdrNi] {
+        g.bench_function(format!("{policy:?}_one_window"), |b| {
+            b.iter(|| {
+                let mut cfg = ChipConfig {
+                    placement: NiPlacement::Split,
+                    ..ChipConfig::default()
+                };
+                cfg.routing = policy;
+                run_bandwidth(cfg, SIZE, 10_000, 1)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,44 @@
+//! Fig. 10: aggregate application bandwidth vs. transfer size on NOC-Out
+//! (§6.3). The paper finds the same qualitative trends as the mesh but a
+//! lower peak, limited by the eight contended LLC tiles.
+
+use criterion::{criterion_group, Criterion};
+use ni_bench::{banner, criterion_config, scale};
+use rackni::experiments::{bandwidth_vs_size_render, BANDWIDTH_SIZES};
+use rackni::ni_rmc::NiPlacement;
+use rackni::ni_soc::{run_bandwidth, ChipConfig, Topology};
+
+fn print_table() {
+    banner("Fig. 10", "aggregate app bandwidth vs. transfer size (NOC-Out, async)");
+    println!(
+        "{}",
+        bandwidth_vs_size_render(scale(), Topology::NocOut, &BANDWIDTH_SIZES)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.bench_function("split_async_512B_one_window_nocout", |b| {
+        b.iter(|| {
+            let cfg = ChipConfig {
+                placement: NiPlacement::Split,
+                topology: Topology::NocOut,
+                ..ChipConfig::default()
+            };
+            run_bandwidth(cfg, 512, 10_000, 1)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

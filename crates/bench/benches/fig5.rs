@@ -1,0 +1,44 @@
+//! Fig. 5: projected end-to-end latency of a cache-block remote read across
+//! 0..=12 intra-rack network hops, NIedge / NIsplit / NUMA, with percentage
+//! overheads over NUMA.
+
+use criterion::{criterion_group, Criterion};
+use ni_bench::{banner, criterion_config, scale};
+use rackni::experiments::{fig5, fig5_render};
+use rackni::ni_fabric::Torus3D;
+
+fn print_table() {
+    banner("Fig. 5", "E2E latency vs. hop count (512-node 3D torus projection)");
+    println!("{}", fig5_render(scale()));
+    // The projection's hop range comes from the rack geometry (§6.1.2).
+    let t = Torus3D::new(8, 8, 8);
+    println!(
+        "torus 8x8x8: {} nodes, avg hops {:.1} (paper: 6), diameter {} (paper: 12)\n",
+        t.nodes(),
+        t.average_hops(),
+        t.max_hops()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.bench_function("hop_projection", |b| {
+        b.iter(|| fig5(rackni::experiments::Scale::Quick))
+    });
+    g.bench_function("torus_average_hops", |b| {
+        b.iter(|| Torus3D::new(8, 8, 8).average_hops())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,44 @@
+//! Fig. 6: end-to-end latency of synchronous remote reads vs. transfer size
+//! (64B..16KB) on the mesh, all three NI designs plus the NUMA projection.
+
+use criterion::{criterion_group, Criterion};
+use ni_bench::{banner, criterion_config, scale};
+use rackni::experiments::{latency_vs_size_render, LATENCY_SIZES};
+use rackni::ni_rmc::NiPlacement;
+use rackni::ni_soc::{run_sync_latency, ChipConfig, Topology};
+
+fn print_table() {
+    banner("Fig. 6", "sync remote-read latency vs. transfer size (mesh)");
+    println!(
+        "{}",
+        latency_vs_size_render(scale(), Topology::Mesh, &LATENCY_SIZES)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    for size in [64u64, 16384] {
+        g.bench_function(format!("split_sync_read_{size}B"), |b| {
+            b.iter(|| {
+                let cfg = ChipConfig {
+                    placement: NiPlacement::Split,
+                    ..ChipConfig::default()
+                };
+                run_sync_latency(cfg, size, 2)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

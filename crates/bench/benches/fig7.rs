@@ -1,0 +1,56 @@
+//! Fig. 7: aggregate application bandwidth of asynchronous remote reads vs.
+//! transfer size (64B..8KB) on the mesh, all 64 cores issuing.
+
+use criterion::{criterion_group, Criterion};
+use ni_bench::{banner, criterion_config, scale};
+use rackni::experiments::{bandwidth_vs_size, bandwidth_vs_size_render, BANDWIDTH_SIZES};
+use rackni::ni_rmc::NiPlacement;
+use rackni::ni_soc::{run_bandwidth, ChipConfig, Topology};
+use rackni::paper;
+
+fn print_table() {
+    banner("Fig. 7", "aggregate app bandwidth vs. transfer size (mesh, async)");
+    println!(
+        "{}",
+        bandwidth_vs_size_render(scale(), Topology::Mesh, &BANDWIDTH_SIZES)
+    );
+    let pts = bandwidth_vs_size(scale(), Topology::Mesh, &[2048]);
+    let peak = pts[0].gbps[0].max(pts[0].gbps[1]);
+    println!(
+        "peak (2KB): {:.0} GBps measured vs {:.0} GBps paper; NOC aggregate {:.0} GBps \
+         measured vs {:.0} GBps paper ({:.1}x amplification vs {:.1}x)\n",
+        peak,
+        paper::bandwidth::PEAK_APP_GBPS,
+        pts[0].split_noc_gbps,
+        paper::bandwidth::NOC_AGGREGATE_GBPS,
+        pts[0].split_noc_gbps / pts[0].gbps[1].max(1.0),
+        paper::bandwidth::TRAFFIC_AMPLIFICATION,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("split_async_512B_one_window", |b| {
+        b.iter(|| {
+            let cfg = ChipConfig {
+                placement: NiPlacement::Split,
+                ..ChipConfig::default()
+            };
+            run_bandwidth(cfg, 512, 10_000, 1)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,43 @@
+//! Fig. 9: synchronous remote-read latency vs. transfer size on NOC-Out
+//! (§6.3), the latency-optimized scale-out topology.
+
+use criterion::{criterion_group, Criterion};
+use ni_bench::{banner, criterion_config, scale};
+use rackni::experiments::{latency_vs_size_render, LATENCY_SIZES};
+use rackni::ni_rmc::NiPlacement;
+use rackni::ni_soc::{run_sync_latency, ChipConfig, Topology};
+
+fn print_table() {
+    banner("Fig. 9", "sync remote-read latency vs. transfer size (NOC-Out)");
+    println!(
+        "{}",
+        latency_vs_size_render(scale(), Topology::NocOut, &LATENCY_SIZES)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.bench_function("split_sync_read_64B_nocout", |b| {
+        b.iter(|| {
+            let cfg = ChipConfig {
+                placement: NiPlacement::Split,
+                topology: Topology::NocOut,
+                ..ChipConfig::default()
+            };
+            run_sync_latency(cfg, 64, 2)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

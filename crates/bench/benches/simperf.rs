@@ -1,0 +1,73 @@
+//! Simulator performance: simulated cycles per wall-clock second for the
+//! configurations the experiment harness runs most. Not a paper artifact —
+//! this guards the reproduction's own usability.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ni_bench::criterion_config;
+use rackni::ni_rmc::NiPlacement;
+use rackni::ni_soc::{Chip, ChipConfig, Topology, Workload};
+
+const CYCLES: u64 = 5_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simperf");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("idle_chip", |b| {
+        b.iter(|| {
+            let mut chip = Chip::new(ChipConfig::default(), Workload::Idle);
+            chip.run(CYCLES);
+            chip.now()
+        })
+    });
+    g.bench_function("one_core_sync_split", |b| {
+        b.iter(|| {
+            let cfg = ChipConfig {
+                active_cores: 1,
+                ..ChipConfig::default()
+            };
+            let mut chip = Chip::new(cfg, Workload::SyncRead { size: 64 });
+            chip.run(CYCLES);
+            chip.completed_ops()
+        })
+    });
+    g.bench_function("all_cores_async_split_512B", |b| {
+        b.iter(|| {
+            let mut chip = Chip::new(
+                ChipConfig::default(),
+                Workload::AsyncRead { size: 512, poll_every: 4 },
+            );
+            chip.run(CYCLES);
+            chip.completed_ops()
+        })
+    });
+    g.bench_function("all_cores_async_pertile_8KB", |b| {
+        b.iter(|| {
+            let cfg = ChipConfig {
+                placement: NiPlacement::PerTile,
+                ..ChipConfig::default()
+            };
+            let mut chip = Chip::new(cfg, Workload::AsyncRead { size: 8192, poll_every: 4 });
+            chip.run(CYCLES);
+            chip.completed_ops()
+        })
+    });
+    g.bench_function("all_cores_async_nocout_512B", |b| {
+        b.iter(|| {
+            let cfg = ChipConfig {
+                topology: Topology::NocOut,
+                ..ChipConfig::default()
+            };
+            let mut chip = Chip::new(cfg, Workload::AsyncRead { size: 512, poll_every: 4 });
+            chip.run(CYCLES);
+            chip.completed_ops()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table 1: latency comparison of the QP-based model (NIedge) against a pure
+//! load/store NUMA interface for a single-block remote read at one hop.
+
+use criterion::{criterion_group, Criterion};
+use ni_bench::{banner, criterion_config, scale};
+use rackni::experiments::table1_render;
+use rackni::ni_rmc::NiPlacement;
+use rackni::ni_soc::{run_sync_latency, ChipConfig};
+
+fn print_table() {
+    banner("Table 1", "QP-based model vs. NUMA load/store, single-block read");
+    println!("{}", table1_render(scale()));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("edge_sync_read_64B", |b| {
+        b.iter(|| {
+            let cfg = ChipConfig {
+                placement: NiPlacement::Edge,
+                ..ChipConfig::default()
+            };
+            run_sync_latency(cfg, 64, 2)
+        })
+    });
+    g.bench_function("numa_sync_read_64B", |b| {
+        b.iter(|| {
+            let cfg = ChipConfig {
+                placement: NiPlacement::Numa,
+                ..ChipConfig::default()
+            };
+            run_sync_latency(cfg, 64, 2)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

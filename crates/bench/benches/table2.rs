@@ -1,0 +1,89 @@
+//! Table 2: the simulated system parameters. This bench prints the
+//! configuration actually used by every other experiment and asserts it
+//! matches the paper, then measures chip-construction cost.
+
+use criterion::{criterion_group, Criterion};
+use ni_bench::{banner, criterion_config};
+use rackni::ni_rmc::NiPlacement;
+use rackni::ni_soc::{Chip, ChipConfig, Topology, Workload};
+use rackni::report::Table;
+
+fn print_table() {
+    banner("Table 2", "system parameters (simulation configuration)");
+    let c = ChipConfig::default();
+    let mut t = Table::new(&["parameter", "value", "paper (Table 2)"]);
+    t.row(&["cores", "64 (8x8 mesh tiles)", "64, ARM Cortex-A15-like, 2GHz"]);
+    t.row_owned(vec![
+        "LLC banks".into(),
+        c.n_banks().to_string(),
+        "16MB NUCA, 1 bank/tile".into(),
+    ]);
+    t.row_owned(vec![
+        "coherence".into(),
+        "directory-based non-inclusive MESI (+NI Owned state)".into(),
+        "Directory-based Non-Inclusive MESI".into(),
+    ]);
+    t.row_owned(vec![
+        "memory latency".into(),
+        format!("{} cycles", c.mem.latency),
+        "50ns (100 cycles @ 2GHz)".into(),
+    ]);
+    t.row_owned(vec![
+        "mesh link / hop".into(),
+        format!(
+            "{}B links, {} cycles/hop",
+            16, c.mesh.router.hop_latency
+        ),
+        "16B links, 3 cycles/hop".into(),
+    ]);
+    t.row_owned(vec![
+        "NI".into(),
+        format!("RGP/RCP/RRPP, {} RRPPs (one per row)", c.n_edge()),
+        "3 pipelines, one RRPP per row (8)".into(),
+    ]);
+    t.row_owned(vec![
+        "network hop".into(),
+        format!("{} cycles", c.rack.hop_cycles),
+        "fixed 35ns per hop (70 cycles)".into(),
+    ]);
+    t.row_owned(vec![
+        "WQ entries".into(),
+        c.qp.wq_entries.to_string(),
+        "128 (bandwidth microbenchmark, §5)".into(),
+    ]);
+    println!("{}", t.render());
+    assert_eq!(c.n_cores(), 64);
+    assert_eq!(c.n_edge(), 8);
+    assert_eq!(c.mem.latency, 100);
+    assert_eq!(c.rack.hop_cycles, 70);
+    assert_eq!(c.qp.wq_entries, 128);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    for (name, topo) in [("mesh", Topology::Mesh), ("nocout", Topology::NocOut)] {
+        g.bench_function(format!("chip_construction_{name}"), |b| {
+            b.iter(|| {
+                let cfg = ChipConfig {
+                    topology: topo,
+                    placement: NiPlacement::Split,
+                    ..ChipConfig::default()
+                };
+                Chip::new(cfg, Workload::Idle)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,41 @@
+//! Table 3: zero-load latency breakdown of a single-block remote read for
+//! NIedge / NIper-tile / NIsplit plus the NUMA baseline.
+
+use criterion::{criterion_group, Criterion};
+use ni_bench::{banner, criterion_config, scale};
+use rackni::experiments::table3_render;
+use rackni::ni_rmc::NiPlacement;
+use rackni::ni_soc::{stage_breakdown, ChipConfig};
+
+fn print_table() {
+    banner("Table 3", "zero-load single-block latency tomography, all designs");
+    println!("{}", table3_render(scale()));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    for p in NiPlacement::QP_DESIGNS {
+        g.bench_function(format!("breakdown_{}", p.name()), |b| {
+            b.iter(|| {
+                let cfg = ChipConfig {
+                    placement: p,
+                    ..ChipConfig::default()
+                };
+                stage_breakdown(cfg, 2)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

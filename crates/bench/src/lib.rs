@@ -1,0 +1,56 @@
+//! # ni-bench — the benchmark harness regenerating the paper's evaluation
+//!
+//! One Criterion bench target per table and figure of Daglis et al. (ISCA
+//! 2015), plus ablation benches for the design choices called out in
+//! DESIGN.md and a `simperf` bench measuring the simulator itself.
+//!
+//! Each target does two things when run under `cargo bench`:
+//!
+//! 1. prints the paper-style table (the reproduction artifact recorded in
+//!    EXPERIMENTS.md), with the published numbers alongside where they
+//!    exist, and
+//! 2. registers Criterion measurements of a representative kernel, so
+//!    regressions in simulator performance show up in CI.
+//!
+//! Experiment fidelity is controlled by `RACKNI_SCALE` (`quick`, the
+//! default, or `full` — the paper's §5 methodology with longer convergence
+//! windows).
+
+use std::time::Duration;
+
+use criterion::Criterion;
+use rackni::experiments::Scale;
+
+/// Read the experiment scale from `RACKNI_SCALE` (`quick` by default).
+pub fn scale() -> Scale {
+    Scale::from_env()
+}
+
+/// Print the standard experiment banner: id, description, and scale.
+pub fn banner(id: &str, what: &str) {
+    let s = scale();
+    println!("\n=== {id}: {what} [scale: {s:?}] ===");
+}
+
+/// The Criterion configuration shared by every bench target: few samples
+/// and short measurement windows, because each iteration is a whole-chip
+/// simulation rather than a microsecond kernel.
+pub fn criterion_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        // The test environment does not set RACKNI_SCALE.
+        if std::env::var("RACKNI_SCALE").is_err() {
+            assert_eq!(scale(), Scale::Quick);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Coherence protocol messages and their wire metadata.
+
+use ni_mem::BlockAddr;
+use ni_noc::{flits_for_payload, MessageClass, NocNode};
+
+/// Header bytes of an on-chip protocol message.
+const HDR_BYTES: u32 = 8;
+/// Payload bytes of a data-bearing message (one cache block).
+const DATA_BYTES: u32 = 64;
+
+/// What kind of protocol client a message is addressed to.
+///
+/// Several block types share a physical endpoint (a tile hosts both a cache
+/// complex and a directory bank; an NI block hosts an RRPP, a backend and
+/// possibly an edge NI cache), so messages carry their addressee kind for
+/// dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClientKind {
+    /// A cache complex (L1 + NI cache pair, or an edge NI cache).
+    Cache,
+    /// A directory/LLC bank.
+    Directory,
+    /// A non-caching NI data consumer (RRPP or RGP/RCP backend).
+    NiData,
+}
+
+/// Coherence protocol messages.
+///
+/// Third-party references (`requester`, `ack_to`) carry the [`NocNode`] of
+/// the client concerned plus its [`ClientKind`]; the sending/receiving
+/// nodes are carried by the interconnect envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CohMsg {
+    // ---- requests: cache complex -> directory ----
+    /// Read-only copy request (the paper's `GetRO`).
+    GetS { block: BlockAddr },
+    /// Exclusive copy request (the paper's `GetX`).
+    GetX { block: BlockAddr },
+    /// Dirty writeback on eviction.
+    PutM { block: BlockAddr, value: u64 },
+
+    // ---- forwards: directory -> owner / sharers ----
+    /// Owner must send a shared copy to `requester` and refresh the LLC.
+    FwdGetS { block: BlockAddr, requester: NocNode, rkind: ClientKind },
+    /// Owner must transfer the block exclusively to `requester`.
+    FwdGetX { block: BlockAddr, requester: NocNode, rkind: ClientKind },
+    /// Sharer must invalidate and acknowledge to `ack_to`.
+    Inv { block: BlockAddr, ack_to: NocNode, akind: ClientKind },
+
+    // ---- responses ----
+    /// Exclusive data grant from the directory; the requester must collect
+    /// `acks` invalidation acknowledgments before using the block (the
+    /// paper's `MissNotify` semantics, Fig. 2a).
+    DataE { block: BlockAddr, value: u64, acks: u32 },
+    /// Shared data (from the directory or a forwarding owner).
+    DataS { block: BlockAddr, value: u64 },
+    /// Exclusive (possibly dirty) data from the previous owner on FwdGetX.
+    DataM { block: BlockAddr, value: u64 },
+    /// Invalidation acknowledgment (the paper's `InvACK`).
+    InvAck { block: BlockAddr },
+    /// Owner's copy back to the directory after FwdGetS, keeping the LLC up
+    /// to date (Fig. 2b's closing message).
+    OwnerData { block: BlockAddr, value: u64, dirty: bool },
+    /// Ownership-transfer acknowledgment to the directory after FwdGetX.
+    AckX { block: BlockAddr },
+    /// The presumed owner no longer holds the block (legal with an inexact,
+    /// non-notifying directory after a silent clean eviction).
+    FwdMiss { block: BlockAddr, was_getx: bool, requester: NocNode },
+    /// Writeback acknowledgment.
+    PutAck { block: BlockAddr },
+
+    // ---- non-caching NI data path (§3.1: NI data accesses bypass the NI cache) ----
+    /// Non-caching block read (RRPP servicing a remote request).
+    NcRead { block: BlockAddr },
+    /// Non-caching full-block write (RCP storing remote data locally).
+    NcWrite { block: BlockAddr, value: u64 },
+    /// Reply to `NcRead`.
+    NcData { block: BlockAddr, value: u64 },
+    /// Reply to `NcWrite`.
+    NcWAck { block: BlockAddr },
+}
+
+impl CohMsg {
+    /// The cache block this message concerns.
+    pub fn block(&self) -> BlockAddr {
+        match *self {
+            CohMsg::GetS { block }
+            | CohMsg::GetX { block }
+            | CohMsg::PutM { block, .. }
+            | CohMsg::FwdGetS { block, .. }
+            | CohMsg::FwdGetX { block, .. }
+            | CohMsg::Inv { block, .. }
+            | CohMsg::DataE { block, .. }
+            | CohMsg::DataS { block, .. }
+            | CohMsg::DataM { block, .. }
+            | CohMsg::InvAck { block }
+            | CohMsg::OwnerData { block, .. }
+            | CohMsg::AckX { block }
+            | CohMsg::FwdMiss { block, .. }
+            | CohMsg::PutAck { block }
+            | CohMsg::NcRead { block }
+            | CohMsg::NcWrite { block, .. }
+            | CohMsg::NcData { block, .. }
+            | CohMsg::NcWAck { block } => block,
+        }
+    }
+
+    /// True for messages that carry a full cache block of data.
+    pub fn carries_data(&self) -> bool {
+        matches!(
+            self,
+            CohMsg::PutM { .. }
+                | CohMsg::DataE { .. }
+                | CohMsg::DataS { .. }
+                | CohMsg::DataM { .. }
+                | CohMsg::OwnerData { .. }
+                | CohMsg::NcWrite { .. }
+                | CohMsg::NcData { .. }
+        )
+    }
+}
+
+/// Wire-level metadata for a message: virtual network, length and the
+/// directory-sourced marker used by the modified CDR routing class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireMeta {
+    /// Virtual network.
+    pub class: MessageClass,
+    /// Packet length in flits.
+    pub flits: u8,
+    /// True when the message originates at a directory/LLC bank.
+    pub dir_sourced: bool,
+}
+
+/// Compute the wire metadata of a message, given whether the *sender* is a
+/// directory bank (directory-sourced traffic routes YX under the paper's
+/// modified CDR, §4.3).
+pub fn wire_of(msg: &CohMsg, from_directory: bool) -> WireMeta {
+    let data = msg.carries_data();
+    let flits = if data {
+        flits_for_payload(DATA_BYTES, HDR_BYTES)
+    } else {
+        flits_for_payload(0, HDR_BYTES)
+    };
+    let class = match msg {
+        CohMsg::GetS { .. } | CohMsg::GetX { .. } | CohMsg::PutM { .. } => MessageClass::CohReq,
+        CohMsg::FwdGetS { .. } | CohMsg::FwdGetX { .. } | CohMsg::Inv { .. } => {
+            MessageClass::CohFwd
+        }
+        CohMsg::NcRead { .. } | CohMsg::NcWrite { .. } => MessageClass::MemReq,
+        CohMsg::NcData { .. } | CohMsg::NcWAck { .. } => MessageClass::MemResp,
+        _ => MessageClass::CohResp,
+    };
+    WireMeta {
+        class,
+        flits,
+        dir_sourced: from_directory,
+    }
+}
+
+/// An outbound message with its destination, produced by a controller and
+/// shipped by whatever fabric the harness provides.
+#[derive(Clone, Copy, Debug)]
+pub struct Egress {
+    /// Destination endpoint.
+    pub dst: NocNode,
+    /// Which client at that endpoint consumes the message.
+    pub kind: ClientKind,
+    /// The protocol message.
+    pub msg: CohMsg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_accessor_covers_all_variants() {
+        let b = BlockAddr(7);
+        let msgs = [
+            CohMsg::GetS { block: b },
+            CohMsg::GetX { block: b },
+            CohMsg::PutM { block: b, value: 1 },
+            CohMsg::FwdGetS {
+                block: b,
+                requester: NocNode::tile(0, 0),
+                rkind: ClientKind::Cache,
+            },
+            CohMsg::Inv {
+                block: b,
+                ack_to: NocNode::tile(0, 0),
+                akind: ClientKind::Cache,
+            },
+            CohMsg::DataE {
+                block: b,
+                value: 0,
+                acks: 2,
+            },
+            CohMsg::InvAck { block: b },
+            CohMsg::NcRead { block: b },
+            CohMsg::NcWAck { block: b },
+        ];
+        for m in msgs {
+            assert_eq!(m.block(), b);
+        }
+    }
+
+    #[test]
+    fn data_messages_are_five_flits_control_one() {
+        let b = BlockAddr(0);
+        assert_eq!(wire_of(&CohMsg::GetX { block: b }, false).flits, 1);
+        assert_eq!(
+            wire_of(&CohMsg::DataE { block: b, value: 0, acks: 0 }, true).flits,
+            5
+        );
+        assert_eq!(wire_of(&CohMsg::PutM { block: b, value: 0 }, false).flits, 5);
+        assert_eq!(wire_of(&CohMsg::InvAck { block: b }, false).flits, 1);
+    }
+
+    #[test]
+    fn classes_separate_requests_forwards_responses() {
+        let b = BlockAddr(0);
+        assert_eq!(
+            wire_of(&CohMsg::GetS { block: b }, false).class,
+            MessageClass::CohReq
+        );
+        assert_eq!(
+            wire_of(
+                &CohMsg::Inv {
+                    block: b,
+                    ack_to: NocNode::tile(0, 0),
+                    akind: ClientKind::Cache,
+                },
+                true
+            )
+            .class,
+            MessageClass::CohFwd
+        );
+        assert_eq!(
+            wire_of(&CohMsg::InvAck { block: b }, false).class,
+            MessageClass::CohResp
+        );
+        assert_eq!(
+            wire_of(&CohMsg::NcRead { block: b }, false).class,
+            MessageClass::MemReq
+        );
+        assert_eq!(
+            wire_of(&CohMsg::NcData { block: b, value: 0 }, true).class,
+            MessageClass::MemResp
+        );
+    }
+
+    #[test]
+    fn dir_sourced_flag_follows_sender() {
+        let b = BlockAddr(0);
+        assert!(wire_of(&CohMsg::DataS { block: b, value: 0 }, true).dir_sourced);
+        assert!(!wire_of(&CohMsg::DataS { block: b, value: 0 }, false).dir_sourced);
+    }
+}

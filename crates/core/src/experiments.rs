@@ -1,0 +1,466 @@
+//! One entry point per table/figure of the paper's evaluation.
+//!
+//! Every function returns structured data and can render a paper-style
+//! table; the `ni-bench` harness prints paper-vs-measured side by side.
+//! Experiment scale (operations per point, window sizes) accepts a
+//! [`Scale`] so CI runs stay fast while full runs match the paper's
+//! methodology.
+
+use ni_rmc::NiPlacement;
+use ni_soc::bench::{run_bandwidth, run_sync_latency, stage_breakdown, StageBreakdown};
+use ni_soc::{ChipConfig, Topology};
+use ni_noc::RoutingPolicy;
+
+use crate::paper;
+use crate::parallel::par_map;
+use crate::report::{f1, pct, Table};
+
+/// Experiment scale: trade fidelity for wall-clock time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// A few operations / short windows (tests, smoke runs).
+    Quick,
+    /// The paper's methodology (§5): more samples, windowed convergence.
+    Full,
+}
+
+impl Scale {
+    /// Read `RACKNI_SCALE=full|quick` from the environment (default quick).
+    pub fn from_env() -> Scale {
+        match std::env::var("RACKNI_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    fn latency_ops(self) -> u64 {
+        match self {
+            Scale::Quick => 8,
+            Scale::Full => 100,
+        }
+    }
+
+    fn bw_window(self) -> u64 {
+        match self {
+            Scale::Quick => 50_000,
+            Scale::Full => 200_000,
+        }
+    }
+
+    fn bw_max_windows(self) -> u32 {
+        match self {
+            Scale::Quick => 6,
+            Scale::Full => 12,
+        }
+    }
+}
+
+fn cfg_for(placement: NiPlacement, topology: Topology) -> ChipConfig {
+    ChipConfig {
+        placement,
+        topology,
+        ..ChipConfig::default()
+    }
+}
+
+/// Measured end-to-end single-block latency for one design.
+#[derive(Clone, Copy, Debug)]
+pub struct DesignLatency {
+    /// NI design.
+    pub placement: NiPlacement,
+    /// Measured mean end-to-end cycles.
+    pub cycles: f64,
+    /// Paper's Table 3 total for the same design.
+    pub paper_cycles: u64,
+}
+
+/// Table 1: QP-based model (NIedge) vs the NUMA load/store baseline for a
+/// single-block remote read at one network hop.
+pub fn table1(scale: Scale) -> (DesignLatency, DesignLatency) {
+    let ops = scale.latency_ops();
+    let mut runs = par_map(vec![NiPlacement::Edge, NiPlacement::Numa], |p| {
+        run_sync_latency(cfg_for(p, Topology::Mesh), 64, ops)
+    });
+    let numa = runs.pop().expect("two runs");
+    let edge = runs.pop().expect("two runs");
+    (
+        DesignLatency {
+            placement: NiPlacement::Edge,
+            cycles: edge.mean_cycles,
+            paper_cycles: paper::table3_edge::TOTAL,
+        },
+        DesignLatency {
+            placement: NiPlacement::Numa,
+            cycles: numa.mean_cycles,
+            paper_cycles: paper::table3_numa::TOTAL,
+        },
+    )
+}
+
+/// Render Table 1.
+pub fn table1_render(scale: Scale) -> String {
+    let (edge, numa) = table1(scale);
+    let mut t = Table::new(&[
+        "model",
+        "measured (cycles)",
+        "paper (cycles)",
+        "measured overhead",
+        "paper overhead",
+    ]);
+    let oh = (edge.cycles / numa.cycles - 1.0) * 100.0;
+    t.row_owned(vec![
+        "QP-based (NI_edge)".into(),
+        f1(edge.cycles),
+        edge.paper_cycles.to_string(),
+        pct(oh),
+        pct(paper::overheads::EDGE_1HOP_PCT),
+    ]);
+    t.row_owned(vec![
+        "NUMA (load/store)".into(),
+        f1(numa.cycles),
+        numa.paper_cycles.to_string(),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.render()
+}
+
+/// Table 3: zero-load latency breakdown for all three NI designs plus the
+/// measured NUMA baseline.
+pub struct Table3 {
+    /// Per-design stage tomography.
+    pub breakdowns: Vec<(NiPlacement, StageBreakdown)>,
+    /// Measured NUMA end-to-end cycles.
+    pub numa_cycles: f64,
+}
+
+/// Run Table 3.
+pub fn table3(scale: Scale) -> Table3 {
+    let ops = scale.latency_ops();
+    let breakdowns = par_map(NiPlacement::QP_DESIGNS.to_vec(), |p| {
+        (p, stage_breakdown(cfg_for(p, Topology::Mesh), ops))
+    });
+    let numa = run_sync_latency(cfg_for(NiPlacement::Numa, Topology::Mesh), 64, ops);
+    Table3 {
+        breakdowns,
+        numa_cycles: numa.mean_cycles,
+    }
+}
+
+/// Render Table 3 with the paper's totals alongside.
+pub fn table3_render(scale: Scale) -> String {
+    let t3 = table3(scale);
+    let mut t = Table::new(&[
+        "design",
+        "WQ write",
+        "WQ read+RGP",
+        "to edge",
+        "net+remote",
+        "RCP+CQ write",
+        "CQ read",
+        "total",
+        "paper total",
+        "overhead/NUMA",
+        "paper overhead",
+    ]);
+    for (p, b) in &t3.breakdowns {
+        let paper_total = match p {
+            NiPlacement::Edge => paper::table3_edge::TOTAL,
+            NiPlacement::PerTile => paper::table3_per_tile::TOTAL,
+            NiPlacement::Split => paper::table3_split::TOTAL,
+            NiPlacement::Numa => paper::table3_numa::TOTAL,
+        };
+        let paper_oh = match p {
+            NiPlacement::Edge => paper::overheads::EDGE_1HOP_PCT,
+            NiPlacement::PerTile => paper::overheads::PER_TILE_1HOP_PCT,
+            _ => paper::overheads::SPLIT_1HOP_PCT,
+        };
+        t.row_owned(vec![
+            p.name().into(),
+            f1(b.wq_write),
+            f1(b.wq_read_and_rgp),
+            f1(b.fe_to_net),
+            f1(b.net_round_trip),
+            f1(b.rcp_and_cq_write),
+            f1(b.cq_read),
+            f1(b.total),
+            paper_total.to_string(),
+            pct((b.total / t3.numa_cycles - 1.0) * 100.0),
+            pct(paper_oh),
+        ]);
+    }
+    t.row_owned(vec![
+        "NUMA".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        f1(t3.numa_cycles),
+        paper::table3_numa::TOTAL.to_string(),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.render()
+}
+
+/// One point of the Fig. 5 hop-count projection.
+#[derive(Clone, Copy, Debug)]
+pub struct HopPoint {
+    /// Network hops each way.
+    pub hops: u32,
+    /// NUMA end-to-end nanoseconds.
+    pub numa_ns: f64,
+    /// NIsplit end-to-end nanoseconds.
+    pub split_ns: f64,
+    /// NIedge end-to-end nanoseconds.
+    pub edge_ns: f64,
+    /// NIsplit overhead over NUMA.
+    pub split_pct: f64,
+    /// NIedge overhead over NUMA.
+    pub edge_pct: f64,
+}
+
+/// Fig. 5: project the measured 1-hop breakdowns across 0..=12 hops, the
+/// paper's §6.1.2 methodology (add 70 cycles per hop per direction).
+pub fn fig5(scale: Scale) -> Vec<HopPoint> {
+    let ops = scale.latency_ops();
+    let mut runs = par_map(
+        vec![NiPlacement::Edge, NiPlacement::Split, NiPlacement::Numa],
+        |p| run_sync_latency(cfg_for(p, Topology::Mesh), 64, ops),
+    );
+    let numa = runs.pop().expect("three runs");
+    let split = runs.pop().expect("three runs");
+    let edge = runs.pop().expect("three runs");
+    let hop_cycles = 70.0;
+    let base = 2.0 * hop_cycles; // measured runs used one hop each way
+    let to_ns = 0.5;
+    (0..=12)
+        .map(|h| {
+            let extra = 2.0 * hop_cycles * h as f64 - base;
+            let e = edge.mean_cycles + extra;
+            let s = split.mean_cycles + extra;
+            let n = numa.mean_cycles + extra;
+            HopPoint {
+                hops: h,
+                numa_ns: n * to_ns,
+                split_ns: s * to_ns,
+                edge_ns: e * to_ns,
+                split_pct: (s / n - 1.0) * 100.0,
+                edge_pct: (e / n - 1.0) * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Render Fig. 5 as a table, with the paper's quoted overheads at 6/12 hops.
+pub fn fig5_render(scale: Scale) -> String {
+    let pts = fig5(scale);
+    let mut t = Table::new(&[
+        "hops",
+        "NUMA (ns)",
+        "NI_split (ns)",
+        "NI_edge (ns)",
+        "split oh",
+        "edge oh",
+        "paper split oh",
+        "paper edge oh",
+    ]);
+    for p in &pts {
+        let (ps, pe) = match p.hops {
+            1 => (
+                pct(paper::overheads::SPLIT_1HOP_PCT),
+                pct(paper::overheads::EDGE_1HOP_PCT),
+            ),
+            6 => (
+                pct(paper::overheads::SPLIT_6HOP_PCT),
+                pct(paper::overheads::EDGE_6HOP_PCT),
+            ),
+            12 => (
+                pct(paper::overheads::SPLIT_12HOP_PCT),
+                pct(paper::overheads::EDGE_12HOP_PCT),
+            ),
+            _ => ("-".into(), "-".into()),
+        };
+        t.row_owned(vec![
+            p.hops.to_string(),
+            f1(p.numa_ns),
+            f1(p.split_ns),
+            f1(p.edge_ns),
+            pct(p.split_pct),
+            pct(p.edge_pct),
+            ps,
+            pe,
+        ]);
+    }
+    t.render()
+}
+
+/// One latency-vs-size series point (Figs. 6 and 9).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeLatency {
+    /// Transfer size in bytes.
+    pub size: u64,
+    /// Mean latency (ns) per design, ordered as [edge, split, per-tile].
+    pub ns: [f64; 3],
+    /// NUMA projection (ns): NIsplit minus the measured QP overhead.
+    pub numa_proj_ns: f64,
+}
+
+/// Figs. 6/9: synchronous remote-read latency across transfer sizes.
+pub fn latency_vs_size(scale: Scale, topology: Topology, sizes: &[u64]) -> Vec<SizeLatency> {
+    let ops = scale.latency_ops().min(20);
+    let numa64 = run_sync_latency(cfg_for(NiPlacement::Numa, topology), 64, ops);
+    // NUMA projection baseline (§6.1.3's method): the QP-interaction
+    // overhead is the gap between NIsplit and NUMA on a single-block read;
+    // an ideal NUMA machine at any size is NIsplit minus that constant.
+    let split64 = run_sync_latency(cfg_for(NiPlacement::Split, topology), 64, ops);
+    let qp_overhead64 = (split64.mean_cycles - numa64.mean_cycles).max(0.0);
+    let designs = [NiPlacement::Edge, NiPlacement::Split, NiPlacement::PerTile];
+    let grid: Vec<(u64, NiPlacement)> = sizes
+        .iter()
+        .flat_map(|&s| designs.iter().map(move |&p| (s, p)))
+        .collect();
+    let runs = par_map(grid, |(size, p)| run_sync_latency(cfg_for(p, topology), size, ops));
+    let mut out = Vec::new();
+    for (si, &size) in sizes.iter().enumerate() {
+        let mut ns = [0.0; 3];
+        let mut split_cycles = 0.0;
+        for (di, _) in designs.iter().enumerate() {
+            let r = &runs[si * designs.len() + di];
+            ns[di] = r.mean_ns;
+            if designs[di] == NiPlacement::Split {
+                split_cycles = r.mean_cycles;
+            }
+        }
+        let numa_proj = (split_cycles - qp_overhead64).max(numa64.mean_cycles);
+        out.push(SizeLatency {
+            size,
+            ns,
+            numa_proj_ns: numa_proj * 0.5,
+        });
+    }
+    out
+}
+
+/// Render Fig. 6 (mesh) or Fig. 9 (NOC-Out).
+pub fn latency_vs_size_render(scale: Scale, topology: Topology, sizes: &[u64]) -> String {
+    let pts = latency_vs_size(scale, topology, sizes);
+    let mut t = Table::new(&[
+        "size (B)",
+        "NI_edge (ns)",
+        "NI_split (ns)",
+        "NI_per-tile (ns)",
+        "NUMA proj (ns)",
+    ]);
+    for p in &pts {
+        t.row_owned(vec![
+            p.size.to_string(),
+            f1(p.ns[0]),
+            f1(p.ns[1]),
+            f1(p.ns[2]),
+            f1(p.numa_proj_ns),
+        ]);
+    }
+    t.render()
+}
+
+/// One bandwidth-vs-size series point (Figs. 7 and 10).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeBandwidth {
+    /// Transfer size in bytes.
+    pub size: u64,
+    /// Aggregate application GBps per design [edge, split, per-tile].
+    pub gbps: [f64; 3],
+    /// Aggregate NOC GBps of the NIsplit run.
+    pub split_noc_gbps: f64,
+}
+
+/// Figs. 7/10: aggregate application bandwidth, all 64 cores asynchronous.
+pub fn bandwidth_vs_size(scale: Scale, topology: Topology, sizes: &[u64]) -> Vec<SizeBandwidth> {
+    bandwidth_vs_size_with(scale, topology, RoutingPolicy::CdrNi, sizes)
+}
+
+/// As [`bandwidth_vs_size`] with an explicit routing policy (ablation A1).
+pub fn bandwidth_vs_size_with(
+    scale: Scale,
+    topology: Topology,
+    routing: RoutingPolicy,
+    sizes: &[u64],
+) -> Vec<SizeBandwidth> {
+    let designs = [NiPlacement::Edge, NiPlacement::Split, NiPlacement::PerTile];
+    let grid: Vec<(u64, NiPlacement)> = sizes
+        .iter()
+        .flat_map(|&s| designs.iter().map(move |&p| (s, p)))
+        .collect();
+    let runs = par_map(grid, |(size, p)| {
+        let mut c = cfg_for(p, topology);
+        c.routing = routing;
+        run_bandwidth(c, size, scale.bw_window(), scale.bw_max_windows())
+    });
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(si, &size)| {
+            let at = |di: usize| &runs[si * designs.len() + di];
+            SizeBandwidth {
+                size,
+                gbps: [at(0).app_gbps, at(1).app_gbps, at(2).app_gbps],
+                split_noc_gbps: at(1).noc_gbps,
+            }
+        })
+        .collect()
+}
+
+/// Render Fig. 7 (mesh) or Fig. 10 (NOC-Out).
+pub fn bandwidth_vs_size_render(scale: Scale, topology: Topology, sizes: &[u64]) -> String {
+    let pts = bandwidth_vs_size(scale, topology, sizes);
+    let mut t = Table::new(&[
+        "size (B)",
+        "NI_edge (GBps)",
+        "NI_split (GBps)",
+        "NI_per-tile (GBps)",
+        "split NOC traffic (GBps)",
+    ]);
+    for p in &pts {
+        t.row_owned(vec![
+            p.size.to_string(),
+            f1(p.gbps[0]),
+            f1(p.gbps[1]),
+            f1(p.gbps[2]),
+            f1(p.split_noc_gbps),
+        ]);
+    }
+    t.render()
+}
+
+/// Routing-policy ablation (§6.2: without CDR, peak bandwidth halves).
+pub fn routing_ablation(scale: Scale, size: u64) -> Vec<(RoutingPolicy, f64)> {
+    par_map(RoutingPolicy::ALL.to_vec(), |r| {
+        let mut c = cfg_for(NiPlacement::Split, Topology::Mesh);
+        c.routing = r;
+        let b = run_bandwidth(c, size, scale.bw_window(), scale.bw_max_windows());
+        (r, b.app_gbps)
+    })
+}
+
+/// NI-cache Owned-state ablation (§3.4): with the optimization off, every
+/// core poll of a dirty CQ block costs a writeback round trip.
+pub fn nicache_ablation(scale: Scale) -> (f64, f64) {
+    let ops = scale.latency_ops();
+    let mut runs = par_map(vec![true, false], |owned| {
+        let mut c = cfg_for(NiPlacement::Split, Topology::Mesh);
+        c.coherence.ni_owned_state = owned;
+        run_sync_latency(c, 64, ops)
+    });
+    let off = runs.pop().expect("two runs");
+    let on = runs.pop().expect("two runs");
+    (on.mean_cycles, off.mean_cycles)
+}
+
+/// The default size sweep of the paper's latency figures (64B to 16KB).
+pub const LATENCY_SIZES: [u64; 9] = [64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+
+/// The default size sweep of the paper's bandwidth figures (64B to 8KB).
+pub const BANDWIDTH_SIZES: [u64; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];

@@ -1,0 +1,109 @@
+//! Plain-text table formatting for the benchmark harness.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width table printer.
+///
+/// ```
+/// use rackni::report::Table;
+/// let mut t = Table::new(&["design", "cycles"]);
+/// t.row(&["NI_split", "447"]);
+/// let s = t.render();
+/// assert!(s.contains("NI_split"));
+/// ```
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    ///
+    /// # Panics
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Append a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", c, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(&mut out, "{}  ", "-".repeat(*w));
+            let _ = i;
+        }
+        out.push('\n');
+        for r in &self.rows {
+            fmt_row(&mut out, r);
+        }
+        out
+    }
+}
+
+/// Format a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["xxxx", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a     bbbb"));
+        assert!(lines[2].starts_with("xxxx  y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1", "2"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(pct(79.66), "79.7%");
+    }
+}

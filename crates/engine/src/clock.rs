@@ -1,0 +1,197 @@
+//! Clock domain: cycles, frequencies, and time conversion.
+//!
+//! The whole simulated SoC runs at a single frequency (2 GHz in the paper's
+//! configuration, Table 2). Off-chip latencies given in nanoseconds (DRAM
+//! 50ns, inter-node hop 35ns) are converted to cycles through [`Frequency`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Nanoseconds per cycle at the paper's 2 GHz core clock.
+pub const NANOS_PER_CYCLE_2GHZ: f64 = 0.5;
+
+/// A point in simulated time, measured in core clock cycles.
+///
+/// `Cycle` is an absolute timestamp; durations are plain `u64`s added to or
+/// subtracted from it. Keeping the distinction in the type system prevents
+/// the classic simulator bug of mixing "at cycle t" with "for t cycles".
+///
+/// ```
+/// use ni_engine::Cycle;
+/// let t = Cycle(10) + 5;
+/// assert_eq!(t, Cycle(15));
+/// assert_eq!(t - Cycle(10), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero of the simulation clock.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Saturating duration from `earlier` to `self`, zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Convert to nanoseconds at the given frequency.
+    #[inline]
+    pub fn as_nanos(self, freq: Frequency) -> f64 {
+        self.0 as f64 * freq.nanos_per_cycle()
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Duration between two timestamps.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "negative cycle duration");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A clock frequency, used to convert wall-clock latencies into cycles.
+///
+/// ```
+/// use ni_engine::Frequency;
+/// let f = Frequency::GHZ2;
+/// assert_eq!(f.cycles_from_nanos(35.0), 70); // one intra-rack hop
+/// assert_eq!(f.cycles_from_nanos(50.0), 100); // DRAM access
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Frequency {
+    hz: f64,
+}
+
+impl Frequency {
+    /// The paper's 2 GHz SoC clock (Table 2).
+    pub const GHZ2: Frequency = Frequency { hz: 2.0e9 };
+
+    /// Create a frequency from a value in GHz.
+    ///
+    /// # Panics
+    /// Panics if `ghz` is not strictly positive and finite.
+    pub fn from_ghz(ghz: f64) -> Frequency {
+        assert!(ghz.is_finite() && ghz > 0.0, "frequency must be positive");
+        Frequency { hz: ghz * 1e9 }
+    }
+
+    /// Frequency in hertz.
+    #[inline]
+    pub fn hz(self) -> f64 {
+        self.hz
+    }
+
+    /// Nanoseconds taken by a single cycle.
+    #[inline]
+    pub fn nanos_per_cycle(self) -> f64 {
+        1e9 / self.hz
+    }
+
+    /// Number of whole cycles covering `ns` nanoseconds (rounded to nearest).
+    #[inline]
+    pub fn cycles_from_nanos(self, ns: f64) -> u64 {
+        (ns / self.nanos_per_cycle()).round() as u64
+    }
+
+    /// Bytes per cycle corresponding to `gbps` gigabytes per second.
+    #[inline]
+    pub fn bytes_per_cycle_from_gbps(self, gbps: f64) -> f64 {
+        gbps * 1e9 / self.hz
+    }
+
+    /// Convert a sustained rate in bytes/cycle to GB/s.
+    #[inline]
+    pub fn gbps_from_bytes_per_cycle(self, bpc: f64) -> f64 {
+        bpc * self.hz / 1e9
+    }
+}
+
+impl Default for Frequency {
+    fn default() -> Self {
+        Frequency::GHZ2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic_roundtrips() {
+        let a = Cycle(100);
+        let b = a + 23;
+        assert_eq!(b - a, 23);
+        assert_eq!(b.saturating_since(a), 23);
+        assert_eq!(a.saturating_since(b), 0);
+    }
+
+    #[test]
+    fn cycle_orders_and_formats() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(format!("{:?}", Cycle(42)), "c42");
+        assert_eq!(format!("{}", Cycle(42)), "42");
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn frequency_conversions_match_paper_parameters() {
+        let f = Frequency::GHZ2;
+        // Table 2 / §5: 35ns per network hop = 70 cycles, 50ns DRAM = 100 cycles.
+        assert_eq!(f.cycles_from_nanos(35.0), 70);
+        assert_eq!(f.cycles_from_nanos(50.0), 100);
+        assert!((f.nanos_per_cycle() - NANOS_PER_CYCLE_2GHZ).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_conversions_are_inverses() {
+        let f = Frequency::GHZ2;
+        // A 16-byte-per-cycle link at 2GHz carries 32 GBps.
+        assert!((f.gbps_from_bytes_per_cycle(16.0) - 32.0).abs() < 1e-9);
+        let bpc = f.bytes_per_cycle_from_gbps(32.0);
+        assert!((bpc - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_nanos_at_default_frequency() {
+        assert!((Cycle(70).as_nanos(Frequency::GHZ2) - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = Frequency::from_ghz(0.0);
+    }
+}

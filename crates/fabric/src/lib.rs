@@ -1,0 +1,17 @@
+//! # ni-fabric — rack-scale fabric substrate
+//!
+//! The paper evaluates a 512-node rack connected as an 8x8x8 3D torus with
+//! 35ns-per-hop links (§1, §5), but simulates *one node* in detail: remote
+//! ends are emulated by a traffic generator that (a) mirrors the node's
+//! outgoing request rate as incoming remote requests, address-interleaved
+//! across the local RRPPs, and (b) answers the node's own requests after
+//! `2 x hops x 35ns` plus the measured service latency of the local RRPPs
+//! (assumed symmetric). This crate implements both the torus topology
+//! ([`torus::Torus3D`]) and that rate-matching emulator
+//! ([`rack::RackEmulator`]).
+
+pub mod rack;
+pub mod torus;
+
+pub use rack::{RackConfig, RackEmulator, RemoteReq, RemoteResp};
+pub use torus::Torus3D;

@@ -1,0 +1,134 @@
+//! 3D torus topology of the rack (512 nodes = 8x8x8 in the paper).
+
+/// A 3D torus of `dims.0 x dims.1 x dims.2` nodes with wraparound links.
+///
+/// ```
+/// use ni_fabric::Torus3D;
+/// let t = Torus3D::paper_rack();
+/// assert_eq!(t.nodes(), 512);
+/// assert_eq!(t.max_hops(), 12);
+/// assert!((t.average_hops() - 6.0).abs() < 0.02);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torus3D {
+    dims: (u16, u16, u16),
+}
+
+impl Torus3D {
+    /// Create a torus with the given dimensions.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(x: u16, y: u16, z: u16) -> Torus3D {
+        assert!(x > 0 && y > 0 && z > 0, "torus dimensions must be non-zero");
+        Torus3D { dims: (x, y, z) }
+    }
+
+    /// The paper's 512-node deployment (§1: "512-node 3D-torus-connected
+    /// rack"), 8 nodes per dimension.
+    pub fn paper_rack() -> Torus3D {
+        Torus3D::new(8, 8, 8)
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> u32 {
+        u32::from(self.dims.0) * u32::from(self.dims.1) * u32::from(self.dims.2)
+    }
+
+    /// Coordinates of node `id` (x fastest).
+    pub fn coords(&self, id: u32) -> (u16, u16, u16) {
+        let (dx, dy, _) = self.dims;
+        let x = (id % u32::from(dx)) as u16;
+        let y = ((id / u32::from(dx)) % u32::from(dy)) as u16;
+        let z = (id / (u32::from(dx) * u32::from(dy))) as u16;
+        (x, y, z)
+    }
+
+    /// Node id of coordinates.
+    pub fn id(&self, c: (u16, u16, u16)) -> u32 {
+        let (dx, dy, _) = self.dims;
+        u32::from(c.0) + u32::from(dx) * (u32::from(c.1) + u32::from(dy) * u32::from(c.2))
+    }
+
+    fn ring_dist(a: u16, b: u16, dim: u16) -> u32 {
+        let d = a.abs_diff(b);
+        u32::from(d.min(dim - d))
+    }
+
+    /// Minimal hop count between two nodes.
+    pub fn hops(&self, a: u32, b: u32) -> u32 {
+        let ca = self.coords(a);
+        let cb = self.coords(b);
+        Self::ring_dist(ca.0, cb.0, self.dims.0)
+            + Self::ring_dist(ca.1, cb.1, self.dims.1)
+            + Self::ring_dist(ca.2, cb.2, self.dims.2)
+    }
+
+    /// Network diameter (the paper quotes 12 for the 512-node rack).
+    pub fn max_hops(&self) -> u32 {
+        u32::from(self.dims.0 / 2) + u32::from(self.dims.1 / 2) + u32::from(self.dims.2 / 2)
+    }
+
+    /// Average hop count between distinct nodes (the paper quotes 6).
+    pub fn average_hops(&self) -> f64 {
+        // Per-dimension mean ring distance, summed (dimensions independent).
+        let mean_ring = |d: u16| -> f64 {
+            let d = u32::from(d);
+            let mut total = 0u64;
+            for a in 0..d {
+                for b in 0..d {
+                    total += u64::from(Torus3D::ring_dist(a as u16, b as u16, d as u16));
+                }
+            }
+            total as f64 / f64::from(d * d)
+        };
+        mean_ring(self.dims.0) + mean_ring(self.dims.1) + mean_ring(self.dims.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_rack_dimensions() {
+        let t = Torus3D::paper_rack();
+        assert_eq!(t.nodes(), 512);
+        assert_eq!(t.max_hops(), 12);
+        // §6.1.2: average hop count is 6.
+        assert!((t.average_hops() - 6.0).abs() < 0.02, "{}", t.average_hops());
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Torus3D::paper_rack();
+        for id in [0u32, 1, 63, 64, 255, 511] {
+            assert_eq!(t.id(t.coords(id)), id);
+        }
+    }
+
+    #[test]
+    fn wraparound_shortens_paths() {
+        let t = Torus3D::paper_rack();
+        // Nodes at x=0 and x=7 in the same row: 1 hop via wraparound.
+        let a = t.id((0, 0, 0));
+        let b = t.id((7, 0, 0));
+        assert_eq!(t.hops(a, b), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn hops_is_a_metric(a in 0u32..512, b in 0u32..512, c in 0u32..512) {
+            let t = Torus3D::paper_rack();
+            // Symmetry.
+            prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+            // Identity.
+            prop_assert_eq!(t.hops(a, a), 0);
+            // Triangle inequality.
+            prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+            // Bounded by the diameter.
+            prop_assert!(t.hops(a, b) <= t.max_hops());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the rack geometry and the rate-matching emulator.
+
+use ni_engine::Cycle;
+use ni_fabric::{RackConfig, RackEmulator, RemoteReq, Torus3D};
+use ni_mem::BlockAddr;
+use proptest::prelude::*;
+
+fn torus() -> impl Strategy<Value = Torus3D> {
+    (1u16..9, 1u16..9, 1u16..9).prop_map(|(x, y, z)| Torus3D::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn torus_ids_and_coords_roundtrip(t in torus(), seed in 0u32..10_000) {
+        let id = seed % t.nodes();
+        prop_assert_eq!(t.id(t.coords(id)), id);
+    }
+
+    #[test]
+    fn torus_hops_is_a_metric(t in torus(), a in 0u32..10_000, b in 0u32..10_000, c in 0u32..10_000) {
+        let (a, b, c) = (a % t.nodes(), b % t.nodes(), c % t.nodes());
+        prop_assert_eq!(t.hops(a, a), 0, "identity");
+        prop_assert_eq!(t.hops(a, b), t.hops(b, a), "symmetry");
+        prop_assert!(t.hops(a, b) <= t.hops(a, c) + t.hops(c, b), "triangle inequality");
+        prop_assert!(t.hops(a, b) <= t.max_hops(), "bounded by the diameter");
+    }
+
+    #[test]
+    fn torus_wraparound_shortens_paths(dim in 2u16..9) {
+        // In a ring of n nodes, the farthest node is floor(n/2) away.
+        let t = Torus3D::new(dim, 1, 1);
+        let far = t.hops(0, u32::from(dim) - 1);
+        prop_assert_eq!(far, 1, "last node is adjacent via wraparound");
+        prop_assert_eq!(t.max_hops(), u32::from(dim / 2));
+    }
+
+    #[test]
+    fn torus_average_matches_brute_force(t in (1u16..5, 1u16..5, 1u16..5)
+        .prop_map(|(x, y, z)| Torus3D::new(x, y, z)))
+    {
+        // The paper's "average 6 hops" figure is the mean over all ordered
+        // source/destination pairs (2 hops per dimension of an 8-ring, x3);
+        // the implementation uses the same definition.
+        let n = t.nodes();
+        let mut sum = 0u64;
+        for a in 0..n {
+            for b in 0..n {
+                sum += u64::from(t.hops(a, b));
+            }
+        }
+        let brute = sum as f64 / f64::from(n) / f64::from(n);
+        prop_assert!((t.average_hops() - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emulator_response_timing_is_exact(
+        hops in 1u32..13,
+        sends in prop::collection::vec(0u64..1000, 1..30),
+    ) {
+        let mut cfg = RackConfig {
+            hops,
+            mirror_incoming: false,
+            ..RackConfig::default()
+        };
+        cfg.initial_rrpp_estimate = 208;
+        let mut r = RackEmulator::new(cfg);
+        let mut sorted = sends.clone();
+        sorted.sort_unstable();
+        for (i, &t) in sorted.iter().enumerate() {
+            r.send(
+                Cycle(t),
+                RemoteReq {
+                    tid: i as u64,
+                    is_read: true,
+                    target_node: 1,
+                    remote_block: BlockAddr(i as u64),
+                    value: 0,
+                },
+            );
+        }
+        let rtt = 2 * u64::from(hops) * 70 + 208;
+        let mut got = 0;
+        for t in 0..(1000 + rtt + 2) {
+            while let Some(resp) = r.pop_response(Cycle(t)) {
+                let i = resp.tid as usize;
+                prop_assert_eq!(t, sorted[i] + rtt, "response {} timing", i);
+                prop_assert_eq!(
+                    resp.value,
+                    RackEmulator::remote_value(BlockAddr(i as u64))
+                );
+                got += 1;
+            }
+        }
+        prop_assert_eq!(got, sorted.len());
+        prop_assert!(r.is_idle());
+    }
+
+    #[test]
+    fn emulator_mirrors_exactly_one_incoming_per_send(n in 1usize..100) {
+        let mut r = RackEmulator::new(RackConfig::default());
+        for i in 0..n {
+            r.send(
+                Cycle(i as u64),
+                RemoteReq {
+                    tid: i as u64,
+                    is_read: true,
+                    target_node: 1,
+                    remote_block: BlockAddr(7),
+                    value: 0,
+                },
+            );
+        }
+        let mut incoming = 0;
+        for t in 0..(n as u64 + 200) {
+            while let Some(req) = r.pop_incoming(Cycle(t)) {
+                prop_assert!(req.is_read);
+                incoming += 1;
+            }
+        }
+        prop_assert_eq!(incoming, n);
+        prop_assert_eq!(r.stats().incoming_generated.get(), n as u64);
+    }
+
+    #[test]
+    fn rrpp_feedback_moves_the_estimate_toward_samples(target in 100u64..5000) {
+        let mut r = RackEmulator::new(RackConfig::default());
+        for _ in 0..512 {
+            r.record_rrpp_latency(target);
+        }
+        prop_assert!((r.rrpp_estimate() - target as f64).abs() < target as f64 * 0.05);
+    }
+}

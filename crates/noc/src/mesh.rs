@@ -1,0 +1,618 @@
+//! The 2D mesh interconnect (Table 2: 8x8 tiles, 16-byte links, 3 cycles/hop).
+//!
+//! Geometry follows Fig. 2 of the paper: NI blocks (RRPPs plus RGP/RCP
+//! backends) extend the mesh west of column 0 with dedicated attach links,
+//! memory controllers extend it east of the last column, and the
+//! chip-to-chip network router connects to the NI blocks directly (that
+//! link is modeled by the SoC layer, not here).
+
+use ni_engine::{Cycle, DelayLine};
+
+use crate::packet::{Coord, NocNode, Packet};
+use crate::router::{vq_index, Flight, OutPort, Router, RouterConfig};
+use crate::routing::{attach_of, Port, RoutingPolicy, SplitMix};
+use crate::stats::NocStats;
+use crate::Interconnect;
+
+/// Mesh shape and policy configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MeshConfig {
+    /// Columns of tiles.
+    pub width: u8,
+    /// Rows of tiles.
+    pub height: u8,
+    /// Router buffering and timing.
+    pub router: RouterConfig,
+    /// Routing policy for all traffic.
+    pub policy: RoutingPolicy,
+    /// Capacity of each endpoint delivery queue, in flits.
+    pub delivery_capacity_flits: u32,
+    /// Seed for the O1Turn coin.
+    pub seed: u64,
+    /// Cycles without any progress (while packets are in flight) after which
+    /// [`MeshNoc::tick`] panics with a deadlock diagnostic.
+    pub watchdog_cycles: u64,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            width: 8,
+            height: 8,
+            router: RouterConfig::default(),
+            policy: RoutingPolicy::default(),
+            delivery_capacity_flits: 40,
+            seed: 0xDA61_15,
+            watchdog_cycles: 200_000,
+        }
+    }
+}
+
+/// Where a link event terminates.
+#[derive(Debug)]
+enum LinkDest<P> {
+    /// Arrival into a router input buffer `(router index, port, vq)`.
+    RouterIn(usize, usize, usize, Flight<P>),
+    /// Delivery into an endpoint queue.
+    Endpoint(usize, Packet<P>),
+}
+
+/// Per-endpoint delivery buffer plus injection serialization state.
+#[derive(Debug)]
+struct EndpointPort<P> {
+    delivered: std::collections::VecDeque<Packet<P>>,
+    /// Flits resident or in flight toward the delivery queue.
+    reserved_flits: u32,
+    /// Endpoint may inject its next packet at this cycle (16B/cycle port).
+    inject_ready_at: Cycle,
+}
+
+impl<P> Default for EndpointPort<P> {
+    fn default() -> Self {
+        EndpointPort {
+            delivered: std::collections::VecDeque::new(),
+            reserved_flits: 0,
+            inject_ready_at: Cycle::ZERO,
+        }
+    }
+}
+
+/// The mesh NOC.
+///
+/// ```
+/// use ni_engine::Cycle;
+/// use ni_noc::{Interconnect, MeshConfig, MeshNoc, MessageClass, NocNode, Packet};
+///
+/// let mut noc: MeshNoc<u32> = MeshNoc::new(MeshConfig::default());
+/// let pkt = Packet::new(NocNode::tile(3, 3), NocNode::tile(0, 3), MessageClass::CohReq, 1, 7);
+/// noc.try_inject(Cycle(0), pkt).unwrap();
+/// let mut now = Cycle(0);
+/// let got = loop {
+///     noc.tick(now);
+///     if let Some(p) = noc.eject(NocNode::tile(0, 3)) {
+///         break p;
+///     }
+///     now += 1;
+///     assert!(now.0 < 1000);
+/// };
+/// assert_eq!(got.payload, 7);
+/// ```
+#[derive(Debug)]
+pub struct MeshNoc<P> {
+    cfg: MeshConfig,
+    routers: Vec<Router<P>>,
+    endpoints: Vec<EndpointPort<P>>,
+    links: DelayLine<LinkDest<P>>,
+    rng: SplitMix,
+    stats: NocStats,
+    in_flight: u64,
+    last_progress: Cycle,
+    /// Reusable grant scratch buffer.
+    grants: Vec<(usize, usize)>,
+}
+
+impl<P> MeshNoc<P> {
+    /// Build a mesh from `cfg`.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(cfg: MeshConfig) -> MeshNoc<P> {
+        assert!(cfg.width > 0 && cfg.height > 0, "mesh dimensions must be non-zero");
+        let routers = (0..cfg.height)
+            .flat_map(|y| (0..cfg.width).map(move |x| Router::new(Coord::new(x, y))))
+            .collect();
+        let n_endpoints = cfg.width as usize * cfg.height as usize + 2 * cfg.height as usize;
+        MeshNoc {
+            cfg,
+            routers,
+            endpoints: (0..n_endpoints).map(|_| EndpointPort::default()).collect(),
+            links: DelayLine::new(),
+            rng: SplitMix::new(cfg.seed),
+            stats: NocStats::default(),
+            in_flight: 0,
+            last_progress: Cycle::ZERO,
+            grants: Vec::new(),
+        }
+    }
+
+    /// Mesh configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.cfg
+    }
+
+    fn router_index(&self, c: Coord) -> usize {
+        usize::from(c.y) * usize::from(self.cfg.width) + usize::from(c.x)
+    }
+
+    /// Dense endpoint index: tiles, then NI blocks, then MCs.
+    fn endpoint_index(&self, node: NocNode) -> usize {
+        let tiles = usize::from(self.cfg.width) * usize::from(self.cfg.height);
+        match node {
+            NocNode::Tile(c) => self.router_index(c),
+            NocNode::NiBlock(r) => tiles + usize::from(r),
+            NocNode::Mc(r) => tiles + usize::from(self.cfg.height) + usize::from(r),
+            NocNode::Llc(_) => panic!("Llc nodes do not exist in a mesh"),
+        }
+    }
+
+    /// Coordinate of the router on the far side of `port` from `c`, if any.
+    fn neighbor(&self, c: Coord, port: Port) -> Option<Coord> {
+        match port {
+            Port::North if c.y > 0 => Some(Coord::new(c.x, c.y - 1)),
+            Port::South if c.y + 1 < self.cfg.height => Some(Coord::new(c.x, c.y + 1)),
+            Port::East if c.x + 1 < self.cfg.width => Some(Coord::new(c.x + 1, c.y)),
+            Port::West if c.x > 0 => Some(Coord::new(c.x - 1, c.y)),
+            _ => None,
+        }
+    }
+
+    /// Input port on the downstream router fed by an upstream `port` output.
+    fn opposite(port: Port) -> Port {
+        match port {
+            Port::North => Port::South,
+            Port::South => Port::North,
+            Port::East => Port::West,
+            Port::West => Port::East,
+            p => p,
+        }
+    }
+
+    /// The endpoint node delivered to by output `port` of router at `c`.
+    fn delivery_node(&self, c: Coord, port: Port) -> NocNode {
+        match port {
+            Port::Local => NocNode::Tile(c),
+            Port::NiAttach => NocNode::NiBlock(c.y),
+            Port::McAttach => NocNode::Mc(c.y),
+            _ => unreachable!("not a delivery port"),
+        }
+    }
+
+    /// True when a transfer from column `from_x` toward `port` crosses the
+    /// central vertical bisection.
+    fn crosses_bisection(&self, from_x: u8, port: Port) -> bool {
+        let cut = self.cfg.width / 2;
+        match port {
+            Port::East => from_x + 1 == cut,
+            Port::West => from_x == cut,
+            _ => false,
+        }
+    }
+
+    /// Injection attach point for a source node: `(router, input port)`.
+    fn inject_port(&self, src: NocNode) -> (Coord, Port) {
+        match src {
+            NocNode::Tile(c) => (c, Port::Local),
+            NocNode::NiBlock(r) => (Coord::new(0, r), Port::NiAttach),
+            NocNode::Mc(r) => (Coord::new(self.cfg.width - 1, r), Port::McAttach),
+            NocNode::Llc(_) => panic!("Llc nodes do not exist in a mesh"),
+        }
+    }
+
+    /// Move ready link events into their destination buffers.
+    fn absorb_arrivals(&mut self, now: Cycle) {
+        while let Some(ev) = self.links.pop_ready(now) {
+            match ev {
+                LinkDest::RouterIn(r, port, vq, flight) => {
+                    self.routers[r].accept(port, vq, flight);
+                }
+                LinkDest::Endpoint(idx, pkt) => {
+                    self.stats
+                        .record_delivery(pkt.class, pkt.flits, pkt.injected_at, now);
+                    self.endpoints[idx].delivered.push_back(pkt);
+                    self.in_flight -= 1;
+                    self.last_progress = now;
+                }
+            }
+        }
+    }
+
+    /// One grant pass over every output port of every active router.
+    fn arbitrate(&mut self, now: Cycle) {
+        // Phase A: decide grants. Each (router, output) pair feeds a distinct
+        // downstream buffer, so decisions are independent within a cycle.
+        self.grants.clear();
+        for r_idx in 0..self.routers.len() {
+            if self.routers[r_idx].queued_packets == 0 {
+                continue;
+            }
+            for port in Port::ALL {
+                let p_idx = port.index();
+                if self.routers[r_idx].outputs[p_idx].busy_until > now
+                    || self.routers[r_idx].outputs[p_idx].candidates.is_empty()
+                {
+                    continue;
+                }
+                if let Some(slot) = self.pick_candidate(r_idx, port, now) {
+                    self.grants.push((r_idx, p_idx));
+                    // Rotate losers later; record chosen slot by moving it to
+                    // the ring front so phase B pops the right entry.
+                    let ring = &mut self.routers[r_idx].outputs[p_idx].candidates;
+                    if slot != 0 {
+                        let entry = ring.remove(slot).expect("slot in ring");
+                        ring.push_front(entry);
+                    }
+                } else {
+                    // Head-of-ring can't move: rotate for fairness.
+                    let ring = &mut self.routers[r_idx].outputs[p_idx].candidates;
+                    if let Some(e) = ring.pop_front() {
+                        ring.push_back(e);
+                    }
+                }
+            }
+        }
+        // Phase B: apply grants.
+        for g in std::mem::take(&mut self.grants) {
+            self.apply_grant(g.0, g.1, now);
+        }
+    }
+
+    /// Find the first grantable candidate (within the arbitration window) of
+    /// output `port` on router `r_idx`. Returns its ring slot.
+    fn pick_candidate(&self, r_idx: usize, port: Port, _now: Cycle) -> Option<usize> {
+        let router = &self.routers[r_idx];
+        let ring = &router.outputs[port.index()].candidates;
+        let window = self.cfg.router.arbitration_window.min(ring.len());
+        for slot in 0..window {
+            let (in_port, vq) = ring[slot];
+            let head = router.inputs[usize::from(in_port)][usize::from(vq)]
+                .head()
+                .expect("registered candidate has a head");
+            let flits = head.pkt.flits;
+            let ok = match port {
+                Port::North | Port::South | Port::East | Port::West => {
+                    let n = self
+                        .neighbor(router.coord, port)
+                        .expect("mesh route never exits the grid");
+                    let n_idx = self.router_index(n);
+                    self.routers[n_idx].free_flits(
+                        Self::opposite(port).index(),
+                        usize::from(vq),
+                        self.cfg.router.vq_capacity_flits,
+                    ) >= u32::from(flits)
+                }
+                Port::Local | Port::NiAttach | Port::McAttach => {
+                    let e = self.endpoint_index(self.delivery_node(router.coord, port));
+                    self.cfg
+                        .delivery_capacity_flits
+                        .saturating_sub(self.endpoints[e].reserved_flits)
+                        >= u32::from(flits)
+                }
+            };
+            if ok {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    /// Execute a grant: move the head of the winning queue onto the link.
+    fn apply_grant(&mut self, r_idx: usize, p_idx: usize, now: Cycle) {
+        let port = Port::ALL[p_idx];
+        let (in_port, vq) = self.routers[r_idx].outputs[p_idx]
+            .candidates
+            .pop_front()
+            .expect("grant requires a candidate");
+        let flight = self.routers[r_idx].take_granted(usize::from(in_port), usize::from(vq));
+        let flits = flight.pkt.flits;
+        let coord = self.routers[r_idx].coord;
+        let out: &mut OutPort = &mut self.routers[r_idx].outputs[p_idx];
+        out.busy_until = now + u64::from(flits);
+        self.last_progress = now;
+        match port {
+            Port::North | Port::South | Port::East | Port::West => {
+                let n = self.neighbor(coord, port).expect("grant checked neighbor");
+                let n_idx = self.router_index(n);
+                self.routers[n_idx].reserve(
+                    Self::opposite(port).index(),
+                    usize::from(vq),
+                    flits,
+                );
+                self.stats
+                    .record_hop(flits, self.crosses_bisection(coord.x, port));
+                self.links.push_at(
+                    now + self.cfg.router.hop_latency,
+                    LinkDest::RouterIn(
+                        n_idx,
+                        Self::opposite(port).index(),
+                        usize::from(vq),
+                        flight,
+                    ),
+                );
+            }
+            Port::Local | Port::NiAttach | Port::McAttach => {
+                let node = self.delivery_node(coord, port);
+                let e = self.endpoint_index(node);
+                self.endpoints[e].reserved_flits += u32::from(flits);
+                if port != Port::Local {
+                    // Attach links are real wires (Fig. 2); count them.
+                    self.stats.record_hop(flits, false);
+                }
+                self.links
+                    .push_at(now + 1, LinkDest::Endpoint(e, flight.pkt));
+            }
+        }
+    }
+
+    fn check_watchdog(&self, now: Cycle) {
+        if self.in_flight > 0
+            && now.saturating_since(self.last_progress) > self.cfg.watchdog_cycles
+        {
+            panic!(
+                "mesh NOC watchdog: {} packets in flight with no progress since {:?} (now {:?})",
+                self.in_flight, self.last_progress, now
+            );
+        }
+    }
+}
+
+impl<P> Interconnect<P> for MeshNoc<P> {
+    fn try_inject(&mut self, now: Cycle, mut pkt: Packet<P>) -> Result<(), Packet<P>> {
+        let (coord, port) = self.inject_port(pkt.src);
+        let src_idx = self.endpoint_index(pkt.src);
+        if self.endpoints[src_idx].inject_ready_at > now {
+            self.stats.inject_rejects.incr();
+            return Err(pkt);
+        }
+        let route = self.cfg.policy.choose(&pkt, &mut self.rng);
+        let vq = vq_index(pkt.class, route);
+        let r_idx = self.router_index(coord);
+        if self.routers[r_idx].free_flits(port.index(), vq, self.cfg.router.vq_capacity_flits)
+            < u32::from(pkt.flits)
+        {
+            self.stats.inject_rejects.incr();
+            return Err(pkt);
+        }
+        pkt.injected_at = now;
+        let (target, exit) = attach_of(pkt.dst, self.cfg.width);
+        let flits = pkt.flits;
+        self.routers[r_idx].reserve(port.index(), vq, flits);
+        self.routers[r_idx].accept(
+            port.index(),
+            vq,
+            Flight {
+                pkt,
+                route,
+                target,
+                exit,
+            },
+        );
+        // Injection port serializes at one flit per cycle.
+        self.endpoints[src_idx].inject_ready_at = now + u64::from(flits);
+        self.in_flight += 1;
+        self.stats.injected_packets.incr();
+        self.last_progress = now;
+        Ok(())
+    }
+
+    fn eject(&mut self, node: NocNode) -> Option<Packet<P>> {
+        let e = self.endpoint_index(node);
+        let pkt = self.endpoints[e].delivered.pop_front()?;
+        self.endpoints[e].reserved_flits -= u32::from(pkt.flits);
+        Some(pkt)
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        self.absorb_arrivals(now);
+        self.arbitrate(now);
+        self.check_watchdog(now);
+    }
+
+    fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    fn is_idle(&self) -> bool {
+        self.in_flight == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::MessageClass;
+
+    fn run_until_delivered(
+        noc: &mut MeshNoc<u64>,
+        dst: NocNode,
+        start: Cycle,
+        limit: u64,
+    ) -> (Packet<u64>, Cycle) {
+        let mut now = start;
+        loop {
+            noc.tick(now);
+            if let Some(p) = noc.eject(dst) {
+                return (p, now);
+            }
+            now += 1;
+            assert!(now.0 < start.0 + limit, "packet not delivered in time");
+        }
+    }
+
+    #[test]
+    fn single_hop_latency_is_small() {
+        let mut noc: MeshNoc<u64> = MeshNoc::new(MeshConfig::default());
+        let pkt = Packet::new(
+            NocNode::tile(1, 0),
+            NocNode::tile(0, 0),
+            MessageClass::CohReq,
+            1,
+            1,
+        );
+        noc.try_inject(Cycle(0), pkt).unwrap();
+        let (_, when) = run_until_delivered(&mut noc, NocNode::tile(0, 0), Cycle(0), 100);
+        // One mesh hop (3 cycles) + delivery: well under 10 cycles.
+        assert!(when.0 <= 10, "one hop took {} cycles", when.0);
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let mut noc: MeshNoc<u64> = MeshNoc::new(MeshConfig::default());
+        noc.try_inject(
+            Cycle(0),
+            Packet::new(
+                NocNode::tile(7, 7),
+                NocNode::tile(0, 0),
+                MessageClass::CohReq,
+                1,
+                1,
+            ),
+        )
+        .unwrap();
+        let (_, when) = run_until_delivered(&mut noc, NocNode::tile(0, 0), Cycle(0), 200);
+        // 14 hops at 3 cycles plus delivery.
+        assert!(when.0 >= 14 * 3, "too fast: {}", when.0);
+        assert!(when.0 <= 14 * 4 + 10, "too slow: {}", when.0);
+    }
+
+    #[test]
+    fn delivers_to_ni_block_and_mc() {
+        let mut noc: MeshNoc<u64> = MeshNoc::new(MeshConfig::default());
+        noc.try_inject(
+            Cycle(0),
+            Packet::new(
+                NocNode::tile(4, 2),
+                NocNode::NiBlock(2),
+                MessageClass::NiData,
+                2,
+                11,
+            ),
+        )
+        .unwrap();
+        let (p, _) = run_until_delivered(&mut noc, NocNode::NiBlock(2), Cycle(0), 200);
+        assert_eq!(p.payload, 11);
+
+        noc.try_inject(
+            Cycle(100),
+            Packet::new(
+                NocNode::NiBlock(0),
+                NocNode::Mc(5),
+                MessageClass::MemReq,
+                1,
+                12,
+            ),
+        )
+        .unwrap();
+        let (p, _) = run_until_delivered(&mut noc, NocNode::Mc(5), Cycle(100), 300);
+        assert_eq!(p.payload, 12);
+    }
+
+    #[test]
+    fn injection_port_serializes() {
+        let mut noc: MeshNoc<u64> = MeshNoc::new(MeshConfig::default());
+        let mk = |id| {
+            Packet::new(
+                NocNode::tile(3, 3),
+                NocNode::tile(0, 3),
+                MessageClass::NiData,
+                5,
+                id,
+            )
+        };
+        noc.try_inject(Cycle(0), mk(1)).unwrap();
+        // Second 5-flit packet must wait 5 cycles for the injection port.
+        assert!(noc.try_inject(Cycle(1), mk(2)).is_err());
+        assert!(noc.try_inject(Cycle(5), mk(2)).is_ok());
+        assert_eq!(noc.stats().inject_rejects.get(), 1);
+    }
+
+    #[test]
+    fn all_policies_deliver_cross_traffic() {
+        for policy in RoutingPolicy::ALL {
+            let cfg = MeshConfig {
+                policy,
+                ..MeshConfig::default()
+            };
+            let mut noc: MeshNoc<u64> = MeshNoc::new(cfg);
+            let mut now = Cycle(0);
+            let mut expected = Vec::new();
+            for i in 0..8u8 {
+                let pkt = Packet::new(
+                    NocNode::tile(i % 8, (i * 3) % 8),
+                    NocNode::tile((7 - i) % 8, (i * 5) % 8),
+                    MessageClass::CohResp,
+                    5,
+                    u64::from(i),
+                );
+                let dst = pkt.dst;
+                // Stagger injections so each endpoint port is free.
+                while noc.try_inject(now, pkt.clone()).is_err() {
+                    noc.tick(now);
+                    now += 1;
+                }
+                expected.push((dst, u64::from(i)));
+            }
+            let mut got = 0;
+            for _ in 0..2000 {
+                noc.tick(now);
+                for (dst, _) in &expected {
+                    if noc.eject(*dst).is_some() {
+                        got += 1;
+                    }
+                }
+                now += 1;
+                if got == expected.len() {
+                    break;
+                }
+            }
+            assert_eq!(got, expected.len(), "policy {policy:?} lost packets");
+            assert!(noc.is_idle());
+        }
+    }
+
+    #[test]
+    fn bisection_counted_for_cross_chip_traffic() {
+        let mut noc: MeshNoc<u64> = MeshNoc::new(MeshConfig::default());
+        noc.try_inject(
+            Cycle(0),
+            Packet::new(
+                NocNode::tile(0, 0),
+                NocNode::tile(7, 0),
+                MessageClass::NiData,
+                5,
+                1,
+            ),
+        )
+        .unwrap();
+        run_until_delivered(&mut noc, NocNode::tile(7, 0), Cycle(0), 200);
+        assert_eq!(noc.stats().bisection_flits.get(), 5);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_buffers_full() {
+        let cfg = MeshConfig {
+            router: RouterConfig {
+                vq_capacity_flits: 5,
+                ..RouterConfig::default()
+            },
+            ..MeshConfig::default()
+        };
+        let mut noc: MeshNoc<u64> = MeshNoc::new(cfg);
+        let mk = |src: NocNode| Packet::new(src, NocNode::tile(0, 0), MessageClass::NiData, 5, 9);
+        // Fill the injection buffer at (1,0): first packet sits, second is
+        // rejected for buffer space (after the port becomes free again).
+        noc.try_inject(Cycle(0), mk(NocNode::tile(1, 0))).unwrap();
+        let r = noc.try_inject(Cycle(5), mk(NocNode::tile(1, 0)));
+        // Either still serializing or buffer full; after ticking it drains.
+        assert!(r.is_err() || noc.stats().inject_rejects.get() == 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! RGP/RCP backends: the ITT, request unrolling, and response data handling.
+//!
+//! The backend receives validated WQ entries from its frontends, allocates
+//! an Inflight Transfer Table slot, and unrolls the transfer into
+//! cache-block-sized network requests at one per cycle (§6.1.3). Responses
+//! are matched back to their slot; read payloads are written into local
+//! memory through the non-caching LLC path; when the last block lands, the
+//! backend notifies the owning frontend so it can write the CQ entry.
+
+use std::collections::{HashMap, VecDeque};
+
+use ni_coherence::{ClientKind, CohMsg, Egress};
+use ni_engine::{Counter, Cycle, DelayLine};
+use ni_fabric::{RemoteReq, RemoteResp};
+use ni_mem::BlockAddr;
+use ni_noc::NocNode;
+use ni_qp::{QpConfig, RemoteOp, WqEntry};
+
+use crate::config::RmcConfig;
+use crate::trace::{Stage, TraceEvent};
+use crate::{NiMsg, RmcEgress};
+
+/// One in-flight transfer.
+#[derive(Debug, Clone)]
+struct IttEntry {
+    qp: u32,
+    fe: NocNode,
+    wq_id: u64,
+    op: RemoteOp,
+    remote_node: u16,
+    remote_base: BlockAddr,
+    local_base: BlockAddr,
+    total: u64,
+    sent: u64,
+    responses: u64,
+}
+
+#[derive(Debug)]
+enum BeEv {
+    /// Finish RGP backend processing; start unrolling the entry.
+    Activate { entry: WqEntry, qp: u32, fe: NocNode },
+    /// Finish RCP backend processing of one response.
+    RespDone(RemoteResp),
+}
+
+/// Backend statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BackendStats {
+    /// Transfers accepted.
+    pub transfers: Counter,
+    /// Block requests sent.
+    pub requests_sent: Counter,
+    /// Block responses handled.
+    pub responses: Counter,
+    /// Bytes of remote-read payload written into local memory.
+    pub payload_bytes: Counter,
+    /// Entries stalled on a full ITT.
+    pub itt_stalls: Counter,
+}
+
+/// An RGP/RCP backend.
+#[derive(Debug)]
+pub struct NiBackend {
+    node: NocNode,
+    /// Unique id used in the transfer-tag encoding.
+    id: u16,
+    cfg: RmcConfig,
+    qp_cfg: QpConfig,
+    home: fn(BlockAddr, u32) -> NocNode,
+    n_banks: u32,
+    /// When the backend is not at the chip edge (NIper-tile), its network
+    /// packets detour via this NI block (§6.2's indirection).
+    edge_via: Option<NocNode>,
+    itt: HashMap<u32, IttEntry>,
+    free_slots: Vec<u32>,
+    /// Entries waiting for a free ITT slot.
+    waiting: VecDeque<(WqEntry, u32, NocNode)>,
+    /// Slots with blocks left to unroll, round-robin.
+    active: VecDeque<u32>,
+    /// Local reads outstanding for remote-write payloads: block -> slot.
+    pending_local_reads: HashMap<BlockAddr, Vec<u32>>,
+    events: DelayLine<BeEv>,
+    egress: VecDeque<RmcEgress>,
+    stats: BackendStats,
+}
+
+impl NiBackend {
+    /// Create backend `id` at `node`. `edge_via` must be set when the
+    /// backend is not co-located with the network router.
+    pub fn new(
+        node: NocNode,
+        id: u16,
+        cfg: RmcConfig,
+        qp_cfg: QpConfig,
+        home: fn(BlockAddr, u32) -> NocNode,
+        n_banks: u32,
+        edge_via: Option<NocNode>,
+    ) -> NiBackend {
+        NiBackend {
+            node,
+            id,
+            cfg,
+            qp_cfg,
+            home,
+            n_banks,
+            edge_via,
+            itt: HashMap::new(),
+            free_slots: (0..cfg.itt_slots as u32).rev().collect(),
+            waiting: VecDeque::new(),
+            active: VecDeque::new(),
+            pending_local_reads: HashMap::new(),
+            events: DelayLine::new(),
+            egress: VecDeque::new(),
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// Where this backend lives.
+    pub fn node(&self) -> NocNode {
+        self.node
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &BackendStats {
+        &self.stats
+    }
+
+    /// Transfer tag for `(backend, slot)`.
+    fn tid(&self, slot: u32) -> u64 {
+        (u64::from(self.id) << 32) | u64::from(slot)
+    }
+
+    /// Backend id encoded in a transfer tag.
+    pub fn backend_of_tid(tid: u64) -> u16 {
+        (tid >> 32) as u16
+    }
+
+    /// Accept a WQ entry from a frontend (latch or NOC delivery).
+    pub fn on_wq_entry(&mut self, now: Cycle, entry: WqEntry, qp: u32, fe: NocNode) {
+        self.egress.push_back(RmcEgress::Trace(TraceEvent {
+            qp,
+            wq_id: entry.id,
+            stage: Stage::BeReceived,
+            at: now,
+        }));
+        self.events
+            .push_after(now, self.cfg.rgp_be_proc, BeEv::Activate { entry, qp, fe });
+    }
+
+    /// Accept a response from the network (direct or via NOC `NetIn`).
+    pub fn on_response(&mut self, now: Cycle, resp: RemoteResp) {
+        self.events
+            .push_after(now, self.cfg.rcp_be_proc, BeEv::RespDone(resp));
+    }
+
+    /// Accept a non-caching read reply (local data for a remote write).
+    pub fn on_nc_data(&mut self, now: Cycle, block: BlockAddr, value: u64) {
+        let Some(slots) = self.pending_local_reads.get_mut(&block) else {
+            return;
+        };
+        let slot = slots.remove(0);
+        if slots.is_empty() {
+            self.pending_local_reads.remove(&block);
+        }
+        let e = self.itt.get(&slot).expect("slot live while reads pending");
+        let idx = block.0 - e.local_base.0;
+        let req = RemoteReq {
+            tid: self.tid(slot),
+            is_read: false,
+            target_node: e.remote_node,
+            remote_block: e.remote_base.step(idx),
+            value,
+        };
+        // Outbound write payload counts as application data moved (the
+        // write-direction analog of §6.2's read accounting).
+        self.stats.payload_bytes.add(ni_mem::BLOCK_BYTES);
+        self.emit_net(now, req);
+    }
+
+    /// Acknowledgment of a local NcWrite (response payload landed); no
+    /// action needed beyond flow control.
+    pub fn on_nc_wack(&mut self, _now: Cycle, _block: BlockAddr) {}
+
+    /// Drive one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        while let Some(ev) = self.events.pop_ready(now) {
+            match ev {
+                BeEv::Activate { entry, qp, fe } => self.activate(now, entry, qp, fe),
+                BeEv::RespDone(resp) => self.finish_response(now, resp),
+            }
+        }
+        // Admit waiting entries into free ITT slots.
+        while !self.waiting.is_empty() && !self.free_slots.is_empty() {
+            let (entry, qp, fe) = self.waiting.pop_front().expect("checked non-empty");
+            self.admit(now, entry, qp, fe);
+        }
+        // Unroll active transfers.
+        for _ in 0..self.cfg.unroll_per_cycle {
+            let Some(&slot) = self.active.front() else { break };
+            self.unroll_one(now, slot);
+        }
+    }
+
+    /// Next outbound item.
+    pub fn pop_egress(&mut self) -> Option<RmcEgress> {
+        self.egress.pop_front()
+    }
+
+    /// In-flight transfer count.
+    pub fn inflight(&self) -> usize {
+        self.itt.len()
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn activate(&mut self, now: Cycle, entry: WqEntry, qp: u32, fe: NocNode) {
+        if self.free_slots.is_empty() {
+            self.stats.itt_stalls.incr();
+            self.waiting.push_back((entry, qp, fe));
+        } else {
+            self.admit(now, entry, qp, fe);
+        }
+    }
+
+    fn admit(&mut self, _now: Cycle, entry: WqEntry, qp: u32, fe: NocNode) {
+        let slot = self.free_slots.pop().expect("caller checked free slot");
+        self.stats.transfers.incr();
+        self.itt.insert(
+            slot,
+            IttEntry {
+                qp,
+                fe,
+                wq_id: entry.id,
+                op: entry.op,
+                remote_node: entry.remote_node,
+                remote_base: entry.remote_addr.block(),
+                local_base: entry.local_addr.block(),
+                total: entry.blocks(),
+                sent: 0,
+                responses: 0,
+            },
+        );
+        self.active.push_back(slot);
+    }
+
+    fn unroll_one(&mut self, now: Cycle, slot: u32) {
+        let e = self.itt.get_mut(&slot).expect("active slot is live");
+        let idx = e.sent;
+        let (qp, wq_id, op) = (e.qp, e.wq_id, e.op);
+        let (remote_block, local_block, tgt) =
+            (e.remote_base.step(idx), e.local_base.step(idx), e.remote_node);
+        e.sent += 1;
+        let finished_unroll = e.sent >= e.total;
+        if finished_unroll {
+            let pos = self
+                .active
+                .iter()
+                .position(|&s| s == slot)
+                .expect("slot was active");
+            self.active.remove(pos);
+        } else {
+            // Round-robin across active transfers.
+            if self.active.len() > 1 {
+                let s = self.active.pop_front().expect("non-empty");
+                self.active.push_back(s);
+            }
+        }
+        if idx == 0 {
+            self.egress.push_back(RmcEgress::Trace(TraceEvent {
+                qp,
+                wq_id,
+                stage: Stage::NetOut,
+                at: now,
+            }));
+        }
+        match op {
+            RemoteOp::Read => {
+                let req = RemoteReq {
+                    tid: self.tid(slot),
+                    is_read: true,
+                    target_node: tgt,
+                    remote_block,
+                    value: 0,
+                };
+                self.emit_net(now, req);
+            }
+            RemoteOp::Write => {
+                // Load the payload from local memory first (Fig. 4a:
+                // "Memory Read" stage), then ship it.
+                self.pending_local_reads
+                    .entry(local_block)
+                    .or_default()
+                    .push(slot);
+                self.egress.push_back(RmcEgress::Coh(Egress {
+                    dst: (self.home)(local_block, self.n_banks),
+                    kind: ClientKind::Directory,
+                    msg: CohMsg::NcRead { block: local_block },
+                }));
+            }
+        }
+    }
+
+    fn emit_net(&mut self, _now: Cycle, req: RemoteReq) {
+        self.stats.requests_sent.incr();
+        match self.edge_via {
+            None => self.egress.push_back(RmcEgress::Net(req)),
+            Some(via) => self.egress.push_back(RmcEgress::Ni {
+                dst: via,
+                msg: NiMsg::NetOut(req),
+            }),
+        }
+    }
+
+    fn finish_response(&mut self, now: Cycle, resp: RemoteResp) {
+        let slot = (resp.tid & 0xffff_ffff) as u32;
+        let e = self.itt.get_mut(&slot).expect("response matches live slot");
+        self.stats.responses.incr();
+        e.responses += 1;
+        let done = e.responses >= e.total;
+        let (qp, wq_id, fe) = (e.qp, e.wq_id, e.fe);
+        if resp.is_read {
+            let idx = resp.remote_block.0 - e.remote_base.0;
+            let local = e.local_base.step(idx);
+            self.stats.payload_bytes.add(ni_mem::BLOCK_BYTES);
+            self.egress.push_back(RmcEgress::Coh(Egress {
+                dst: (self.home)(local, self.n_banks),
+                kind: ClientKind::Directory,
+                msg: CohMsg::NcWrite {
+                    block: local,
+                    value: resp.value,
+                },
+            }));
+        }
+        if done {
+            self.egress.push_back(RmcEgress::Trace(TraceEvent {
+                qp,
+                wq_id,
+                stage: Stage::NetIn,
+                at: now,
+            }));
+            self.egress.push_back(RmcEgress::Trace(TraceEvent {
+                qp,
+                wq_id,
+                stage: Stage::DataWritten,
+                at: now,
+            }));
+            self.itt.remove(&slot);
+            self.free_slots.push(slot);
+            self.egress.push_back(RmcEgress::Ni {
+                dst: fe,
+                msg: NiMsg::CqNotify { qp, wq_id },
+            });
+        }
+        let _ = self.qp_cfg;
+    }
+}

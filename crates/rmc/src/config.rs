@@ -1,0 +1,125 @@
+//! RMC configuration: pipeline timings and the NI placement design space.
+
+/// The NI design space of §3 plus the idealized NUMA baseline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum NiPlacement {
+    /// Full RGP/RCP pipelines along the chip edge, one pair per NI block
+    /// (§3.1). Lowest hardware cost; QP traffic crosses the whole NOC.
+    Edge,
+    /// Full RGP/RCP at every tile (§3.2). Minimal QP latency; unrolls and
+    /// response indirection flood the NOC on bulk transfers.
+    PerTile,
+    /// The paper's contribution (§3.3): RGP/RCP frontends per tile, backends
+    /// across the edge. Best of both.
+    #[default]
+    Split,
+    /// Idealized hardware NUMA: the core issues single-block remote
+    /// load/stores directly, with no QP machinery (Table 1's baseline).
+    Numa,
+}
+
+impl NiPlacement {
+    /// All QP-based placements (excludes the NUMA baseline).
+    pub const QP_DESIGNS: [NiPlacement; 3] =
+        [NiPlacement::Edge, NiPlacement::PerTile, NiPlacement::Split];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            NiPlacement::Edge => "NI_edge",
+            NiPlacement::PerTile => "NI_per-tile",
+            NiPlacement::Split => "NI_split",
+            NiPlacement::Numa => "NUMA",
+        }
+    }
+
+    /// True when RGP/RCP frontends sit at each tile.
+    pub fn frontend_per_tile(self) -> bool {
+        matches!(self, NiPlacement::PerTile | NiPlacement::Split)
+    }
+
+    /// True when RGP/RCP backends sit at each tile.
+    pub fn backend_per_tile(self) -> bool {
+        matches!(self, NiPlacement::PerTile)
+    }
+}
+
+/// Pipeline timing and capacity parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RmcConfig {
+    /// RGP frontend processing per WQ entry (QP selection, address
+    /// computation; Table 3: 4 cycles).
+    pub rgp_fe_proc: u64,
+    /// RGP backend processing per request (init, verification; 4 cycles).
+    pub rgp_be_proc: u64,
+    /// RCP backend processing per response (status update; 4 cycles).
+    pub rcp_be_proc: u64,
+    /// RCP frontend processing per completion before the CQ store (Table 3
+    /// charges 8 cycles of RCP frontend processing; the store itself is
+    /// simulated).
+    pub rcp_fe_proc: u64,
+    /// RRPP processing on request arrival (translation etc.).
+    pub rrpp_proc: u64,
+    /// Inflight Transfer Table slots per backend.
+    pub itt_slots: usize,
+    /// Unrolled block requests a backend can inject per cycle (§6.1.3:
+    /// "unrolls happen at a rate of one request per cycle").
+    pub unroll_per_cycle: u32,
+    /// Concurrent requests one RRPP keeps in flight.
+    pub rrpp_max_outstanding: usize,
+    /// Cycles between WQ polls when the previous poll found nothing.
+    pub poll_backoff: u64,
+    /// WQ polls of *distinct* QPs one frontend keeps in flight. Per-tile
+    /// frontends serve one QP, so this only matters for NIedge, where each
+    /// edge frontend services a whole row of cores. The default of 1 models
+    /// the paper's serialized RGP poll loop (and reproduces Table 3's
+    /// NIedge numbers); higher values are an extension studied by the
+    /// `ablation_fe_concurrency` bench.
+    pub fe_poll_concurrency: usize,
+}
+
+impl Default for RmcConfig {
+    fn default() -> Self {
+        RmcConfig {
+            rgp_fe_proc: 4,
+            rgp_be_proc: 4,
+            rcp_be_proc: 4,
+            rcp_fe_proc: 4,
+            rrpp_proc: 4,
+            itt_slots: 64,
+            unroll_per_cycle: 1,
+            rrpp_max_outstanding: 64,
+            poll_backoff: 0,
+            fe_poll_concurrency: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_predicates_match_paper_designs() {
+        assert!(!NiPlacement::Edge.frontend_per_tile());
+        assert!(!NiPlacement::Edge.backend_per_tile());
+        assert!(NiPlacement::PerTile.frontend_per_tile());
+        assert!(NiPlacement::PerTile.backend_per_tile());
+        assert!(NiPlacement::Split.frontend_per_tile());
+        assert!(!NiPlacement::Split.backend_per_tile());
+        assert_eq!(NiPlacement::default(), NiPlacement::Split);
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(NiPlacement::Edge.name(), "NI_edge");
+        assert_eq!(NiPlacement::Split.name(), "NI_split");
+        assert_eq!(NiPlacement::PerTile.name(), "NI_per-tile");
+        assert_eq!(NiPlacement::Numa.name(), "NUMA");
+    }
+
+    #[test]
+    fn default_unroll_rate_is_one_per_cycle() {
+        assert_eq!(RmcConfig::default().unroll_per_cycle, 1);
+    }
+}

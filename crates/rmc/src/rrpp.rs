@@ -1,0 +1,186 @@
+//! Remote Request Processing Pipeline (RRPP).
+//!
+//! The simplest pipeline (§4.1): it services incoming remote requests by
+//! reading or writing local memory (through the non-caching LLC path) and
+//! responding. RRPPs always sit at the chip edge next to the network
+//! router, one per mesh row (Table 2), and incoming requests are
+//! address-interleaved among them by home-bank location (§4.3) so each
+//! request's on-chip path to its LLC slice is minimal.
+
+use std::collections::{HashMap, VecDeque};
+
+use ni_coherence::{ClientKind, CohMsg, Egress};
+use ni_engine::{Counter, Cycle, DelayLine, RunningMean};
+use ni_fabric::{RemoteReq, RemoteResp};
+use ni_mem::BlockAddr;
+use ni_noc::NocNode;
+
+use crate::config::RmcConfig;
+use crate::RmcEgress;
+
+/// RRPP statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RrppStats {
+    /// Requests serviced to completion.
+    pub serviced: Counter,
+    /// Bytes of payload sent back in read responses.
+    pub payload_bytes: Counter,
+    /// Requests rejected (queue full) — callers must retry.
+    pub stalls: Counter,
+}
+
+/// One RRPP instance.
+#[derive(Debug)]
+pub struct Rrpp {
+    node: NocNode,
+    cfg: RmcConfig,
+    home: fn(BlockAddr, u32) -> NocNode,
+    n_banks: u32,
+    queue: VecDeque<RemoteReq>,
+    /// Requests whose local access is outstanding, FIFO per block.
+    pending: HashMap<BlockAddr, Vec<(RemoteReq, Cycle)>>,
+    outstanding: usize,
+    started: DelayLine<RemoteReq>,
+    arrival: HashMap<u64, Cycle>,
+    egress: VecDeque<RmcEgress>,
+    latency: RunningMean,
+    samples: VecDeque<u64>,
+    stats: RrppStats,
+}
+
+impl Rrpp {
+    /// Create an RRPP at `node` (an NI block or NOC-Out LLC tile).
+    pub fn new(
+        node: NocNode,
+        cfg: RmcConfig,
+        home: fn(BlockAddr, u32) -> NocNode,
+        n_banks: u32,
+    ) -> Rrpp {
+        Rrpp {
+            node,
+            cfg,
+            home,
+            n_banks,
+            queue: VecDeque::new(),
+            pending: HashMap::new(),
+            outstanding: 0,
+            started: DelayLine::new(),
+            arrival: HashMap::new(),
+            egress: VecDeque::new(),
+            latency: RunningMean::new(),
+            samples: VecDeque::new(),
+            stats: RrppStats::default(),
+        }
+    }
+
+    /// Where this RRPP lives.
+    pub fn node(&self) -> NocNode {
+        self.node
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &RrppStats {
+        &self.stats
+    }
+
+    /// Mean service latency (arrival to response injection), cycles.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Pop one recorded service-latency sample (fed to the rack emulator).
+    pub fn pop_latency_sample(&mut self) -> Option<u64> {
+        self.samples.pop_front()
+    }
+
+    /// An incoming remote request arrives from the network router.
+    pub fn on_request(&mut self, now: Cycle, req: RemoteReq) {
+        self.arrival.insert(req.tid, now);
+        self.queue.push_back(req);
+        let _ = now;
+    }
+
+    /// The local read for a request finished.
+    pub fn on_nc_data(&mut self, now: Cycle, block: BlockAddr, value: u64) {
+        self.complete(now, block, Some(value));
+    }
+
+    /// The local write for a request finished.
+    pub fn on_nc_wack(&mut self, now: Cycle, block: BlockAddr) {
+        self.complete(now, block, None);
+    }
+
+    /// Drive one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        // Begin processing queued requests (one per cycle, bounded window).
+        if self.outstanding < self.cfg.rrpp_max_outstanding {
+            if let Some(req) = self.queue.pop_front() {
+                self.outstanding += 1;
+                self.started.push_after(now, self.cfg.rrpp_proc, req);
+            }
+        }
+        // Issue the local memory access after the processing delay.
+        while let Some(req) = self.started.pop_ready(now) {
+            let dst = (self.home)(req.remote_block, self.n_banks);
+            let msg = if req.is_read {
+                CohMsg::NcRead {
+                    block: req.remote_block,
+                }
+            } else {
+                CohMsg::NcWrite {
+                    block: req.remote_block,
+                    value: req.value,
+                }
+            };
+            self.pending
+                .entry(req.remote_block)
+                .or_default()
+                .push((req, now));
+            self.egress.push_back(RmcEgress::Coh(Egress { dst, kind: ClientKind::Directory, msg }));
+        }
+    }
+
+    /// Next outbound item.
+    pub fn pop_egress(&mut self) -> Option<RmcEgress> {
+        self.egress.pop_front()
+    }
+
+    /// Requests currently inside the pipeline.
+    pub fn inflight(&self) -> usize {
+        self.outstanding + self.queue.len()
+    }
+
+    /// True when a local access for `block` is outstanding (used by the
+    /// chip to route NcData/NcWAck deliveries at shared NI blocks).
+    pub fn has_pending(&self, block: BlockAddr) -> bool {
+        self.pending.contains_key(&block)
+    }
+
+    fn complete(&mut self, now: Cycle, block: BlockAddr, value: Option<u64>) {
+        let Some(list) = self.pending.get_mut(&block) else {
+            return;
+        };
+        let (req, _issued) = list.remove(0);
+        if list.is_empty() {
+            self.pending.remove(&block);
+        }
+        self.outstanding -= 1;
+        self.stats.serviced.incr();
+        // Payload moved on behalf of the remote requester: a block sent
+        // back (read) or a block absorbed into local memory (write).
+        self.stats.payload_bytes.add(ni_mem::BLOCK_BYTES);
+        let arrived = self
+            .arrival
+            .remove(&req.tid)
+            .expect("arrival recorded on request");
+        let lat = now.saturating_since(arrived);
+        self.latency.record(lat);
+        self.samples.push_back(lat);
+        self.egress.push_back(RmcEgress::NetResp(RemoteResp {
+            tid: req.tid,
+            remote_block: req.remote_block,
+            value: value.unwrap_or(0),
+            is_read: req.is_read,
+        }));
+    }
+}

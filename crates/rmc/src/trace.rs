@@ -1,0 +1,163 @@
+//! Latency tomography: per-request stage timestamps.
+//!
+//! Every pipeline stamps the requests it touches; the SoC layer collects
+//! the events into a [`TraceTable`] from which the Table 1/3 breakdowns and
+//! the Fig. 5 projections are computed.
+
+use std::collections::HashMap;
+
+use ni_engine::{Cycle, RunningMean};
+
+/// Lifecycle stages of one remote operation (a WQ entry).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Stage {
+    /// Core begins composing the WQ entry.
+    WqWriteStart,
+    /// Core's final WQ store completed.
+    WqWriteDone,
+    /// RGP frontend's poll observed the entry.
+    FeObserved,
+    /// RGP backend received the entry (latch or NOC).
+    BeReceived,
+    /// First unrolled packet left for the network router.
+    NetOut,
+    /// Final response packet arrived from the network router.
+    NetIn,
+    /// RCP backend finished writing data into local memory (issue time).
+    DataWritten,
+    /// RCP frontend's CQ store completed.
+    CqWritten,
+    /// Core's poll observed the completion.
+    CqReadDone,
+}
+
+impl Stage {
+    /// All stages in lifecycle order.
+    pub const ALL: [Stage; 9] = [
+        Stage::WqWriteStart,
+        Stage::WqWriteDone,
+        Stage::FeObserved,
+        Stage::BeReceived,
+        Stage::NetOut,
+        Stage::NetIn,
+        Stage::DataWritten,
+        Stage::CqWritten,
+        Stage::CqReadDone,
+    ];
+}
+
+/// One timestamped stage of one request.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Queue pair the request belongs to.
+    pub qp: u32,
+    /// WQ entry id.
+    pub wq_id: u64,
+    /// Stage reached.
+    pub stage: Stage,
+    /// When.
+    pub at: Cycle,
+}
+
+/// Collected request traces.
+#[derive(Debug, Default)]
+pub struct TraceTable {
+    rows: HashMap<(u32, u64), HashMap<Stage, Cycle>>,
+}
+
+impl TraceTable {
+    /// Empty table.
+    pub fn new() -> TraceTable {
+        TraceTable::default()
+    }
+
+    /// Record one event (first stamp per stage wins; re-polls re-observe).
+    pub fn record(&mut self, e: TraceEvent) {
+        self.rows
+            .entry((e.qp, e.wq_id))
+            .or_default()
+            .entry(e.stage)
+            .or_insert(e.at);
+    }
+
+    /// Timestamp of `stage` for request `(qp, wq_id)`.
+    pub fn at(&self, qp: u32, wq_id: u64, stage: Stage) -> Option<Cycle> {
+        self.rows.get(&(qp, wq_id))?.get(&stage).copied()
+    }
+
+    /// Number of traced requests.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing was traced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Mean duration between two stages across all fully-stamped requests.
+    pub fn mean_between(&self, a: Stage, b: Stage) -> Option<f64> {
+        let mut m = RunningMean::new();
+        for stamps in self.rows.values() {
+            if let (Some(&ta), Some(&tb)) = (stamps.get(&a), stamps.get(&b)) {
+                if tb >= ta {
+                    m.record(tb - ta);
+                }
+            }
+        }
+        (m.count() > 0).then(|| m.mean())
+    }
+
+    /// Mean end-to-end latency (WqWriteStart to CqReadDone).
+    pub fn mean_end_to_end(&self) -> Option<f64> {
+        self.mean_between(Stage::WqWriteStart, Stage::CqReadDone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_measure() {
+        let mut t = TraceTable::new();
+        for (stage, at) in [
+            (Stage::WqWriteStart, 0),
+            (Stage::WqWriteDone, 13),
+            (Stage::NetOut, 50),
+            (Stage::CqReadDone, 447),
+        ] {
+            t.record(TraceEvent {
+                qp: 0,
+                wq_id: 1,
+                stage,
+                at: Cycle(at),
+            });
+        }
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.mean_end_to_end(), Some(447.0));
+        assert_eq!(
+            t.mean_between(Stage::WqWriteStart, Stage::WqWriteDone),
+            Some(13.0)
+        );
+        assert_eq!(t.mean_between(Stage::NetOut, Stage::NetIn), None);
+    }
+
+    #[test]
+    fn first_stamp_wins() {
+        let mut t = TraceTable::new();
+        t.record(TraceEvent { qp: 0, wq_id: 1, stage: Stage::FeObserved, at: Cycle(10) });
+        t.record(TraceEvent { qp: 0, wq_id: 1, stage: Stage::FeObserved, at: Cycle(20) });
+        assert_eq!(t.at(0, 1, Stage::FeObserved), Some(Cycle(10)));
+    }
+
+    #[test]
+    fn averages_across_requests() {
+        let mut t = TraceTable::new();
+        for (id, dt) in [(1u64, 100u64), (2, 200)] {
+            t.record(TraceEvent { qp: 0, wq_id: id, stage: Stage::WqWriteStart, at: Cycle(0) });
+            t.record(TraceEvent { qp: 0, wq_id: id, stage: Stage::CqReadDone, at: Cycle(dt) });
+        }
+        assert_eq!(t.mean_end_to_end(), Some(150.0));
+    }
+}

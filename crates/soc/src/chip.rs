@@ -1,0 +1,804 @@
+//! The simulated node: cores, caches, directories, memory, RMC pipelines,
+//! interconnect, network router and rack emulator, ticked in lock step.
+
+use std::collections::{HashMap, VecDeque};
+
+use ni_coherence::{CacheComplex, ClientKind, CohMsg, DirectoryBank, Egress, wire_of};
+use ni_engine::{Cycle, DelayLine};
+use ni_fabric::{RackEmulator, RemoteResp};
+use ni_mem::{Addr, BlockAddr, MemRequestKind, MemoryController};
+use ni_noc::{
+    Coord, Interconnect, MeshNoc, MessageClass, NocNode, NocOutNoc, NocStats, Packet,
+};
+use ni_qp::QueuePair;
+use ni_rmc::{NiBackend, NiFrontend, NiMsg, NiPlacement, RmcEgress, Rrpp, TraceTable};
+
+use crate::config::{ChipConfig, Topology};
+use crate::core_model::{Core, Workload, NUMA_TID_BASE};
+
+/// QP region base (bytes).
+const QP_BASE: u64 = 0x0100_0000;
+/// Per-core QP region stride (bytes).
+const QP_STRIDE: u64 = 0x4000;
+/// Local buffer region base (bytes).
+const LBUF_BASE: u64 = 0x4000_0000;
+/// Per-core local buffer size (bytes): 64 cores x 16MB = 1GB >> 16MB LLC.
+const LBUF_BYTES: u64 = 0x0100_0000;
+
+/// NOC payload: coherence or RMC messages.
+#[derive(Clone, Copy, Debug)]
+pub enum ChipMsg {
+    /// A coherence message for a client of the given kind at the endpoint.
+    Coh {
+        /// Addressee kind at the destination endpoint.
+        kind: ClientKind,
+        /// The protocol message.
+        msg: CohMsg,
+    },
+    /// An RMC message.
+    Ni(NiMsg),
+}
+
+/// Home directory node under static block interleaving (mesh: bank per tile).
+fn home_mesh(b: BlockAddr, n_banks: u32) -> NocNode {
+    let t = (b.0 % u64::from(n_banks)) as u8;
+    NocNode::tile(t % 8, t / 8)
+}
+
+/// Home directory node on NOC-Out (bank per LLC tile).
+fn home_nocout(b: BlockAddr, n_banks: u32) -> NocNode {
+    NocNode::Llc((b.0 % u64::from(n_banks)) as u8)
+}
+
+enum NocImpl {
+    Mesh(MeshNoc<ChipMsg>),
+    NocOut(NocOutNoc<ChipMsg>),
+}
+
+impl NocImpl {
+    fn as_dyn(&mut self) -> &mut dyn Interconnect<ChipMsg> {
+        match self {
+            NocImpl::Mesh(m) => m,
+            NocImpl::NocOut(n) => n,
+        }
+    }
+    fn stats(&self) -> &NocStats {
+        match self {
+            NocImpl::Mesh(m) => m.stats(),
+            NocImpl::NocOut(n) => n.stats(),
+        }
+    }
+}
+
+/// Co-located (latch) deliveries between components at the same node.
+#[derive(Debug)]
+enum Latch {
+    Coh { dst: NocNode, kind: ClientKind, src: NocNode, msg: CohMsg },
+    Ni { dst: NocNode, msg: NiMsg },
+    NetResp { backend: usize, resp: RemoteResp },
+}
+
+/// The simulated node.
+pub struct Chip {
+    cfg: ChipConfig,
+    now: Cycle,
+    noc: NocImpl,
+    /// Tile complexes `[0..n_cores)`, then edge NI complexes (NIedge only).
+    complexes: Vec<CacheComplex>,
+    complex_index: HashMap<NocNode, usize>,
+    dirs: Vec<DirectoryBank>,
+    dir_index: HashMap<NocNode, usize>,
+    mcs: Vec<MemoryController>,
+    mc_pending: HashMap<u64, (NocNode, bool)>,
+    mc_seq: u64,
+    /// Queue pairs, one per core.
+    pub qps: Vec<QueuePair>,
+    /// Cores, one per tile.
+    pub cores: Vec<Core>,
+    frontends: Vec<NiFrontend>,
+    fe_index: HashMap<NocNode, usize>,
+    /// Frontend index serving each complex index (for NI completions).
+    fe_of_complex: HashMap<usize, usize>,
+    backends: Vec<NiBackend>,
+    backend_index: HashMap<NocNode, usize>,
+    rrpps: Vec<Rrpp>,
+    /// The rack emulator behind the network router.
+    pub rack: RackEmulator,
+    /// Collected latency tomography.
+    pub traces: TraceTable,
+    latch: DelayLine<Latch>,
+    /// Packets that could not inject yet, FIFO per source node. Only the
+    /// head of each queue can possibly inject (the source's injection port
+    /// serializes), so retries cost one attempt per blocked source per
+    /// cycle, and point-to-point ordering per source is preserved.
+    backlog: HashMap<NocNode, VecDeque<Packet<ChipMsg>>>,
+    /// Total packets across all backlog queues.
+    backlog_len: usize,
+}
+
+impl Chip {
+    /// Build a node: every core runs `workload`, cores `>= active_cores` idle.
+    pub fn new(cfg: ChipConfig, workload: Workload) -> Chip {
+        let n = cfg.n_cores();
+        let n_banks = cfg.n_banks();
+        let n_edge = cfg.n_edge();
+        let home: fn(BlockAddr, u32) -> NocNode = match cfg.topology {
+            Topology::Mesh => home_mesh,
+            Topology::NocOut => home_nocout,
+        };
+        let tile_node = |i: usize| -> NocNode {
+            match cfg.topology {
+                Topology::Mesh => {
+                    NocNode::Tile(Coord::new((i % 8) as u8, (i / 8) as u8))
+                }
+                Topology::NocOut => {
+                    NocNode::Tile(Coord::new((i % 8) as u8, (i / 8) as u8))
+                }
+            }
+        };
+        // The NI block a tile's traffic exits through: its mesh row, or its
+        // NOC-Out column.
+        let edge_of_tile = |i: usize| -> u8 {
+            match cfg.topology {
+                Topology::Mesh => (i / 8) as u8,
+                Topology::NocOut => (i % 8) as u8,
+            }
+        };
+
+        let noc = match cfg.topology {
+            Topology::Mesh => {
+                let mut m = cfg.mesh;
+                m.policy = cfg.routing;
+                NocImpl::Mesh(MeshNoc::new(m))
+            }
+            Topology::NocOut => NocImpl::NocOut(NocOutNoc::new(cfg.nocout)),
+        };
+
+        // Tile complexes: NI cache present when frontends are per tile.
+        let per_tile_fe = cfg.placement.frontend_per_tile();
+        let mut complexes = Vec::new();
+        let mut complex_index = HashMap::new();
+        for i in 0..n {
+            let node = tile_node(i);
+            complex_index.insert(node, complexes.len());
+            complexes.push(CacheComplex::new(
+                cfg.coherence,
+                node,
+                per_tile_fe,
+                home,
+                n_banks,
+            ));
+        }
+        // Edge NI complexes (NIedge): the NI cache participating in
+        // coherence as its own client at the NI block.
+        if cfg.placement == NiPlacement::Edge {
+            for r in 0..n_edge {
+                let node = NocNode::NiBlock(r as u8);
+                complex_index.insert(node, complexes.len());
+                complexes.push(CacheComplex::new(cfg.coherence, node, true, home, n_banks));
+            }
+        }
+
+        // Directory banks.
+        let mut dirs = Vec::new();
+        let mut dir_index = HashMap::new();
+        for b in 0..n_banks {
+            let (node, mc) = match cfg.topology {
+                Topology::Mesh => {
+                    let node = home_mesh(BlockAddr(u64::from(b)), n_banks);
+                    let row = match node {
+                        NocNode::Tile(c) => c.y,
+                        _ => unreachable!(),
+                    };
+                    (node, NocNode::Mc(row))
+                }
+                Topology::NocOut => (NocNode::Llc(b as u8), NocNode::Mc(b as u8)),
+            };
+            dir_index.insert(node, dirs.len());
+            dirs.push(DirectoryBank::new(cfg.coherence, node, mc));
+        }
+
+        let mcs = (0..n_edge).map(|_| MemoryController::new(cfg.mem)).collect();
+
+        // Queue pairs and cores.
+        let mut qps = Vec::new();
+        let mut cores = Vec::new();
+        for i in 0..n {
+            let wq = Addr(QP_BASE + i as u64 * QP_STRIDE);
+            let cq = Addr(QP_BASE + i as u64 * QP_STRIDE + QP_STRIDE / 2);
+            qps.push(QueuePair::new(i as u32, cfg.qp, wq, cq));
+            let wl = if i < cfg.active_cores { workload } else { Workload::Idle };
+            cores.push(Core::new(
+                i,
+                i as u32,
+                wl,
+                cfg.qp,
+                LBUF_BASE + i as u64 * LBUF_BYTES,
+                LBUF_BYTES,
+            ));
+        }
+
+        // Backends.
+        let mut backends = Vec::new();
+        let mut backend_index = HashMap::new();
+        if cfg.placement.backend_per_tile() {
+            for i in 0..n {
+                let node = tile_node(i);
+                backend_index.insert(node, backends.len());
+                backends.push(NiBackend::new(
+                    node,
+                    i as u16,
+                    cfg.rmc,
+                    cfg.qp,
+                    home,
+                    n_banks,
+                    Some(NocNode::NiBlock(edge_of_tile(i))),
+                ));
+            }
+        } else if cfg.placement != NiPlacement::Numa {
+            for r in 0..n_edge {
+                let node = NocNode::NiBlock(r as u8);
+                backend_index.insert(node, backends.len());
+                backends.push(NiBackend::new(
+                    node,
+                    r as u16,
+                    cfg.rmc,
+                    cfg.qp,
+                    home,
+                    n_banks,
+                    None,
+                ));
+            }
+        }
+
+        // Frontends.
+        let mut frontends = Vec::new();
+        let mut fe_index = HashMap::new();
+        let mut fe_of_complex = HashMap::new();
+        match cfg.placement {
+            NiPlacement::Numa => {}
+            NiPlacement::Edge => {
+                for r in 0..n_edge {
+                    let node = NocNode::NiBlock(r as u8);
+                    let row_qps: Vec<u32> = (0..n as u32)
+                        .filter(|&i| edge_of_tile(i as usize) == r as u8)
+                        .collect();
+                    fe_index.insert(node, frontends.len());
+                    fe_of_complex.insert(complex_index[&node], frontends.len());
+                    frontends.push(NiFrontend::new(node, node, row_qps, cfg.rmc));
+                }
+            }
+            NiPlacement::PerTile | NiPlacement::Split => {
+                for i in 0..n {
+                    let node = tile_node(i);
+                    let backend = if cfg.placement == NiPlacement::PerTile {
+                        node
+                    } else {
+                        NocNode::NiBlock(edge_of_tile(i))
+                    };
+                    fe_index.insert(node, frontends.len());
+                    fe_of_complex.insert(i, frontends.len());
+                    frontends.push(NiFrontend::new(node, backend, vec![i as u32], cfg.rmc));
+                }
+            }
+        }
+
+        // RRPPs: always across the edge.
+        let rrpps = (0..n_edge)
+            .map(|r| Rrpp::new(NocNode::NiBlock(r as u8), cfg.rmc, home, n_banks))
+            .collect();
+
+        Chip {
+            cfg,
+            now: Cycle::ZERO,
+            noc,
+            complexes,
+            complex_index,
+            dirs,
+            dir_index,
+            mcs,
+            mc_pending: HashMap::new(),
+            mc_seq: 0,
+            qps,
+            cores,
+            frontends,
+            fe_index,
+            fe_of_complex,
+            backends,
+            backend_index,
+            rrpps,
+            rack: RackEmulator::new(cfg.rack),
+            traces: TraceTable::new(),
+            latch: DelayLine::new(),
+            backlog: HashMap::new(),
+            backlog_len: 0,
+        }
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Interconnect statistics.
+    pub fn noc_stats(&self) -> &NocStats {
+        self.noc.stats()
+    }
+
+    /// Application payload bytes moved so far: remote-read data delivered
+    /// into local buffers by RCPs plus data sent out by RRPPs (§6.2's
+    /// bandwidth definition).
+    pub fn app_payload_bytes(&self) -> u64 {
+        let be: u64 = self.backends.iter().map(|b| b.stats().payload_bytes.get()).sum();
+        let rr: u64 = self.rrpps.iter().map(|r| r.stats().payload_bytes.get()).sum();
+        be + rr
+    }
+
+    /// Total operations completed by all cores.
+    pub fn completed_ops(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.completed).sum()
+    }
+
+    /// Mean zero-load RRPP service latency measured so far.
+    pub fn rrpp_mean_latency(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for r in &self.rrpps {
+            let s = r.stats().serviced.get();
+            if s > 0 {
+                sum += r.mean_latency() * s as f64;
+                n += s as u32;
+            }
+        }
+        if n == 0 { 0.0 } else { sum / f64::from(n) }
+    }
+
+    /// Advance the node by one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        self.retry_backlog(now);
+        self.pump_rack(now);
+        self.pump_latch(now);
+        self.tick_cores(now);
+        self.tick_frontends(now);
+        self.tick_rmc_backends(now);
+        self.tick_complexes(now);
+        self.tick_dirs(now);
+        self.tick_mcs(now);
+        self.noc.as_dyn().tick(now);
+        self.drain_noc(now);
+        self.now += 1;
+    }
+
+    /// Run for `cycles`.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    // ---- plumbing ---------------------------------------------------------
+
+    fn inject(&mut self, pkt: Packet<ChipMsg>) {
+        // Same-node delivery short-circuits the NOC (components on a tile
+        // talk through the tile's crossbar, one cycle).
+        if pkt.src == pkt.dst {
+            let lat = match pkt.payload {
+                ChipMsg::Coh { kind, msg } => Latch::Coh {
+                    dst: pkt.dst,
+                    kind,
+                    src: pkt.src,
+                    msg,
+                },
+                ChipMsg::Ni(msg) => Latch::Ni { dst: pkt.dst, msg },
+            };
+            self.latch.push_after(self.now, 1, lat);
+            return;
+        }
+        // Preserve per-source FIFO order: a fresh packet must queue behind
+        // any packets from the same source still waiting to inject.
+        if let Some(q) = self.backlog.get_mut(&pkt.src) {
+            if !q.is_empty() {
+                q.push_back(pkt);
+                self.backlog_len += 1;
+                return;
+            }
+        }
+        if let Err(p) = self.noc.as_dyn().try_inject(self.now, pkt) {
+            self.backlog.entry(p.src).or_default().push_back(p);
+            self.backlog_len += 1;
+        }
+    }
+
+    fn retry_backlog(&mut self, now: Cycle) {
+        if self.backlog_len == 0 {
+            return;
+        }
+        for q in self.backlog.values_mut() {
+            // Drain each source head-first; stop at the first rejection
+            // (the injection port is serialized, so the rest cannot go
+            // either).
+            while let Some(pkt) = q.pop_front() {
+                match self.noc.as_dyn().try_inject(now, pkt) {
+                    Ok(()) => self.backlog_len -= 1,
+                    Err(p) => {
+                        q.push_front(p);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn coh_packet(src: NocNode, e: Egress, from_dir: bool) -> Packet<ChipMsg> {
+        let meta = wire_of(&e.msg, from_dir);
+        let mut pkt = Packet::new(
+            src,
+            e.dst,
+            meta.class,
+            meta.flits,
+            ChipMsg::Coh {
+                kind: e.kind,
+                msg: e.msg,
+            },
+        );
+        if meta.dir_sourced {
+            pkt = pkt.dir_sourced();
+        }
+        pkt
+    }
+
+    fn ni_packet(src: NocNode, dst: NocNode, msg: NiMsg) -> Packet<ChipMsg> {
+        let class = match msg {
+            NiMsg::WqFwd { .. } | NiMsg::CqNotify { .. } => MessageClass::NiCmd,
+            NiMsg::NetOut(_) | NiMsg::NetIn(_) => MessageClass::NiData,
+        };
+        Packet::new(src, dst, class, msg.flits(), ChipMsg::Ni(msg))
+    }
+
+    /// Responses and mirrored incoming requests from the rack.
+    fn pump_rack(&mut self, now: Cycle) {
+        while let Some(resp) = self.rack.pop_response(now) {
+            let bid = NiBackend::backend_of_tid(resp.tid) as usize;
+            if resp.tid >= NUMA_TID_BASE {
+                // NUMA-mode response: travels edge -> core tile over the NOC.
+                let tile = (resp.tid & 0xffff_ffff) as usize;
+                let row = self.edge_of_tile(tile);
+                let pkt = Self::ni_packet(
+                    NocNode::NiBlock(row),
+                    self.tile_node(tile),
+                    NiMsg::NetIn(resp),
+                );
+                self.inject(pkt);
+            } else if self.cfg.placement.backend_per_tile() {
+                // NIper-tile indirection: the response detours via the edge
+                // NI to the issuing tile's backend (§6.2).
+                let row = self.edge_of_tile(bid);
+                let pkt = Self::ni_packet(
+                    NocNode::NiBlock(row),
+                    self.tile_node(bid),
+                    NiMsg::NetIn(resp),
+                );
+                self.inject(pkt);
+            } else {
+                // Backend co-located with the network router.
+                self.latch
+                    .push_after(now, 2, Latch::NetResp { backend: bid, resp });
+            }
+        }
+        while let Some(req) = self.rack.pop_incoming(now) {
+            // Address-interleaved to the RRPP nearest the home bank (§4.3).
+            let home = self.home_of(req.remote_block);
+            let r = self.edge_of_node(home);
+            self.rrpps[usize::from(r)].on_request(now, req);
+        }
+    }
+
+    fn pump_latch(&mut self, now: Cycle) {
+        while let Some(l) = self.latch.pop_ready(now) {
+            match l {
+                Latch::Coh { dst, kind, src, msg } => self.deliver_coh(now, dst, kind, src, msg),
+                Latch::Ni { dst, msg } => self.deliver_ni(now, dst, msg),
+                Latch::NetResp { backend, resp } => {
+                    self.backends[backend].on_response(now, resp)
+                }
+            }
+        }
+    }
+
+    fn tick_cores(&mut self, now: Cycle) {
+        for i in 0..self.cores.len() {
+            self.cores[i].tick(now, &mut self.qps[i], &mut self.complexes[i]);
+            if let Some(req) = self.cores[i].take_numa_request() {
+                // NUMA issue: request packet core tile -> edge -> rack.
+                let row = self.edge_of_tile(i);
+                let pkt = Self::ni_packet(
+                    self.tile_node(i),
+                    NocNode::NiBlock(row),
+                    NiMsg::NetOut(req),
+                );
+                self.inject(pkt);
+            }
+            for t in self.cores[i].drain_traces() {
+                self.traces.record(t);
+            }
+        }
+    }
+
+    fn tick_frontends(&mut self, now: Cycle) {
+        for f in 0..self.frontends.len() {
+            let fe_node = self.frontends[f].node();
+            let cx = self.complex_index[&fe_node];
+            self.frontends[f].tick(now, &mut self.qps, &mut self.complexes[cx]);
+            while let Some(e) = self.frontends[f].pop_egress() {
+                self.dispatch_rmc(now, fe_node, e);
+            }
+        }
+    }
+
+    fn tick_rmc_backends(&mut self, now: Cycle) {
+        for b in 0..self.backends.len() {
+            self.backends[b].tick(now);
+            let node = self.backends[b].node();
+            while let Some(e) = self.backends[b].pop_egress() {
+                self.dispatch_rmc(now, node, e);
+            }
+        }
+        for r in 0..self.rrpps.len() {
+            self.rrpps[r].tick(now);
+            let node = self.rrpps[r].node();
+            while let Some(e) = self.rrpps[r].pop_egress() {
+                self.dispatch_rmc(now, node, e);
+            }
+            while let Some(s) = self.rrpps[r].pop_latency_sample() {
+                self.rack.record_rrpp_latency(s);
+            }
+        }
+    }
+
+    fn dispatch_rmc(&mut self, now: Cycle, src: NocNode, e: RmcEgress) {
+        match e {
+            RmcEgress::Coh(eg) => {
+                let pkt = Self::coh_packet(src, eg, false);
+                self.inject(pkt);
+            }
+            RmcEgress::Ni { dst, msg } => {
+                if dst == src {
+                    self.latch.push_after(now, 1, Latch::Ni { dst, msg });
+                } else {
+                    let pkt = Self::ni_packet(src, dst, msg);
+                    self.inject(pkt);
+                }
+            }
+            RmcEgress::Net(req) => {
+                self.rack.send(now, req);
+            }
+            RmcEgress::NetResp(_resp) => {
+                // Response leaves for the remote node; the emulator does not
+                // consume it (bandwidth already accounted by RRPP stats).
+            }
+            RmcEgress::Trace(t) => self.traces.record(t),
+        }
+    }
+
+    fn tick_complexes(&mut self, now: Cycle) {
+        for c in 0..self.complexes.len() {
+            self.complexes[c].tick(now);
+            let node = self.complexes[c].node();
+            while let Some(e) = self.complexes[c].pop_egress() {
+                let pkt = Self::coh_packet(node, e, false);
+                self.inject(pkt);
+            }
+            while let Some(done) = self.complexes[c].pop_completion() {
+                match done.origin {
+                    ni_coherence::AccessOrigin::Core => {
+                        let i = c; // tile complexes come first
+                        self.cores[i].on_cache_completion(
+                            done.at,
+                            done.tag,
+                            done.value,
+                            &mut self.qps[i],
+                        );
+                    }
+                    ni_coherence::AccessOrigin::Ni => {
+                        let f = self.fe_of_complex[&c];
+                        self.frontends[f].on_cache_completion(
+                            done.at,
+                            done.tag,
+                            done.value,
+                            &mut self.qps,
+                        );
+                        let fe_node = self.frontends[f].node();
+                        while let Some(e) = self.frontends[f].pop_egress() {
+                            self.dispatch_rmc(now, fe_node, e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn tick_dirs(&mut self, now: Cycle) {
+        for d in 0..self.dirs.len() {
+            self.dirs[d].tick(now);
+            let node = self.dirs[d].node();
+            while let Some(e) = self.dirs[d].pop_egress() {
+                let pkt = Self::coh_packet(node, e, true);
+                self.inject(pkt);
+            }
+        }
+    }
+
+    fn tick_mcs(&mut self, now: Cycle) {
+        for m in 0..self.mcs.len() {
+            while let Some(reply) = self.mcs[m].pop_ready(now) {
+                let (to, _) = self.mc_pending.remove(&reply.tag).expect("tracked request");
+                let msg = match reply.kind {
+                    MemRequestKind::Read => CohMsg::NcData {
+                        block: reply.block,
+                        value: reply.value,
+                    },
+                    MemRequestKind::Write => CohMsg::NcWAck { block: reply.block },
+                };
+                let pkt = Self::coh_packet(
+                    NocNode::Mc(m as u8),
+                    Egress {
+                        dst: to,
+                        kind: ClientKind::Directory,
+                        msg,
+                    },
+                    false,
+                );
+                self.inject(pkt);
+            }
+        }
+    }
+
+    fn drain_noc(&mut self, now: Cycle) {
+        // Collect every endpoint that may have deliveries.
+        let mut nodes: Vec<NocNode> = Vec::with_capacity(96);
+        for i in 0..self.cfg.n_cores() {
+            nodes.push(self.tile_node(i));
+        }
+        for r in 0..self.cfg.n_edge() as u8 {
+            nodes.push(NocNode::NiBlock(r));
+            nodes.push(NocNode::Mc(r));
+        }
+        if self.cfg.topology == Topology::NocOut {
+            for c in 0..self.cfg.nocout.columns {
+                nodes.push(NocNode::Llc(c));
+            }
+        }
+        for node in nodes {
+            while let Some(pkt) = self.noc.as_dyn().eject(node) {
+                self.dispatch_packet(now, pkt);
+            }
+        }
+    }
+
+    fn dispatch_packet(&mut self, now: Cycle, pkt: Packet<ChipMsg>) {
+        match pkt.payload {
+            ChipMsg::Coh { kind, msg } => self.deliver_coh(now, pkt.dst, kind, pkt.src, msg),
+            ChipMsg::Ni(msg) => self.deliver_ni(now, pkt.dst, msg),
+        }
+    }
+
+    fn deliver_coh(
+        &mut self,
+        now: Cycle,
+        dst: NocNode,
+        kind: ClientKind,
+        src: NocNode,
+        msg: CohMsg,
+    ) {
+        match (dst, kind) {
+            (NocNode::Mc(m), _) => {
+                // Memory controller: service NcRead/NcWrite from a bank.
+                let tag = self.mc_seq;
+                self.mc_seq += 1;
+                let (block, kind_req, value) = match msg {
+                    CohMsg::NcRead { block } => (block, MemRequestKind::Read, 0),
+                    CohMsg::NcWrite { block, value } => (block, MemRequestKind::Write, value),
+                    other => panic!("MC received {other:?}"),
+                };
+                self.mc_pending.insert(tag, (src, true));
+                self.mcs[usize::from(m)]
+                    .push(now, block, kind_req, value, tag)
+                    .expect("uncapped memory controller");
+            }
+            (_, ClientKind::Directory) => {
+                let d = self.dir_index[&dst];
+                self.dirs[d].deliver(now, src, msg);
+            }
+            (_, ClientKind::Cache) => {
+                let c = self.complex_index[&dst];
+                self.complexes[c].deliver(now, msg);
+            }
+            (_, ClientKind::NiData) => {
+                // RRPP or backend data path at this node.
+                let (block, value, is_data) = match msg {
+                    CohMsg::NcData { block, value } | CohMsg::DataS { block, value } => {
+                        (block, value, true)
+                    }
+                    CohMsg::NcWAck { block } => (block, 0, false),
+                    other => panic!("NiData client received {other:?}"),
+                };
+                let r = self.edge_of_node(dst);
+                let rrpp_has = self.rrpps[usize::from(r)].has_pending(block);
+                if rrpp_has {
+                    if is_data {
+                        self.rrpps[usize::from(r)].on_nc_data(now, block, value);
+                    } else {
+                        self.rrpps[usize::from(r)].on_nc_wack(now, block);
+                    }
+                } else if let Some(&b) = self.backend_index.get(&dst) {
+                    if is_data {
+                        self.backends[b].on_nc_data(now, block, value);
+                    } else {
+                        self.backends[b].on_nc_wack(now, block);
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver_ni(&mut self, now: Cycle, dst: NocNode, msg: NiMsg) {
+        match msg {
+            NiMsg::WqFwd { entry, qp, fe } => {
+                let b = self.backend_index[&dst];
+                self.backends[b].on_wq_entry(now, entry, qp, fe);
+            }
+            NiMsg::CqNotify { qp, wq_id } => {
+                let f = self.fe_index[&dst];
+                self.frontends[f].on_notify(qp, wq_id);
+            }
+            NiMsg::NetOut(req) => {
+                // Arrived at the edge: hand to the network router / rack.
+                self.rack.send(now, req);
+            }
+            NiMsg::NetIn(resp) => {
+                if resp.tid >= NUMA_TID_BASE {
+                    let tile = (resp.tid & 0xffff_ffff) as usize;
+                    self.cores[tile].on_numa_response(now);
+                } else {
+                    let b = self.backend_index[&dst];
+                    self.backends[b].on_response(now, resp);
+                }
+            }
+        }
+    }
+
+    // ---- geometry helpers --------------------------------------------------
+
+    fn tile_node(&self, i: usize) -> NocNode {
+        NocNode::Tile(Coord::new((i % 8) as u8, (i / 8) as u8))
+    }
+
+    fn edge_of_tile(&self, i: usize) -> u8 {
+        match self.cfg.topology {
+            Topology::Mesh => (i / 8) as u8,
+            Topology::NocOut => (i % 8) as u8,
+        }
+    }
+
+    fn home_of(&self, b: BlockAddr) -> NocNode {
+        match self.cfg.topology {
+            Topology::Mesh => home_mesh(b, self.cfg.n_banks()),
+            Topology::NocOut => home_nocout(b, self.cfg.n_banks()),
+        }
+    }
+
+    /// NI-block row/column a node belongs to.
+    fn edge_of_node(&self, node: NocNode) -> u8 {
+        match (self.cfg.topology, node) {
+            (Topology::Mesh, NocNode::Tile(c)) => c.y,
+            (Topology::NocOut, NocNode::Tile(c)) => c.x,
+            (_, NocNode::NiBlock(r)) | (_, NocNode::Mc(r)) | (_, NocNode::Llc(r)) => r,
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Core model: an issue-cost sequencer running the paper's microbenchmarks.
+//!
+//! The paper's cores are ARM Cortex-A15-like OoO machines, but its
+//! microbenchmark analysis (§3.1, Table 3) reduces the software side to
+//! instruction-issue costs: composing a WQ entry is "roughly a dozen
+//! arithmetic instructions plus two stores to the same cache block"; a CQ
+//! poll is "four instructions including a load". The core model issues
+//! exactly those memory operations through its cache complex with the
+//! configured compute gaps, which is the granularity at which software
+//! appears in every latency breakdown of the paper.
+
+use ni_engine::{Cycle, DelayLine, Histogram, RunningMean};
+use ni_coherence::{Access, AccessKind, AccessOrigin, CacheComplex};
+use ni_fabric::RemoteReq;
+use ni_mem::Addr;
+use ni_qp::{QpConfig, QueuePair, RemoteOp};
+use ni_rmc::{Stage, TraceEvent};
+
+/// Base of the NUMA-mode transfer-tag space (`tid >> 32` of 256+ marks a
+/// core-issued load/store rather than a backend transfer).
+pub const NUMA_TID_BASE: u64 = 256 << 32;
+
+/// Remote region targeted by the microbenchmarks (bytes).
+pub const REMOTE_BASE: u64 = 1 << 40;
+
+/// What a core runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Do nothing.
+    Idle,
+    /// Synchronous remote reads of `size` bytes: issue one, spin on the CQ,
+    /// repeat (§5 latency microbenchmark).
+    SyncRead {
+        /// Transfer size in bytes.
+        size: u64,
+    },
+    /// Asynchronous remote reads of `size` bytes: enqueue while the WQ has
+    /// space, polling the CQ occasionally; spin when full (§5 bandwidth
+    /// microbenchmark).
+    AsyncRead {
+        /// Transfer size in bytes.
+        size: u64,
+        /// Poll the CQ after this many issues even when not full.
+        poll_every: u32,
+    },
+    /// Synchronous remote writes of `size` bytes: the RGP backend loads the
+    /// payload from local memory before shipping each block (Fig. 4a's
+    /// "Memory Read" stage).
+    SyncWrite {
+        /// Transfer size in bytes.
+        size: u64,
+    },
+    /// Asynchronous remote writes of `size` bytes.
+    AsyncWrite {
+        /// Transfer size in bytes.
+        size: u64,
+        /// Poll the CQ after this many issues even when not full.
+        poll_every: u32,
+    },
+    /// Idealized NUMA: single-block remote loads issued directly from the
+    /// core with no QP machinery (Table 1 baseline).
+    NumaRead,
+}
+
+impl Workload {
+    /// The one-sided operation this workload issues through the QP, if any.
+    pub fn remote_op(self) -> Option<RemoteOp> {
+        match self {
+            Workload::SyncRead { .. } | Workload::AsyncRead { .. } => Some(RemoteOp::Read),
+            Workload::SyncWrite { .. } | Workload::AsyncWrite { .. } => Some(RemoteOp::Write),
+            Workload::Idle | Workload::NumaRead => None,
+        }
+    }
+
+    /// True for workloads that spin on the CQ after each issue.
+    pub fn is_synchronous(self) -> bool {
+        matches!(self, Workload::SyncRead { .. } | Workload::SyncWrite { .. })
+    }
+}
+
+/// Per-core workload statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoreStats {
+    /// Completed operations.
+    pub completed: u64,
+    /// End-to-end latency of synchronous operations (cycles).
+    pub latency: RunningMean,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Begin the first WQ store (after entry-composition compute).
+    Store1,
+    /// Begin a CQ poll load (after poll compute).
+    Poll,
+    /// Issue a NUMA remote load.
+    NumaIssue,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Idle,
+    WaitStore1,
+    WaitStore2,
+    WaitPoll,
+    WaitNuma,
+}
+
+/// One core.
+#[derive(Debug)]
+pub struct Core {
+    tile: usize,
+    qp_id: u32,
+    target_node: u16,
+    workload: Workload,
+    qp_cfg: QpConfig,
+    local_buf_base: u64,
+    local_buf_bytes: u64,
+    phase: Phase,
+    events: DelayLine<Ev>,
+    seq: u64,
+    iter_start: Cycle,
+    reaped: u64,
+    issued: u64,
+    remote_cursor: u64,
+    /// NUMA request ready for the chip to pick up.
+    numa_out: Option<RemoteReq>,
+    traces: Vec<TraceEvent>,
+    /// WQ id currently being timed (sync workloads).
+    cur_id: u64,
+    /// Second WQ store waiting to issue one cycle after the first.
+    pending_second_store: Option<(Cycle, Access)>,
+    /// Issue count at the last opportunistic poll (prevents poll loops).
+    last_poll_at_issue: u64,
+    /// Public statistics.
+    pub stats: CoreStats,
+    /// Full latency distribution of synchronous operations.
+    latency_hist: Histogram,
+}
+
+impl Core {
+    /// Create the core of `tile` using queue pair `qp_id`.
+    pub fn new(
+        tile: usize,
+        qp_id: u32,
+        workload: Workload,
+        qp_cfg: QpConfig,
+        local_buf_base: u64,
+        local_buf_bytes: u64,
+    ) -> Core {
+        Core {
+            tile,
+            qp_id,
+            target_node: 1,
+            workload,
+            qp_cfg,
+            local_buf_base,
+            local_buf_bytes,
+            phase: Phase::Idle,
+            events: DelayLine::new(),
+            seq: 0,
+            iter_start: Cycle::ZERO,
+            reaped: 0,
+            issued: 0,
+            remote_cursor: 0,
+            numa_out: None,
+            traces: Vec::new(),
+            cur_id: 0,
+            pending_second_store: None,
+            last_poll_at_issue: u64::MAX,
+            stats: CoreStats::default(),
+            latency_hist: Histogram::new(),
+        }
+    }
+
+    /// The tile this core sits on.
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// Drain accumulated trace events.
+    pub fn drain_traces(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.traces)
+    }
+
+    /// Take a pending NUMA request, if any.
+    pub fn take_numa_request(&mut self) -> Option<RemoteReq> {
+        self.numa_out.take()
+    }
+
+    /// A NUMA response reached the core.
+    pub fn on_numa_response(&mut self, now: Cycle) {
+        debug_assert_eq!(self.phase, Phase::WaitNuma);
+        self.stats.completed += 1;
+        let lat = now.saturating_since(self.iter_start);
+        self.stats.latency.record(lat);
+        self.latency_hist.record(lat);
+        self.phase = Phase::Idle;
+    }
+
+    /// Distribution of synchronous end-to-end latencies (for tail studies).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency_hist
+    }
+
+    fn tag(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn remote_addr(&mut self, size: u64) -> Addr {
+        let a = REMOTE_BASE + self.remote_cursor;
+        self.remote_cursor += size.max(64).next_multiple_of(64);
+        Addr(a)
+    }
+
+    fn local_addr(&self, size: u64) -> Addr {
+        let span = size.max(64).next_multiple_of(64);
+        Addr(self.local_buf_base + (self.issued * span) % self.local_buf_bytes)
+    }
+
+    /// Drive one cycle.
+    pub fn tick(&mut self, now: Cycle, qp: &mut QueuePair, cx: &mut CacheComplex) {
+        if let Some((at, a)) = self.pending_second_store.take() {
+            if now >= at {
+                cx.submit(now, a).expect("core access accepted");
+            } else {
+                self.pending_second_store = Some((at, a));
+            }
+        }
+        while let Some(ev) = self.events.pop_ready(now) {
+            match ev {
+                Ev::Store1 => {
+                    let block = self.pending_store_block(qp);
+                    let tag = self.tag();
+                    self.phase = Phase::WaitStore1;
+                    // The entry becomes visible to the polling NI only when
+                    // its *last* word lands (Fig. 2a); the first store must
+                    // not advance the block token past the previous entry.
+                    self.submit(
+                        now,
+                        cx,
+                        AccessKind::Store,
+                        block,
+                        self.cur_id.saturating_sub(1),
+                        tag,
+                    );
+                }
+                Ev::Poll => {
+                    let block = qp.cq_head_block();
+                    let tag = self.tag();
+                    self.phase = Phase::WaitPoll;
+                    self.submit(now, cx, AccessKind::Load, block, 0, tag);
+                }
+                Ev::NumaIssue => {
+                    let addr = self.remote_addr(64);
+                    self.iter_start = now;
+                    self.phase = Phase::WaitNuma;
+                    self.numa_out = Some(RemoteReq {
+                        tid: NUMA_TID_BASE | self.tile as u64,
+                        is_read: true,
+                        target_node: self.target_node,
+                        remote_block: addr.block(),
+                        value: 0,
+                    });
+                }
+            }
+        }
+        if self.phase != Phase::Idle {
+            return;
+        }
+        match self.workload {
+            Workload::Idle => {}
+            Workload::SyncRead { size } | Workload::SyncWrite { size } => {
+                self.begin_issue(now, qp, size)
+            }
+            Workload::AsyncRead { size, poll_every }
+            | Workload::AsyncWrite { size, poll_every } => {
+                let due = self.issued > 0
+                    && self.issued % u64::from(poll_every) == 0
+                    && self.last_poll_at_issue != self.issued;
+                if qp.wq_full() || due {
+                    // Poll: blocking when full, opportunistic otherwise.
+                    self.last_poll_at_issue = self.issued;
+                    self.phase = Phase::WaitPoll;
+                    self.events
+                        .push_after(now, self.qp_cfg.cq_read_compute, Ev::Poll);
+                } else {
+                    self.begin_issue(now, qp, size);
+                }
+            }
+            Workload::NumaRead => {
+                self.phase = Phase::WaitNuma;
+                self.events.push_after(now, 1, Ev::NumaIssue);
+            }
+        }
+    }
+
+    fn begin_issue(&mut self, now: Cycle, qp: &mut QueuePair, size: u64) {
+        let remote = self.remote_addr(size);
+        let local = self.local_addr(size);
+        // Record where the entry's stores land *before* enqueueing advances
+        // the tail.
+        let op = self.workload.remote_op().expect("issuing workload has an op");
+        let id = qp
+            .enqueue(op, self.target_node, remote, local, size)
+            .expect("caller checks wq_full");
+        self.cur_id = id;
+        self.issued += 1;
+        self.iter_start = now;
+        self.traces.push(TraceEvent {
+            qp: self.qp_id,
+            wq_id: id,
+            stage: Stage::WqWriteStart,
+            at: now,
+        });
+        self.phase = Phase::WaitStore1;
+        self.events
+            .push_after(now, self.qp_cfg.wq_write_compute, Ev::Store1);
+    }
+
+    fn pending_store_block(&self, qp: &QueuePair) -> ni_mem::BlockAddr {
+        // The entry was already enqueued; its slot is tail - 1.
+        qp.slot_block_of(self.cur_id)
+    }
+
+    fn submit(
+        &mut self,
+        now: Cycle,
+        cx: &mut CacheComplex,
+        kind: AccessKind,
+        block: ni_mem::BlockAddr,
+        value: u64,
+        tag: u64,
+    ) {
+        let a = Access {
+            origin: AccessOrigin::Core,
+            kind,
+            block,
+            store_value: value,
+            tag,
+        };
+        // Cores have a single outstanding access here; MSHR pressure from
+        // one access cannot reject.
+        cx.submit(now, a).expect("core access accepted");
+    }
+
+    /// A cache access completed (routed here by the chip).
+    pub fn on_cache_completion(
+        &mut self,
+        now: Cycle,
+        _tag: u64,
+        value: u64,
+        qp: &mut QueuePair,
+    ) {
+        match self.phase {
+            Phase::WaitStore1 => {
+                // Second store of the WQ entry, same block.
+                let block = qp.slot_block_of(self.cur_id);
+                let tag = self.tag();
+                self.phase = Phase::WaitStore2;
+                let a = Access {
+                    origin: AccessOrigin::Core,
+                    kind: AccessKind::Store,
+                    block,
+                    store_value: self.cur_id,
+                    tag,
+                };
+                // Submit immediately: back-to-back stores.
+                // (now + 1 to respect one store issued per cycle.)
+                self.pending_second_store = Some((now + 1, a));
+            }
+            Phase::WaitStore2 => {
+                self.traces.push(TraceEvent {
+                    qp: self.qp_id,
+                    wq_id: self.cur_id,
+                    stage: Stage::WqWriteDone,
+                    at: now,
+                });
+                if self.workload.is_synchronous() {
+                    self.phase = Phase::WaitPoll;
+                    self.events
+                        .push_after(now, self.qp_cfg.cq_read_compute, Ev::Poll);
+                } else {
+                    self.phase = Phase::Idle;
+                }
+            }
+            Phase::WaitPoll => {
+                if value > self.reaped {
+                    // New completions: reap them.
+                    let newly = value - self.reaped;
+                    for _ in 0..newly {
+                        let c = qp.app_reap().expect("token promised a completion");
+                        self.stats.completed += 1;
+                        self.traces.push(TraceEvent {
+                            qp: self.qp_id,
+                            wq_id: c.wq_id,
+                            stage: Stage::CqReadDone,
+                            at: now,
+                        });
+                        if self.workload.is_synchronous() {
+                            let lat = now.saturating_since(self.iter_start);
+                            self.stats.latency.record(lat);
+                            self.latency_hist.record(lat);
+                        }
+                    }
+                    self.reaped = value;
+                    self.phase = Phase::Idle;
+                } else {
+                    // Sync (and full-WQ async): keep spinning.
+                    if self.workload.is_synchronous() || qp.wq_full() {
+                        self.events
+                            .push_after(now, self.qp_cfg.cq_read_compute, Ev::Poll);
+                    } else {
+                        self.phase = Phase::Idle;
+                    }
+                }
+            }
+            Phase::Idle | Phase::WaitNuma => {
+                panic!("unexpected cache completion in phase {:?}", self.phase)
+            }
+        }
+    }
+}

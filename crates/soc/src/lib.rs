@@ -1,0 +1,25 @@
+//! # ni-soc — full-node assembly of the manycore-NI simulator
+//!
+//! Wires every substrate into the evaluated node: 64 ARM-like cores with
+//! L1+NI-cache complexes, a block-interleaved NUCA LLC with directory banks,
+//! memory controllers, the RMC pipelines in any of the paper's three
+//! placements (plus the idealized NUMA baseline), a mesh or NOC-Out
+//! interconnect, the chip-to-chip network router, and the rate-matching
+//! rack emulator (§5 methodology).
+//!
+//! [`chip::Chip`] is the cycle-stepped top level; [`mod@bench`] contains the
+//! experiment drivers (synchronous latency, asynchronous bandwidth) used by
+//! the benchmark harness to regenerate the paper's tables and figures.
+
+pub mod bench;
+pub mod chip;
+pub mod config;
+pub mod core_model;
+
+pub use bench::{
+    run_bandwidth, run_sync_latency, run_sync_write_latency, run_write_bandwidth,
+    stage_breakdown, BandwidthResult, LatencyResult, StageBreakdown,
+};
+pub use chip::{Chip, ChipMsg};
+pub use config::{ChipConfig, Topology};
+pub use core_model::{Core, CoreStats, Workload};

