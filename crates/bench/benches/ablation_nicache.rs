@@ -13,7 +13,10 @@ use rackni::ni_soc::{run_sync_latency, ChipConfig};
 use rackni::report::{f1, pct, Table};
 
 fn print_table() {
-    banner("Ablation A2", "NI-cache Owned-state fast path (NI_split, 64B sync reads)");
+    banner(
+        "Ablation A2",
+        "NI-cache Owned-state fast path (NI_split, 64B sync reads)",
+    );
     let (on, off) = nicache_ablation(scale());
     let mut t = Table::new(&["owned state", "E2E cycles", "delta"]);
     t.row_owned(vec!["enabled (paper §3.4)".into(), f1(on), "-".into()]);

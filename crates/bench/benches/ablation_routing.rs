@@ -18,7 +18,10 @@ use rackni::report::{f1, Table};
 const SIZE: u64 = 2048;
 
 fn print_table() {
-    banner("Ablation A1", "routing policy vs. aggregate bandwidth (NI_split, 2KB)");
+    banner(
+        "Ablation A1",
+        "routing policy vs. aggregate bandwidth (NI_split, 2KB)",
+    );
     let rows = routing_ablation(scale(), SIZE);
     let mut t = Table::new(&["routing", "app GBps", "paper note"]);
     for (policy, gbps) in rows {

@@ -9,7 +9,10 @@ use rackni::ni_rmc::NiPlacement;
 use rackni::ni_soc::{run_bandwidth, ChipConfig, Topology};
 
 fn print_table() {
-    banner("Fig. 10", "aggregate app bandwidth vs. transfer size (NOC-Out, async)");
+    banner(
+        "Fig. 10",
+        "aggregate app bandwidth vs. transfer size (NOC-Out, async)",
+    );
     println!(
         "{}",
         bandwidth_vs_size_render(scale(), Topology::NocOut, &BANDWIDTH_SIZES)

@@ -8,7 +8,10 @@ use rackni::experiments::{fig5, fig5_render};
 use rackni::ni_fabric::Torus3D;
 
 fn print_table() {
-    banner("Fig. 5", "E2E latency vs. hop count (512-node 3D torus projection)");
+    banner(
+        "Fig. 5",
+        "E2E latency vs. hop count (512-node 3D torus projection)",
+    );
     println!("{}", fig5_render(scale()));
     // The projection's hop range comes from the rack geometry (§6.1.2).
     let t = Torus3D::new(8, 8, 8);

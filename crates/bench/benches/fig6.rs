@@ -8,7 +8,10 @@ use rackni::ni_rmc::NiPlacement;
 use rackni::ni_soc::{run_sync_latency, ChipConfig, Topology};
 
 fn print_table() {
-    banner("Fig. 6", "sync remote-read latency vs. transfer size (mesh)");
+    banner(
+        "Fig. 6",
+        "sync remote-read latency vs. transfer size (mesh)",
+    );
     println!(
         "{}",
         latency_vs_size_render(scale(), Topology::Mesh, &LATENCY_SIZES)

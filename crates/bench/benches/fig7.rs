@@ -9,7 +9,10 @@ use rackni::ni_soc::{run_bandwidth, ChipConfig, Topology};
 use rackni::paper;
 
 fn print_table() {
-    banner("Fig. 7", "aggregate app bandwidth vs. transfer size (mesh, async)");
+    banner(
+        "Fig. 7",
+        "aggregate app bandwidth vs. transfer size (mesh, async)",
+    );
     println!(
         "{}",
         bandwidth_vs_size_render(scale(), Topology::Mesh, &BANDWIDTH_SIZES)

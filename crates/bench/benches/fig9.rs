@@ -8,7 +8,10 @@ use rackni::ni_rmc::NiPlacement;
 use rackni::ni_soc::{run_sync_latency, ChipConfig, Topology};
 
 fn print_table() {
-    banner("Fig. 9", "sync remote-read latency vs. transfer size (NOC-Out)");
+    banner(
+        "Fig. 9",
+        "sync remote-read latency vs. transfer size (NOC-Out)",
+    );
     println!(
         "{}",
         latency_vs_size_render(scale(), Topology::NocOut, &LATENCY_SIZES)

@@ -34,7 +34,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut chip = Chip::new(
                 ChipConfig::default(),
-                Workload::AsyncRead { size: 512, poll_every: 4 },
+                Workload::AsyncRead {
+                    size: 512,
+                    poll_every: 4,
+                },
             );
             chip.run(CYCLES);
             chip.completed_ops()
@@ -46,7 +49,13 @@ fn bench(c: &mut Criterion) {
                 placement: NiPlacement::PerTile,
                 ..ChipConfig::default()
             };
-            let mut chip = Chip::new(cfg, Workload::AsyncRead { size: 8192, poll_every: 4 });
+            let mut chip = Chip::new(
+                cfg,
+                Workload::AsyncRead {
+                    size: 8192,
+                    poll_every: 4,
+                },
+            );
             chip.run(CYCLES);
             chip.completed_ops()
         })
@@ -57,7 +66,13 @@ fn bench(c: &mut Criterion) {
                 topology: Topology::NocOut,
                 ..ChipConfig::default()
             };
-            let mut chip = Chip::new(cfg, Workload::AsyncRead { size: 512, poll_every: 4 });
+            let mut chip = Chip::new(
+                cfg,
+                Workload::AsyncRead {
+                    size: 512,
+                    poll_every: 4,
+                },
+            );
             chip.run(CYCLES);
             chip.completed_ops()
         })

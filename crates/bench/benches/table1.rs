@@ -8,7 +8,10 @@ use rackni::ni_rmc::NiPlacement;
 use rackni::ni_soc::{run_sync_latency, ChipConfig};
 
 fn print_table() {
-    banner("Table 1", "QP-based model vs. NUMA load/store, single-block read");
+    banner(
+        "Table 1",
+        "QP-based model vs. NUMA load/store, single-block read",
+    );
     println!("{}", table1_render(scale()));
 }
 

@@ -12,7 +12,11 @@ fn print_table() {
     banner("Table 2", "system parameters (simulation configuration)");
     let c = ChipConfig::default();
     let mut t = Table::new(&["parameter", "value", "paper (Table 2)"]);
-    t.row(&["cores", "64 (8x8 mesh tiles)", "64, ARM Cortex-A15-like, 2GHz"]);
+    t.row(&[
+        "cores",
+        "64 (8x8 mesh tiles)",
+        "64, ARM Cortex-A15-like, 2GHz",
+    ]);
     t.row_owned(vec![
         "LLC banks".into(),
         c.n_banks().to_string(),
@@ -30,10 +34,7 @@ fn print_table() {
     ]);
     t.row_owned(vec![
         "mesh link / hop".into(),
-        format!(
-            "{}B links, {} cycles/hop",
-            16, c.mesh.router.hop_latency
-        ),
+        format!("{}B links, {} cycles/hop", 16, c.mesh.router.hop_latency),
         "16B links, 3 cycles/hop".into(),
     ]);
     t.row_owned(vec![

@@ -8,7 +8,10 @@ use rackni::ni_rmc::NiPlacement;
 use rackni::ni_soc::{stage_breakdown, ChipConfig};
 
 fn print_table() {
-    banner("Table 3", "zero-load single-block latency tomography, all designs");
+    banner(
+        "Table 3",
+        "zero-load single-block latency tomography, all designs",
+    );
     println!("{}", table3_render(scale()));
 }
 

@@ -269,7 +269,11 @@ impl CacheComplex {
     pub fn deliver(&mut self, now: Cycle, msg: CohMsg) {
         match msg {
             CohMsg::FwdGetS { .. } | CohMsg::FwdGetX { .. } => self.handle_fwd(now, msg),
-            CohMsg::Inv { block, ack_to, akind } => self.handle_inv(now, block, ack_to, akind),
+            CohMsg::Inv {
+                block,
+                ack_to,
+                akind,
+            } => self.handle_inv(now, block, ack_to, akind),
             CohMsg::DataE { block, value, acks } => {
                 self.handle_fill(now, block, value, true, i64::from(acks))
             }
@@ -318,9 +322,7 @@ impl CacheComplex {
 
     /// True when the NI cache holds `block` in the Owned state.
     pub fn ni_holds_owned(&self, block: BlockAddr) -> bool {
-        self.lines
-            .get(&block)
-            .is_some_and(|l| l.ni == LineState::O)
+        self.lines.get(&block).is_some_and(|l| l.ni == LineState::O)
     }
 
     // ---- internals -------------------------------------------------------
@@ -470,7 +472,14 @@ impl CacheComplex {
                             },
                         );
                         let dir = self.dir_of(a.block);
-                        self.send(dir, ClientKind::Directory, CohMsg::PutM { block: a.block, value });
+                        self.send(
+                            dir,
+                            ClientKind::Directory,
+                            CohMsg::PutM {
+                                block: a.block,
+                                value,
+                            },
+                        );
                         // Re-run the access; it will stall on the writeback
                         // then miss to the directory.
                         self.events.push_after(now, 1, Ev::Lookup(a));
@@ -543,7 +552,14 @@ impl CacheComplex {
         );
     }
 
-    fn handle_fill(&mut self, now: Cycle, block: BlockAddr, value: u64, exclusive: bool, acks: i64) {
+    fn handle_fill(
+        &mut self,
+        now: Cycle,
+        block: BlockAddr,
+        value: u64,
+        exclusive: bool,
+        acks: i64,
+    ) {
         let Some(m) = self.mshrs.get_mut(&block) else {
             panic!("fill for block with no MSHR: {block:?}");
         };
@@ -635,8 +651,12 @@ impl CacheComplex {
             return;
         }
         let (requester, rkind, is_getx) = match msg {
-            CohMsg::FwdGetS { requester, rkind, .. } => (requester, rkind, false),
-            CohMsg::FwdGetX { requester, rkind, .. } => (requester, rkind, true),
+            CohMsg::FwdGetS {
+                requester, rkind, ..
+            } => (requester, rkind, false),
+            CohMsg::FwdGetX {
+                requester, rkind, ..
+            } => (requester, rkind, true),
             _ => unreachable!("handle_fwd only sees forwards"),
         };
         let dir = self.dir_of(block);
@@ -695,14 +715,27 @@ impl CacheComplex {
                 l.ni = LineState::S;
             }
             self.send(requester, rkind, CohMsg::DataS { block, value });
-            self.send(dir, ClientKind::Directory, CohMsg::OwnerData { block, value, dirty });
+            self.send(
+                dir,
+                ClientKind::Directory,
+                CohMsg::OwnerData {
+                    block,
+                    value,
+                    dirty,
+                },
+            );
         }
         let _ = now;
     }
 
     /// Evict LRU stable lines when over capacity.
     fn enforce_capacity(&mut self) {
-        let cap = self.cfg.l1_blocks + if self.has_ni_cache { self.cfg.ni_cache_blocks } else { 0 };
+        let cap = self.cfg.l1_blocks
+            + if self.has_ni_cache {
+                self.cfg.ni_cache_blocks
+            } else {
+                0
+            };
         while self.lines.len() > cap {
             let victim = self
                 .lines
@@ -775,7 +808,11 @@ mod tests {
     }
 
     /// Run `cx` forward until a completion appears or `limit` cycles pass.
-    fn run_until_completion(cx: &mut CacheComplex, mut now: Cycle, limit: u64) -> (Completion, Cycle) {
+    fn run_until_completion(
+        cx: &mut CacheComplex,
+        mut now: Cycle,
+        limit: u64,
+    ) -> (Completion, Cycle) {
         let start = now;
         loop {
             cx.tick(now);
@@ -793,13 +830,26 @@ mod tests {
         cx.submit(Cycle(0), load(5, 1, AccessOrigin::Core)).unwrap();
         cx.tick(Cycle(3));
         let e = cx.pop_egress().expect("miss egress");
-        assert_eq!(e.msg, CohMsg::GetS { block: BlockAddr(5) });
+        assert_eq!(
+            e.msg,
+            CohMsg::GetS {
+                block: BlockAddr(5)
+            }
+        );
         // Fill with exclusive data; completion carries the value.
-        cx.deliver(Cycle(20), CohMsg::DataE { block: BlockAddr(5), value: 77, acks: 0 });
+        cx.deliver(
+            Cycle(20),
+            CohMsg::DataE {
+                block: BlockAddr(5),
+                value: 77,
+                acks: 0,
+            },
+        );
         let (c, _) = run_until_completion(&mut cx, Cycle(20), 10);
         assert_eq!(c.value, 77);
         // Next load hits in 3 cycles.
-        cx.submit(Cycle(30), load(5, 2, AccessOrigin::Core)).unwrap();
+        cx.submit(Cycle(30), load(5, 2, AccessOrigin::Core))
+            .unwrap();
         let (c2, at) = run_until_completion(&mut cx, Cycle(30), 10);
         assert_eq!(c2.value, 77);
         assert_eq!(at, Cycle(33));
@@ -809,20 +859,40 @@ mod tests {
     #[test]
     fn store_miss_issues_getx_and_waits_for_acks() {
         let mut cx = complex();
-        cx.submit(Cycle(0), store(9, 42, 1, AccessOrigin::Core)).unwrap();
+        cx.submit(Cycle(0), store(9, 42, 1, AccessOrigin::Core))
+            .unwrap();
         cx.tick(Cycle(3));
         assert_eq!(
             cx.pop_egress().unwrap().msg,
-            CohMsg::GetX { block: BlockAddr(9) }
+            CohMsg::GetX {
+                block: BlockAddr(9)
+            }
         );
         // Data arrives expecting 2 acks: not complete yet.
-        cx.deliver(Cycle(10), CohMsg::DataE { block: BlockAddr(9), value: 0, acks: 2 });
+        cx.deliver(
+            Cycle(10),
+            CohMsg::DataE {
+                block: BlockAddr(9),
+                value: 0,
+                acks: 2,
+            },
+        );
         cx.tick(Cycle(11));
         assert!(cx.pop_completion().is_none());
-        cx.deliver(Cycle(12), CohMsg::InvAck { block: BlockAddr(9) });
+        cx.deliver(
+            Cycle(12),
+            CohMsg::InvAck {
+                block: BlockAddr(9),
+            },
+        );
         cx.tick(Cycle(13));
         assert!(cx.pop_completion().is_none());
-        cx.deliver(Cycle(14), CohMsg::InvAck { block: BlockAddr(9) });
+        cx.deliver(
+            Cycle(14),
+            CohMsg::InvAck {
+                block: BlockAddr(9),
+            },
+        );
         let (c, _) = run_until_completion(&mut cx, Cycle(14), 10);
         assert_eq!(c.value, 42);
         let (_, _, dirty) = cx.probe(BlockAddr(9));
@@ -832,13 +902,26 @@ mod tests {
     #[test]
     fn acks_before_data_do_not_complete_early() {
         let mut cx = complex();
-        cx.submit(Cycle(0), store(9, 42, 1, AccessOrigin::Core)).unwrap();
+        cx.submit(Cycle(0), store(9, 42, 1, AccessOrigin::Core))
+            .unwrap();
         cx.tick(Cycle(3));
         cx.pop_egress().unwrap();
-        cx.deliver(Cycle(5), CohMsg::InvAck { block: BlockAddr(9) });
+        cx.deliver(
+            Cycle(5),
+            CohMsg::InvAck {
+                block: BlockAddr(9),
+            },
+        );
         cx.tick(Cycle(6));
         assert!(cx.pop_completion().is_none());
-        cx.deliver(Cycle(8), CohMsg::DataE { block: BlockAddr(9), value: 0, acks: 1 });
+        cx.deliver(
+            Cycle(8),
+            CohMsg::DataE {
+                block: BlockAddr(9),
+                value: 0,
+                acks: 1,
+            },
+        );
         let (c, _) = run_until_completion(&mut cx, Cycle(8), 10);
         assert_eq!(c.value, 42);
     }
@@ -847,10 +930,18 @@ mod tests {
     fn internal_transfer_moves_wq_block_to_ni_without_directory() {
         let mut cx = complex();
         // Core fills and dirties the WQ block.
-        cx.submit(Cycle(0), store(3, 100, 1, AccessOrigin::Core)).unwrap();
+        cx.submit(Cycle(0), store(3, 100, 1, AccessOrigin::Core))
+            .unwrap();
         cx.tick(Cycle(3));
         cx.pop_egress().unwrap();
-        cx.deliver(Cycle(5), CohMsg::DataE { block: BlockAddr(3), value: 0, acks: 0 });
+        cx.deliver(
+            Cycle(5),
+            CohMsg::DataE {
+                block: BlockAddr(3),
+                value: 0,
+                acks: 0,
+            },
+        );
         run_until_completion(&mut cx, Cycle(5), 10);
         // NI polls the WQ block: internal transfer, no egress.
         cx.submit(Cycle(20), load(3, 2, AccessOrigin::Ni)).unwrap();
@@ -866,13 +957,22 @@ mod tests {
     fn owned_state_serves_core_poll_of_dirty_cq_block() {
         let mut cx = complex();
         // NI fills and dirties the CQ block (writing a completion).
-        cx.submit(Cycle(0), store(4, 7, 1, AccessOrigin::Ni)).unwrap();
+        cx.submit(Cycle(0), store(4, 7, 1, AccessOrigin::Ni))
+            .unwrap();
         cx.tick(Cycle(1));
         cx.pop_egress().unwrap();
-        cx.deliver(Cycle(3), CohMsg::DataE { block: BlockAddr(4), value: 0, acks: 0 });
+        cx.deliver(
+            Cycle(3),
+            CohMsg::DataE {
+                block: BlockAddr(4),
+                value: 0,
+                acks: 0,
+            },
+        );
         run_until_completion(&mut cx, Cycle(3), 10);
         // Core polls: Owned fast path gives a clean copy, NI keeps O.
-        cx.submit(Cycle(10), load(4, 2, AccessOrigin::Core)).unwrap();
+        cx.submit(Cycle(10), load(4, 2, AccessOrigin::Core))
+            .unwrap();
         let (c, _) = run_until_completion(&mut cx, Cycle(10), 20);
         assert_eq!(c.value, 7);
         assert!(cx.ni_holds_owned(BlockAddr(4)));
@@ -882,15 +982,26 @@ mod tests {
 
     #[test]
     fn without_owned_state_core_poll_forces_writeback() {
-        let mut cfg = CoherenceConfig::default();
-        cfg.ni_owned_state = false;
+        let cfg = CoherenceConfig {
+            ni_owned_state: false,
+            ..CoherenceConfig::default()
+        };
         let mut cx = CacheComplex::new(cfg, NocNode::tile(1, 1), true, home, 64);
-        cx.submit(Cycle(0), store(4, 7, 1, AccessOrigin::Ni)).unwrap();
+        cx.submit(Cycle(0), store(4, 7, 1, AccessOrigin::Ni))
+            .unwrap();
         cx.tick(Cycle(1));
         cx.pop_egress().unwrap();
-        cx.deliver(Cycle(3), CohMsg::DataE { block: BlockAddr(4), value: 0, acks: 0 });
+        cx.deliver(
+            Cycle(3),
+            CohMsg::DataE {
+                block: BlockAddr(4),
+                value: 0,
+                acks: 0,
+            },
+        );
         run_until_completion(&mut cx, Cycle(3), 10);
-        cx.submit(Cycle(10), load(4, 2, AccessOrigin::Core)).unwrap();
+        cx.submit(Cycle(10), load(4, 2, AccessOrigin::Core))
+            .unwrap();
         // The poll triggers a PutM instead of completing locally.
         let mut now = Cycle(10);
         let put = loop {
@@ -908,24 +1019,46 @@ mod tests {
     #[test]
     fn fwd_gets_demotes_and_refreshes_llc() {
         let mut cx = complex();
-        cx.submit(Cycle(0), store(6, 55, 1, AccessOrigin::Core)).unwrap();
+        cx.submit(Cycle(0), store(6, 55, 1, AccessOrigin::Core))
+            .unwrap();
         cx.tick(Cycle(3));
         cx.pop_egress().unwrap();
-        cx.deliver(Cycle(5), CohMsg::DataE { block: BlockAddr(6), value: 0, acks: 0 });
+        cx.deliver(
+            Cycle(5),
+            CohMsg::DataE {
+                block: BlockAddr(6),
+                value: 0,
+                acks: 0,
+            },
+        );
         run_until_completion(&mut cx, Cycle(5), 10);
         let peer = NocNode::tile(3, 3);
         cx.deliver(
             Cycle(20),
-            CohMsg::FwdGetS { block: BlockAddr(6), requester: peer, rkind: ClientKind::Cache },
+            CohMsg::FwdGetS {
+                block: BlockAddr(6),
+                requester: peer,
+                rkind: ClientKind::Cache,
+            },
         );
         cx.tick(Cycle(21));
         let d = cx.pop_egress().unwrap();
         assert_eq!(d.dst, peer);
-        assert_eq!(d.msg, CohMsg::DataS { block: BlockAddr(6), value: 55 });
+        assert_eq!(
+            d.msg,
+            CohMsg::DataS {
+                block: BlockAddr(6),
+                value: 55
+            }
+        );
         let od = cx.pop_egress().unwrap();
         assert_eq!(
             od.msg,
-            CohMsg::OwnerData { block: BlockAddr(6), value: 55, dirty: true }
+            CohMsg::OwnerData {
+                block: BlockAddr(6),
+                value: 55,
+                dirty: true
+            }
         );
         let (l1, _, dirty) = cx.probe(BlockAddr(6));
         assert!(l1);
@@ -935,22 +1068,42 @@ mod tests {
     #[test]
     fn fwd_getx_surrenders_ownership() {
         let mut cx = complex();
-        cx.submit(Cycle(0), store(6, 55, 1, AccessOrigin::Core)).unwrap();
+        cx.submit(Cycle(0), store(6, 55, 1, AccessOrigin::Core))
+            .unwrap();
         cx.tick(Cycle(3));
         cx.pop_egress().unwrap();
-        cx.deliver(Cycle(5), CohMsg::DataE { block: BlockAddr(6), value: 0, acks: 0 });
+        cx.deliver(
+            Cycle(5),
+            CohMsg::DataE {
+                block: BlockAddr(6),
+                value: 0,
+                acks: 0,
+            },
+        );
         run_until_completion(&mut cx, Cycle(5), 10);
         let peer = NocNode::tile(3, 3);
         cx.deliver(
             Cycle(20),
-            CohMsg::FwdGetX { block: BlockAddr(6), requester: peer, rkind: ClientKind::Cache },
+            CohMsg::FwdGetX {
+                block: BlockAddr(6),
+                requester: peer,
+                rkind: ClientKind::Cache,
+            },
         );
         cx.tick(Cycle(21));
         assert_eq!(
             cx.pop_egress().unwrap().msg,
-            CohMsg::DataM { block: BlockAddr(6), value: 55 }
+            CohMsg::DataM {
+                block: BlockAddr(6),
+                value: 55
+            }
         );
-        assert_eq!(cx.pop_egress().unwrap().msg, CohMsg::AckX { block: BlockAddr(6) });
+        assert_eq!(
+            cx.pop_egress().unwrap().msg,
+            CohMsg::AckX {
+                block: BlockAddr(6)
+            }
+        );
         let (l1, ni, _) = cx.probe(BlockAddr(6));
         assert!(!l1 && !ni);
     }
@@ -961,13 +1114,21 @@ mod tests {
         let peer = NocNode::tile(3, 3);
         cx.deliver(
             Cycle(0),
-            CohMsg::FwdGetS { block: BlockAddr(1), requester: peer, rkind: ClientKind::Cache },
+            CohMsg::FwdGetS {
+                block: BlockAddr(1),
+                requester: peer,
+                rkind: ClientKind::Cache,
+            },
         );
         cx.tick(Cycle(1));
         let e = cx.pop_egress().unwrap();
         assert_eq!(
             e.msg,
-            CohMsg::FwdMiss { block: BlockAddr(1), was_getx: false, requester: peer }
+            CohMsg::FwdMiss {
+                block: BlockAddr(1),
+                was_getx: false,
+                requester: peer
+            }
         );
         assert_eq!(cx.stats().forward_misses.get(), 1);
     }
@@ -976,21 +1137,47 @@ mod tests {
     fn inv_acks_even_when_absent_and_poisons_pending_fill() {
         let mut cx = complex();
         let req = NocNode::tile(2, 2);
-        cx.deliver(Cycle(0), CohMsg::Inv { block: BlockAddr(8), ack_to: req, akind: ClientKind::Cache });
+        cx.deliver(
+            Cycle(0),
+            CohMsg::Inv {
+                block: BlockAddr(8),
+                ack_to: req,
+                akind: ClientKind::Cache,
+            },
+        );
         cx.tick(Cycle(1));
         let e = cx.pop_egress().unwrap();
         assert_eq!(e.dst, req);
-        assert_eq!(e.msg, CohMsg::InvAck { block: BlockAddr(8) });
+        assert_eq!(
+            e.msg,
+            CohMsg::InvAck {
+                block: BlockAddr(8)
+            }
+        );
 
         // Pending GetS invalidated mid-fill: data satisfies the load but the
         // line is not installed.
-        cx.submit(Cycle(10), load(9, 1, AccessOrigin::Core)).unwrap();
+        cx.submit(Cycle(10), load(9, 1, AccessOrigin::Core))
+            .unwrap();
         cx.tick(Cycle(13));
         cx.pop_egress().unwrap();
-        cx.deliver(Cycle(15), CohMsg::Inv { block: BlockAddr(9), ack_to: req, akind: ClientKind::Cache });
+        cx.deliver(
+            Cycle(15),
+            CohMsg::Inv {
+                block: BlockAddr(9),
+                ack_to: req,
+                akind: ClientKind::Cache,
+            },
+        );
         cx.tick(Cycle(16));
         cx.pop_egress().unwrap(); // the InvAck
-        cx.deliver(Cycle(18), CohMsg::DataS { block: BlockAddr(9), value: 5 });
+        cx.deliver(
+            Cycle(18),
+            CohMsg::DataS {
+                block: BlockAddr(9),
+                value: 5,
+            },
+        );
         let (c, _) = run_until_completion(&mut cx, Cycle(18), 10);
         assert_eq!(c.value, 5);
         let (l1, ni, _) = cx.probe(BlockAddr(9));
@@ -999,60 +1186,121 @@ mod tests {
 
     #[test]
     fn forward_during_writeback_serves_from_wb_buffer() {
-        let mut cfg = CoherenceConfig::default();
-        cfg.l1_blocks = 1;
+        let mut cfg = CoherenceConfig {
+            l1_blocks: 1,
+            ..CoherenceConfig::default()
+        };
         cfg.ni_cache_blocks = 0;
         let mut cx = CacheComplex::new(cfg, NocNode::tile(1, 1), false, home, 64);
         // Fill and dirty block 1.
-        cx.submit(Cycle(0), store(1, 11, 1, AccessOrigin::Core)).unwrap();
+        cx.submit(Cycle(0), store(1, 11, 1, AccessOrigin::Core))
+            .unwrap();
         cx.tick(Cycle(3));
         cx.pop_egress().unwrap();
-        cx.deliver(Cycle(5), CohMsg::DataE { block: BlockAddr(1), value: 0, acks: 0 });
+        cx.deliver(
+            Cycle(5),
+            CohMsg::DataE {
+                block: BlockAddr(1),
+                value: 0,
+                acks: 0,
+            },
+        );
         run_until_completion(&mut cx, Cycle(5), 10);
         // Fill block 2: evicts block 1 (PutM).
-        cx.submit(Cycle(20), store(2, 22, 2, AccessOrigin::Core)).unwrap();
+        cx.submit(Cycle(20), store(2, 22, 2, AccessOrigin::Core))
+            .unwrap();
         cx.tick(Cycle(23));
         cx.pop_egress().unwrap(); // GetX for block 2
-        cx.deliver(Cycle(25), CohMsg::DataE { block: BlockAddr(2), value: 0, acks: 0 });
+        cx.deliver(
+            Cycle(25),
+            CohMsg::DataE {
+                block: BlockAddr(2),
+                value: 0,
+                acks: 0,
+            },
+        );
         run_until_completion(&mut cx, Cycle(25), 10);
         let wb = cx.pop_egress().expect("eviction writeback");
         assert!(matches!(wb.msg, CohMsg::PutM { value: 11, .. }));
         // A FwdGetX races the PutM: served from the writeback buffer.
         let peer = NocNode::tile(4, 4);
-        cx.deliver(Cycle(30), CohMsg::FwdGetX { block: BlockAddr(1), requester: peer, rkind: ClientKind::Cache });
+        cx.deliver(
+            Cycle(30),
+            CohMsg::FwdGetX {
+                block: BlockAddr(1),
+                requester: peer,
+                rkind: ClientKind::Cache,
+            },
+        );
         cx.tick(Cycle(31));
         assert_eq!(
             cx.pop_egress().unwrap().msg,
-            CohMsg::DataM { block: BlockAddr(1), value: 11 }
+            CohMsg::DataM {
+                block: BlockAddr(1),
+                value: 11
+            }
         );
-        assert_eq!(cx.pop_egress().unwrap().msg, CohMsg::AckX { block: BlockAddr(1) });
+        assert_eq!(
+            cx.pop_egress().unwrap().msg,
+            CohMsg::AckX {
+                block: BlockAddr(1)
+            }
+        );
         // The stale PutAck still clears the writeback entry.
-        cx.deliver(Cycle(40), CohMsg::PutAck { block: BlockAddr(1) });
+        cx.deliver(
+            Cycle(40),
+            CohMsg::PutAck {
+                block: BlockAddr(1),
+            },
+        );
         assert!(cx.is_quiescent() || !cx.writebacks.contains_key(&BlockAddr(1)));
     }
 
     #[test]
     fn forwards_during_transient_are_deferred() {
         let mut cx = complex();
-        cx.submit(Cycle(0), store(7, 1, 1, AccessOrigin::Core)).unwrap();
+        cx.submit(Cycle(0), store(7, 1, 1, AccessOrigin::Core))
+            .unwrap();
         cx.tick(Cycle(3));
         cx.pop_egress().unwrap();
         // Forward arrives before our fill: deferred.
         let peer = NocNode::tile(5, 5);
-        cx.deliver(Cycle(4), CohMsg::FwdGetS { block: BlockAddr(7), requester: peer, rkind: ClientKind::Cache });
+        cx.deliver(
+            Cycle(4),
+            CohMsg::FwdGetS {
+                block: BlockAddr(7),
+                requester: peer,
+                rkind: ClientKind::Cache,
+            },
+        );
         cx.tick(Cycle(5));
         assert!(cx.pop_egress().is_none());
         // Fill lands; deferred forward is then served.
-        cx.deliver(Cycle(6), CohMsg::DataE { block: BlockAddr(7), value: 0, acks: 0 });
+        cx.deliver(
+            Cycle(6),
+            CohMsg::DataE {
+                block: BlockAddr(7),
+                value: 0,
+                acks: 0,
+            },
+        );
         run_until_completion(&mut cx, Cycle(6), 10);
         let d = cx.pop_egress().unwrap();
-        assert_eq!(d.msg, CohMsg::DataS { block: BlockAddr(7), value: 1 });
+        assert_eq!(
+            d.msg,
+            CohMsg::DataS {
+                block: BlockAddr(7),
+                value: 1
+            }
+        );
     }
 
     #[test]
     fn mshr_exhaustion_backpressures() {
-        let mut cfg = CoherenceConfig::default();
-        cfg.l1_mshrs = 1;
+        let cfg = CoherenceConfig {
+            l1_mshrs: 1,
+            ..CoherenceConfig::default()
+        };
         let mut cx = CacheComplex::new(cfg, NocNode::tile(1, 1), true, home, 64);
         cx.submit(Cycle(0), load(1, 1, AccessOrigin::Core)).unwrap();
         cx.tick(Cycle(3));
@@ -1069,11 +1317,18 @@ mod tests {
         cx.submit(Cycle(0), load(5, 1, AccessOrigin::Core)).unwrap();
         cx.tick(Cycle(3));
         cx.pop_egress().unwrap(); // GetS
-        // A store joins the outstanding load.
-        cx.submit(Cycle(4), store(5, 9, 2, AccessOrigin::Core)).unwrap();
+                                  // A store joins the outstanding load.
+        cx.submit(Cycle(4), store(5, 9, 2, AccessOrigin::Core))
+            .unwrap();
         cx.tick(Cycle(7));
         // Shared fill: load completes, store must upgrade via GetX.
-        cx.deliver(Cycle(8), CohMsg::DataS { block: BlockAddr(5), value: 3 });
+        cx.deliver(
+            Cycle(8),
+            CohMsg::DataS {
+                block: BlockAddr(5),
+                value: 3,
+            },
+        );
         let (c, _) = run_until_completion(&mut cx, Cycle(8), 10);
         assert_eq!(c.tag, 1);
         assert_eq!(c.value, 3);
@@ -1087,8 +1342,20 @@ mod tests {
             now += 1;
             assert!(now.0 < 30);
         };
-        assert_eq!(e.msg, CohMsg::GetX { block: BlockAddr(5) });
-        cx.deliver(now + 1, CohMsg::DataE { block: BlockAddr(5), value: 3, acks: 0 });
+        assert_eq!(
+            e.msg,
+            CohMsg::GetX {
+                block: BlockAddr(5)
+            }
+        );
+        cx.deliver(
+            now + 1,
+            CohMsg::DataE {
+                block: BlockAddr(5),
+                value: 3,
+                acks: 0,
+            },
+        );
         let (c2, _) = run_until_completion(&mut cx, now + 1, 10);
         assert_eq!(c2.tag, 2);
         assert_eq!(c2.value, 9);

@@ -172,6 +172,19 @@ impl DirectoryBank {
         self.egress.pop_front()
     }
 
+    /// Test/experiment visibility: the LLC bank's current copy of `block`,
+    /// without disturbing LRU state.
+    pub fn peek_llc(&self, block: BlockAddr) -> Option<u64> {
+        self.llc.peek(block).map(|(value, _)| value)
+    }
+
+    /// Overwrite the LLC bank's resident copy of `block` in place (marking
+    /// it dirty); `false` when the bank holds no copy. Bypasses timing —
+    /// experiment setup only.
+    pub fn poke_llc(&mut self, block: BlockAddr, value: u64) -> bool {
+        self.llc.update_in_place(block, value)
+    }
+
     /// Test/debug visibility: `(is_shared, is_exclusive, llc_has_data)`.
     pub fn probe(&self, block: BlockAddr) -> (bool, bool, bool) {
         match self.dir.get(&block) {
@@ -279,7 +292,16 @@ impl DirectoryBank {
                 if let Some((value, _)) = self.llc.get(block) {
                     // MESI: grant Exclusive on a read when no one else holds it.
                     self.dir.insert(block, DirState::Exclusive(r));
-                    self.send(now, r, ClientKind::Cache, CohMsg::DataE { block, value, acks: 0 });
+                    self.send(
+                        now,
+                        r,
+                        ClientKind::Cache,
+                        CohMsg::DataE {
+                            block,
+                            value,
+                            acks: 0,
+                        },
+                    );
                 } else {
                     self.request_fill(now, block, r, FillKind::GetS);
                 }
@@ -299,7 +321,16 @@ impl DirectoryBank {
             Some(DirState::Exclusive(o)) if o == r => {
                 // Owner lost its copy silently (clean) and asks again.
                 if let Some((value, _)) = self.llc.get(block) {
-                    self.send(now, r, ClientKind::Cache, CohMsg::DataE { block, value, acks: 0 });
+                    self.send(
+                        now,
+                        r,
+                        ClientKind::Cache,
+                        CohMsg::DataE {
+                            block,
+                            value,
+                            acks: 0,
+                        },
+                    );
                 } else {
                     self.dir.remove(&block);
                     self.request_fill(now, block, r, FillKind::GetS);
@@ -307,7 +338,16 @@ impl DirectoryBank {
             }
             Some(DirState::Exclusive(o)) => {
                 self.stats.forwards.incr();
-                self.send(now, o, ClientKind::Cache, CohMsg::FwdGetS { block, requester: r, rkind: ClientKind::Cache });
+                self.send(
+                    now,
+                    o,
+                    ClientKind::Cache,
+                    CohMsg::FwdGetS {
+                        block,
+                        requester: r,
+                        rkind: ClientKind::Cache,
+                    },
+                );
                 self.begin(
                     block,
                     Trans::AwaitOwnerData {
@@ -325,7 +365,16 @@ impl DirectoryBank {
             None => {
                 if let Some((value, _)) = self.llc.get(block) {
                     self.dir.insert(block, DirState::Exclusive(r));
-                    self.send(now, r, ClientKind::Cache, CohMsg::DataE { block, value, acks: 0 });
+                    self.send(
+                        now,
+                        r,
+                        ClientKind::Cache,
+                        CohMsg::DataE {
+                            block,
+                            value,
+                            acks: 0,
+                        },
+                    );
                 } else {
                     self.request_fill(now, block, r, FillKind::GetX { acks: 0 });
                 }
@@ -335,18 +384,41 @@ impl DirectoryBank {
                 let acks = others.len() as u32;
                 for s in &others {
                     self.stats.invalidations.incr();
-                    self.send(now, *s, ClientKind::Cache, CohMsg::Inv { block, ack_to: r, akind: ClientKind::Cache });
+                    self.send(
+                        now,
+                        *s,
+                        ClientKind::Cache,
+                        CohMsg::Inv {
+                            block,
+                            ack_to: r,
+                            akind: ClientKind::Cache,
+                        },
+                    );
                 }
                 if let Some((value, _)) = self.llc.get(block) {
                     self.dir.insert(block, DirState::Exclusive(r));
-                    self.send(now, r, ClientKind::Cache, CohMsg::DataE { block, value, acks });
+                    self.send(
+                        now,
+                        r,
+                        ClientKind::Cache,
+                        CohMsg::DataE { block, value, acks },
+                    );
                 } else {
                     self.request_fill(now, block, r, FillKind::GetX { acks });
                 }
             }
             Some(DirState::Exclusive(o)) if o == r => {
                 if let Some((value, _)) = self.llc.get(block) {
-                    self.send(now, r, ClientKind::Cache, CohMsg::DataE { block, value, acks: 0 });
+                    self.send(
+                        now,
+                        r,
+                        ClientKind::Cache,
+                        CohMsg::DataE {
+                            block,
+                            value,
+                            acks: 0,
+                        },
+                    );
                 } else {
                     self.dir.remove(&block);
                     self.request_fill(now, block, r, FillKind::GetX { acks: 0 });
@@ -354,7 +426,16 @@ impl DirectoryBank {
             }
             Some(DirState::Exclusive(o)) => {
                 self.stats.forwards.incr();
-                self.send(now, o, ClientKind::Cache, CohMsg::FwdGetX { block, requester: r, rkind: ClientKind::Cache });
+                self.send(
+                    now,
+                    o,
+                    ClientKind::Cache,
+                    CohMsg::FwdGetX {
+                        block,
+                        requester: r,
+                        rkind: ClientKind::Cache,
+                    },
+                );
                 self.begin(block, Trans::AwaitAckX { requester: r });
             }
         }
@@ -380,7 +461,11 @@ impl DirectoryBank {
                     now,
                     o,
                     ClientKind::Cache,
-                    CohMsg::FwdGetS { block, requester: r, rkind: ClientKind::NiData },
+                    CohMsg::FwdGetS {
+                        block,
+                        requester: r,
+                        rkind: ClientKind::NiData,
+                    },
                 );
                 self.begin(
                     block,
@@ -411,7 +496,16 @@ impl DirectoryBank {
                 let pending = set.len() as u32;
                 for s in &set {
                     self.stats.invalidations.incr();
-                    self.send(now, *s, ClientKind::Cache, CohMsg::Inv { block, ack_to: self.me, akind: ClientKind::Directory });
+                    self.send(
+                        now,
+                        *s,
+                        ClientKind::Cache,
+                        CohMsg::Inv {
+                            block,
+                            ack_to: self.me,
+                            akind: ClientKind::Directory,
+                        },
+                    );
                 }
                 self.dir.remove(&block);
                 if pending == 0 {
@@ -430,7 +524,16 @@ impl DirectoryBank {
             }
             Some(DirState::Exclusive(o)) => {
                 self.stats.forwards.incr();
-                self.send(now, o, ClientKind::Cache, CohMsg::FwdGetX { block, requester: self.me, rkind: ClientKind::Directory });
+                self.send(
+                    now,
+                    o,
+                    ClientKind::Cache,
+                    CohMsg::FwdGetX {
+                        block,
+                        requester: self.me,
+                        rkind: ClientKind::Directory,
+                    },
+                );
                 self.dir.remove(&block);
                 self.begin(
                     block,
@@ -557,15 +660,33 @@ impl DirectoryBank {
         }
         if let Some((value, _)) = self.llc.get(block) {
             if nc_read {
-                self.send(now, requester, ClientKind::NiData, CohMsg::NcData { block, value });
+                self.send(
+                    now,
+                    requester,
+                    ClientKind::NiData,
+                    CohMsg::NcData { block, value },
+                );
             } else {
                 self.dir.insert(block, DirState::Exclusive(requester));
-                self.send(now, requester, ClientKind::Cache, CohMsg::DataE { block, value, acks: 0 });
+                self.send(
+                    now,
+                    requester,
+                    ClientKind::Cache,
+                    CohMsg::DataE {
+                        block,
+                        value,
+                        acks: 0,
+                    },
+                );
             }
             self.finish(block);
         } else {
             // Re-open as a memory fill for the original requester.
-            let kind = if nc_read { FillKind::NcRead } else { FillKind::GetS };
+            let kind = if nc_read {
+                FillKind::NcRead
+            } else {
+                FillKind::GetS
+            };
             self.finish(block);
             self.request_fill(now, block, requester, kind);
         }
@@ -582,14 +703,33 @@ impl DirectoryBank {
         match kind {
             FillKind::GetS | FillKind::GetX { acks: 0 } => {
                 self.dir.insert(block, DirState::Exclusive(requester));
-                self.send(now, requester, ClientKind::Cache, CohMsg::DataE { block, value, acks: 0 });
+                self.send(
+                    now,
+                    requester,
+                    ClientKind::Cache,
+                    CohMsg::DataE {
+                        block,
+                        value,
+                        acks: 0,
+                    },
+                );
             }
             FillKind::GetX { acks } => {
                 self.dir.insert(block, DirState::Exclusive(requester));
-                self.send(now, requester, ClientKind::Cache, CohMsg::DataE { block, value, acks });
+                self.send(
+                    now,
+                    requester,
+                    ClientKind::Cache,
+                    CohMsg::DataE { block, value, acks },
+                );
             }
             FillKind::NcRead => {
-                self.send(now, requester, ClientKind::NiData, CohMsg::NcData { block, value });
+                self.send(
+                    now,
+                    requester,
+                    ClientKind::NiData,
+                    CohMsg::NcData { block, value },
+                );
             }
         }
         self.finish(block);

@@ -82,6 +82,34 @@ impl LlcArray {
         self.lookup.contains_key(&block)
     }
 
+    /// Look up a block without touching LRU state. Returns `(value, dirty)`.
+    pub fn peek(&self, block: BlockAddr) -> Option<(u64, bool)> {
+        if !self.lookup.contains_key(&block) {
+            return None;
+        }
+        let s = self.set_of(block);
+        self.sets[s]
+            .iter()
+            .find(|l| l.block == block)
+            .map(|l| (l.value, l.dirty))
+    }
+
+    /// Overwrite a resident block in place, marking it dirty; `false` when
+    /// the block is not cached (no allocation, no eviction, no LRU update).
+    pub fn update_in_place(&mut self, block: BlockAddr, value: u64) -> bool {
+        if !self.lookup.contains_key(&block) {
+            return false;
+        }
+        let s = self.set_of(block);
+        let line = self.sets[s]
+            .iter_mut()
+            .find(|l| l.block == block)
+            .expect("lookup map and sets agree");
+        line.value = value;
+        line.dirty = true;
+        true
+    }
+
     /// Install (or update) a block, returning the victim if a dirty line had
     /// to be evicted to make room. Clean victims are dropped silently.
     pub fn install(&mut self, block: BlockAddr, value: u64, dirty: bool) -> Option<Evicted> {

@@ -41,17 +41,33 @@ pub enum CohMsg {
 
     // ---- forwards: directory -> owner / sharers ----
     /// Owner must send a shared copy to `requester` and refresh the LLC.
-    FwdGetS { block: BlockAddr, requester: NocNode, rkind: ClientKind },
+    FwdGetS {
+        block: BlockAddr,
+        requester: NocNode,
+        rkind: ClientKind,
+    },
     /// Owner must transfer the block exclusively to `requester`.
-    FwdGetX { block: BlockAddr, requester: NocNode, rkind: ClientKind },
+    FwdGetX {
+        block: BlockAddr,
+        requester: NocNode,
+        rkind: ClientKind,
+    },
     /// Sharer must invalidate and acknowledge to `ack_to`.
-    Inv { block: BlockAddr, ack_to: NocNode, akind: ClientKind },
+    Inv {
+        block: BlockAddr,
+        ack_to: NocNode,
+        akind: ClientKind,
+    },
 
     // ---- responses ----
     /// Exclusive data grant from the directory; the requester must collect
     /// `acks` invalidation acknowledgments before using the block (the
     /// paper's `MissNotify` semantics, Fig. 2a).
-    DataE { block: BlockAddr, value: u64, acks: u32 },
+    DataE {
+        block: BlockAddr,
+        value: u64,
+        acks: u32,
+    },
     /// Shared data (from the directory or a forwarding owner).
     DataS { block: BlockAddr, value: u64 },
     /// Exclusive (possibly dirty) data from the previous owner on FwdGetX.
@@ -60,12 +76,20 @@ pub enum CohMsg {
     InvAck { block: BlockAddr },
     /// Owner's copy back to the directory after FwdGetS, keeping the LLC up
     /// to date (Fig. 2b's closing message).
-    OwnerData { block: BlockAddr, value: u64, dirty: bool },
+    OwnerData {
+        block: BlockAddr,
+        value: u64,
+        dirty: bool,
+    },
     /// Ownership-transfer acknowledgment to the directory after FwdGetX.
     AckX { block: BlockAddr },
     /// The presumed owner no longer holds the block (legal with an inexact,
     /// non-notifying directory after a silent clean eviction).
-    FwdMiss { block: BlockAddr, was_getx: bool, requester: NocNode },
+    FwdMiss {
+        block: BlockAddr,
+        was_getx: bool,
+        requester: NocNode,
+    },
     /// Writeback acknowledgment.
     PutAck { block: BlockAddr },
 
@@ -210,10 +234,21 @@ mod tests {
         let b = BlockAddr(0);
         assert_eq!(wire_of(&CohMsg::GetX { block: b }, false).flits, 1);
         assert_eq!(
-            wire_of(&CohMsg::DataE { block: b, value: 0, acks: 0 }, true).flits,
+            wire_of(
+                &CohMsg::DataE {
+                    block: b,
+                    value: 0,
+                    acks: 0
+                },
+                true
+            )
+            .flits,
             5
         );
-        assert_eq!(wire_of(&CohMsg::PutM { block: b, value: 0 }, false).flits, 5);
+        assert_eq!(
+            wire_of(&CohMsg::PutM { block: b, value: 0 }, false).flits,
+            5
+        );
         assert_eq!(wire_of(&CohMsg::InvAck { block: b }, false).flits, 1);
     }
 

@@ -83,11 +83,8 @@ impl World {
 
     /// Inject a raw protocol message from a phantom client (e.g. an RRPP).
     fn inject(&mut self, from: NocNode, to: NocNode, msg: CohMsg) {
-        self.fabric.push_after(
-            self.now,
-            self.fabric_latency,
-            Sent { from, to, msg },
-        );
+        self.fabric
+            .push_after(self.now, self.fabric_latency, Sent { from, to, msg });
     }
 
     fn step(&mut self) {
@@ -334,19 +331,30 @@ fn nc_write_then_read_roundtrip_via_memory() {
     let rrpp = NocNode::NiBlock(3);
     let mut w = World::new(&[CORE], false, 1, CoherenceConfig::default());
     let dir = home(BlockAddr(9), 1);
-    w.inject(rrpp, dir, CohMsg::NcWrite { block: BlockAddr(9), value: 777 });
+    w.inject(
+        rrpp,
+        dir,
+        CohMsg::NcWrite {
+            block: BlockAddr(9),
+            value: 777,
+        },
+    );
     w.run(60);
     assert_eq!(
         w.count_msgs(|s| matches!(s.msg, CohMsg::NcWAck { .. }) && s.to == rrpp),
         1,
         "NcWrite acknowledged"
     );
-    w.inject(rrpp, dir, CohMsg::NcRead { block: BlockAddr(9) });
+    w.inject(
+        rrpp,
+        dir,
+        CohMsg::NcRead {
+            block: BlockAddr(9),
+        },
+    );
     w.run(60);
     assert_eq!(
-        w.count_msgs(
-            |s| matches!(s.msg, CohMsg::NcData { value: 777, .. }) && s.to == rrpp
-        ),
+        w.count_msgs(|s| matches!(s.msg, CohMsg::NcData { value: 777, .. }) && s.to == rrpp),
         1,
         "NcRead returns the written value from the LLC"
     );
@@ -359,13 +367,17 @@ fn nc_read_of_dirty_cached_block_forwards_from_owner() {
     w.submit(CORE, store(4, 0xdead, 1));
     w.run_until_completion(CORE, 500);
     let dir = home(BlockAddr(4), 1);
-    w.inject(rrpp, dir, CohMsg::NcRead { block: BlockAddr(4) });
+    w.inject(
+        rrpp,
+        dir,
+        CohMsg::NcRead {
+            block: BlockAddr(4),
+        },
+    );
     w.run(80);
     // Owner forwarded the dirty value directly to the RRPP.
     assert_eq!(
-        w.count_msgs(
-            |s| matches!(s.msg, CohMsg::DataS { value: 0xdead, .. }) && s.to == rrpp
-        ),
+        w.count_msgs(|s| matches!(s.msg, CohMsg::DataS { value: 0xdead, .. }) && s.to == rrpp),
         1
     );
 }
@@ -383,7 +395,14 @@ fn nc_write_invalidates_sharers() {
     w.run_until_completion(CORE, 500);
     // RCP-style write must invalidate both copies before acking.
     let dir = home(BlockAddr(6), 1);
-    w.inject(rrpp, dir, CohMsg::NcWrite { block: BlockAddr(6), value: 9 });
+    w.inject(
+        rrpp,
+        dir,
+        CohMsg::NcWrite {
+            block: BlockAddr(6),
+            value: 9,
+        },
+    );
     w.run(100);
     assert!(w.count_msgs(|s| matches!(s.msg, CohMsg::Inv { .. })) >= 1);
     assert_eq!(
@@ -397,8 +416,10 @@ fn nc_write_invalidates_sharers() {
 
 #[test]
 fn silent_clean_eviction_resolves_via_fwd_miss() {
-    let mut cfg = CoherenceConfig::default();
-    cfg.l1_blocks = 2;
+    let mut cfg = CoherenceConfig {
+        l1_blocks: 2,
+        ..CoherenceConfig::default()
+    };
     cfg.ni_cache_blocks = 0;
     let mut w = World::new(&[CORE, PEER], false, 1, cfg);
     // Core fills block 1 exclusively (clean).
@@ -421,8 +442,10 @@ fn silent_clean_eviction_resolves_via_fwd_miss() {
 
 #[test]
 fn dirty_eviction_writes_back_and_peer_reads_from_llc() {
-    let mut cfg = CoherenceConfig::default();
-    cfg.l1_blocks = 1;
+    let mut cfg = CoherenceConfig {
+        l1_blocks: 1,
+        ..CoherenceConfig::default()
+    };
     cfg.ni_cache_blocks = 0;
     let mut w = World::new(&[CORE, PEER], false, 1, cfg);
     w.submit(CORE, store(1, 0x42, 1));
@@ -444,7 +467,11 @@ fn dirty_eviction_writes_back_and_peer_reads_from_llc() {
 fn two_writers_alternate_ownership() {
     let mut w = World::new(&[CORE, PEER], false, 2, CoherenceConfig::default());
     for round in 0u64..6 {
-        let (writer, tag) = if round % 2 == 0 { (CORE, round) } else { (PEER, round) };
+        let (writer, tag) = if round % 2 == 0 {
+            (CORE, round)
+        } else {
+            (PEER, round)
+        };
         w.submit(writer, store(8, round + 1, tag));
         let c = w.run_until_completion(writer, 1000);
         assert_eq!(c.value, round + 1);

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the minimal harness surface its bench targets use: [`Criterion`] with the
+//! builder knobs, [`Criterion::benchmark_group`] / `bench_function`,
+//! [`Bencher::iter`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark runs `sample_size` timed
+//! iterations after one warm-up and prints the mean wall-clock time per
+//! iteration — enough to eyeball regressions; no statistical analysis.
+
+use std::time::{Duration, Instant};
+
+/// Opaque measurement harness configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; this harness times a fixed iteration
+    /// count rather than a wall-clock budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for compatibility (see [`Criterion::measurement_time`]).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for compatibility; command-line filtering is not supported.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; reports are printed as benches run.
+    pub fn final_summary(self) {}
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            c: self,
+            throughput: None,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one(&name.into(), sample_size, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput units.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the timed iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; this harness times a fixed iteration
+    /// count rather than a wall-clock budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&name.into(), self.c.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the kernel.
+pub struct Bencher {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    name: String,
+    reported: bool,
+}
+
+impl Bencher {
+    /// Time `f`, running it once for warm-up then `sample_size` times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            std::hint::black_box(f());
+        }
+        let total = start.elapsed();
+        let per_iter = total / self.sample_size as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter.as_nanos() > 0 => {
+                format!(
+                    "  ({:.1} Melem/s)",
+                    n as f64 / per_iter.as_nanos() as f64 * 1e3
+                )
+            }
+            Some(Throughput::Bytes(n)) if per_iter.as_nanos() > 0 => {
+                format!(
+                    "  ({:.1} MB/s)",
+                    n as f64 / per_iter.as_nanos() as f64 * 1e3
+                )
+            }
+            _ => String::new(),
+        };
+        println!("  {:<40} {:>12.3?}/iter{}", self.name, per_iter, rate);
+        self.reported = true;
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: F,
+) {
+    let mut b = Bencher {
+        sample_size,
+        throughput,
+        name: name.to_string(),
+        reported: false,
+    };
+    f(&mut b);
+    if !b.reported {
+        println!("  {:<40} (no iter() call)", name);
+    }
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a bench entry point from a config expression and target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+    }
+}

@@ -6,10 +6,12 @@
 //! [`Scale`] so CI runs stay fast while full runs match the paper's
 //! methodology.
 
+use ni_engine::Frequency;
+use ni_fabric::Torus3D;
+use ni_noc::RoutingPolicy;
 use ni_rmc::NiPlacement;
 use ni_soc::bench::{run_bandwidth, run_sync_latency, stage_breakdown, StageBreakdown};
-use ni_soc::{ChipConfig, Topology};
-use ni_noc::RoutingPolicy;
+use ni_soc::{ChipConfig, Rack, RackSimConfig, Topology, TrafficPattern, Workload};
 
 use crate::paper;
 use crate::parallel::par_map;
@@ -322,7 +324,9 @@ pub fn latency_vs_size(scale: Scale, topology: Topology, sizes: &[u64]) -> Vec<S
         .iter()
         .flat_map(|&s| designs.iter().map(move |&p| (s, p)))
         .collect();
-    let runs = par_map(grid, |(size, p)| run_sync_latency(cfg_for(p, topology), size, ops));
+    let runs = par_map(grid, |(size, p)| {
+        run_sync_latency(cfg_for(p, topology), size, ops)
+    });
     let mut out = Vec::new();
     for (si, &size) in sizes.iter().enumerate() {
         let mut ns = [0.0; 3];
@@ -457,6 +461,152 @@ pub fn nicache_ablation(scale: Scale) -> (f64, f64) {
     let off = runs.pop().expect("two runs");
     let on = runs.pop().expect("two runs");
     (on.mean_cycles, off.mean_cycles)
+}
+
+/// One point of the multi-node rack-scale sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct RackScalePoint {
+    /// Torus dimensions.
+    pub dims: (u16, u16, u16),
+    /// Node count.
+    pub nodes: u32,
+    /// Operations completed rack-wide.
+    pub completed_ops: u64,
+    /// Aggregate NI bandwidth rack-wide, GB/s: each node's RCP deliveries
+    /// plus RRPP services (§6.2's per-node definition), summed over nodes.
+    /// Note a cross-node transfer is counted at *both* endpoints (the
+    /// requester's RCP and the servicer's RRPP), so this reads ~2x a
+    /// wire-level payload rate — the per-NI view, comparable across rack
+    /// sizes but not directly to a single link's bandwidth.
+    pub agg_ni_gbps: f64,
+    /// Busiest directed link's peak bandwidth, GB/s.
+    pub peak_link_gbps: f64,
+    /// Total torus link traversals.
+    pub hops: u64,
+    /// Mean hops per fabric packet (requests + responses).
+    pub mean_hops: f64,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+fn rack_dims(scale: Scale) -> Vec<(u16, u16, u16)> {
+    match scale {
+        Scale::Quick => vec![(2, 1, 1), (2, 2, 1), (2, 2, 2)],
+        Scale::Full => vec![(2, 1, 1), (2, 2, 1), (2, 2, 2), (3, 3, 3)],
+    }
+}
+
+fn rack_cycles(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 15_000,
+        Scale::Full => 60_000,
+    }
+}
+
+/// The sweep's canonical rack for one dims point, run for `cycles`. Both
+/// the summary rows and the per-link detail table come through here, so
+/// they always describe the same experiment.
+fn run_rack_point(dims: (u16, u16, u16), traffic: TrafficPattern, cycles: u64) -> Rack {
+    let cfg = RackSimConfig {
+        torus: Torus3D::new(dims.0, dims.1, dims.2),
+        chip: ChipConfig {
+            // Four requesting cores per node keeps multi-rack sweeps
+            // tractable while still loading every link class.
+            active_cores: 4,
+            ..ChipConfig::default()
+        },
+        traffic,
+        ..RackSimConfig::default()
+    };
+    let mut rack = Rack::new(
+        cfg,
+        Workload::AsyncRead {
+            size: 512,
+            poll_every: 4,
+        },
+    );
+    rack.run(cycles);
+    rack
+}
+
+/// Multi-node rack-scale sweep: racks of growing torus dimensions, every
+/// node a fully simulated chip, traffic crossing the fabric hop-by-hop.
+/// This is the experiment the paper's single-node methodology (§5) cannot
+/// express — cross-node flows, per-link load, and scaling with rack size.
+pub fn rack_scale(scale: Scale, traffic: TrafficPattern) -> Vec<RackScalePoint> {
+    let cycles = rack_cycles(scale);
+    par_map(rack_dims(scale), move |(x, y, z)| {
+        let torus = Torus3D::new(x, y, z);
+        let rack = run_rack_point((x, y, z), traffic, cycles);
+        let freq = Frequency::GHZ2;
+        let fs = rack.fabric_stats();
+        // Packets that finished their journey (in-flight ones still hold
+        // un-attributed hops; negligible over a full run).
+        let packets = fs.incoming_generated.get() + fs.responded.get();
+        RackScalePoint {
+            dims: (x, y, z),
+            nodes: torus.nodes(),
+            completed_ops: rack.completed_ops(),
+            agg_ni_gbps: freq
+                .gbps_from_bytes_per_cycle(rack.app_payload_bytes() as f64 / cycles as f64),
+            peak_link_gbps: rack.peak_link_gbps(),
+            hops: rack.hops_traversed(),
+            mean_hops: if packets == 0 {
+                0.0
+            } else {
+                rack.hops_traversed() as f64 / packets as f64
+            },
+            cycles,
+        }
+    })
+}
+
+/// Render the rack-scale sweep plus the busiest links of the largest rack.
+pub fn rack_scale_render(scale: Scale) -> String {
+    let pts = rack_scale(scale, TrafficPattern::Uniform);
+    let mut t = Table::new(&[
+        "torus",
+        "nodes",
+        "ops",
+        "agg NI GBps (per-node sum)",
+        "peak link (GBps)",
+        "hops",
+        "mean hops/pkt",
+    ]);
+    for p in &pts {
+        t.row_owned(vec![
+            format!("{}x{}x{}", p.dims.0, p.dims.1, p.dims.2),
+            p.nodes.to_string(),
+            p.completed_ops.to_string(),
+            f1(p.agg_ni_gbps),
+            f1(p.peak_link_gbps),
+            p.hops.to_string(),
+            f1(p.mean_hops),
+        ]);
+    }
+    let mut out = t.render();
+
+    // Per-directed-link detail for the largest rack — the congestion-study
+    // raw material. Reruns the point through the same `run_rack_point`
+    // config as the summary rows (the sweep's racks are consumed by
+    // `par_map`; determinism makes the rerun bit-identical).
+    let (x, y, z) = *rack_dims(scale).last().expect("non-empty dims sweep");
+    let rack = run_rack_point((x, y, z), TrafficPattern::Uniform, rack_cycles(scale));
+    let mut links = rack.link_report();
+    links.sort_by(|a, b| b.peak_gbps.total_cmp(&a.peak_gbps));
+    let mut lt = Table::new(&["link", "packets", "bytes", "busy cycles", "peak GBps"]);
+    for l in links.iter().take(8) {
+        lt.row_owned(vec![
+            format!("n{} {}", l.node, l.dir),
+            l.packets.to_string(),
+            l.bytes.to_string(),
+            l.busy_cycles.to_string(),
+            f1(l.peak_gbps),
+        ]);
+    }
+    out.push_str(&format!("\nbusiest directed links, {x}x{y}x{z} rack:\n"));
+    out.push_str(&lt.render());
+    out
 }
 
 /// The default size sweep of the paper's latency figures (64B to 16KB).

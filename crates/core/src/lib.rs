@@ -46,11 +46,11 @@ pub use ni_soc;
 /// Convenience re-exports for typical use.
 pub mod prelude {
     pub use ni_engine::{Cycle, Frequency};
-    pub use ni_fabric::Torus3D;
+    pub use ni_fabric::{Fabric, Torus3D, TorusFabric, TorusFabricConfig};
     pub use ni_noc::RoutingPolicy;
     pub use ni_rmc::NiPlacement;
     pub use ni_soc::{
-        run_bandwidth, run_sync_latency, BandwidthResult, Chip, ChipConfig, LatencyResult,
-        Topology, Workload,
+        run_bandwidth, run_sync_latency, BandwidthResult, Chip, ChipConfig, LatencyResult, Rack,
+        RackSimConfig, Topology, TrafficPattern, Workload,
     };
 }

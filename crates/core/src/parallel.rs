@@ -37,7 +37,12 @@ where
         .unwrap_or(1)
         .min(n);
     if workers <= 1 {
-        return items.into_iter().map(f).collect();
+        // Mirror the threaded path's panic surface so callers observe the
+        // same failure regardless of host parallelism.
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            items.into_iter().map(&f).collect::<Vec<R>>()
+        }));
+        return out.unwrap_or_else(|_| panic!("a scoped thread panicked"));
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();

@@ -1,9 +1,7 @@
 //! Tests of the experiment layer itself: each table/figure function must
 //! produce structurally valid, paper-shaped output at quick scale.
 
-use rackni::experiments::{
-    self, fig5, latency_vs_size, nicache_ablation, table1, table3, Scale,
-};
+use rackni::experiments::{self, fig5, latency_vs_size, nicache_ablation, table1, table3, Scale};
 use rackni::ni_rmc::NiPlacement;
 use rackni::ni_soc::Topology;
 
@@ -12,7 +10,12 @@ fn table1_shows_the_qp_tax() {
     let (edge, numa) = table1(Scale::Quick);
     assert_eq!(edge.placement, NiPlacement::Edge);
     assert_eq!(numa.placement, NiPlacement::Numa);
-    assert!(edge.cycles > numa.cycles * 1.4, "{} vs {}", edge.cycles, numa.cycles);
+    assert!(
+        edge.cycles > numa.cycles * 1.4,
+        "{} vs {}",
+        edge.cycles,
+        numa.cycles
+    );
     assert_eq!(edge.paper_cycles, 710);
     assert_eq!(numa.paper_cycles, 395);
     let render = experiments::table1_render(Scale::Quick);
@@ -40,8 +43,18 @@ fn table3_breakdowns_sum_to_totals() {
     }
     // The paper's key structural finding: NIedge's WQ-interaction stages
     // dominate its gap over the split design.
-    let edge = &t3.breakdowns.iter().find(|(p, _)| *p == NiPlacement::Edge).expect("edge").1;
-    let split = &t3.breakdowns.iter().find(|(p, _)| *p == NiPlacement::Split).expect("split").1;
+    let edge = &t3
+        .breakdowns
+        .iter()
+        .find(|(p, _)| *p == NiPlacement::Edge)
+        .expect("edge")
+        .1;
+    let split = &t3
+        .breakdowns
+        .iter()
+        .find(|(p, _)| *p == NiPlacement::Split)
+        .expect("split")
+        .1;
     assert!(
         edge.wq_write + edge.wq_read_and_rgp > split.wq_write + split.wq_read_and_rgp + 100.0,
         "edge QP interaction must dominate"
@@ -63,7 +76,12 @@ fn fig5_overheads_shrink_with_hop_count() {
     // Paper (§6.1.2): at 6 hops edge ~28.6%, split ~4.7%; shapes must hold
     // loosely — edge well above split, both far below their 1-hop values.
     let p6 = &pts[6];
-    assert!(p6.edge_pct > 2.0 * p6.split_pct, "{} vs {}", p6.edge_pct, p6.split_pct);
+    assert!(
+        p6.edge_pct > 2.0 * p6.split_pct,
+        "{} vs {}",
+        p6.edge_pct,
+        p6.split_pct
+    );
     let p1 = &pts[1];
     assert!(p1.edge_pct > p6.edge_pct);
 }
@@ -74,7 +92,10 @@ fn fig6_pertile_loses_at_large_transfers() {
     let small = &pts[0];
     let big = &pts[1];
     // [edge, split, per-tile]
-    assert!(small.ns[2] <= small.ns[1] * 1.05, "per-tile wins small transfers");
+    assert!(
+        small.ns[2] <= small.ns[1] * 1.05,
+        "per-tile wins small transfers"
+    );
     assert!(small.ns[0] > small.ns[1], "edge loses small transfers");
     assert!(
         big.ns[2] > big.ns[1],
@@ -82,8 +103,14 @@ fn fig6_pertile_loses_at_large_transfers() {
         big.ns[2],
         big.ns[1]
     );
-    assert!(big.numa_proj_ns < big.ns[1], "projection subtracts QP overhead");
-    assert!(big.numa_proj_ns > small.numa_proj_ns, "projection grows with size");
+    assert!(
+        big.numa_proj_ns < big.ns[1],
+        "projection subtracts QP overhead"
+    );
+    assert!(
+        big.numa_proj_ns > small.numa_proj_ns,
+        "projection grows with size"
+    );
 }
 
 #[test]

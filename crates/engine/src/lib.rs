@@ -26,4 +26,4 @@ pub mod stats;
 
 pub use clock::{Cycle, Frequency, NANOS_PER_CYCLE_2GHZ};
 pub use queue::{BoundedQueue, DelayLine, PushError};
-pub use stats::{ConvergenceMonitor, Counter, Histogram, RunningMean, WindowStatus};
+pub use stats::{ConvergenceMonitor, Counter, Histogram, LinkLoad, RunningMean, WindowStatus};

@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use crate::clock::Cycle;
+use crate::clock::{Cycle, Frequency};
 
 /// Monotonic event counter.
 ///
@@ -188,10 +188,120 @@ impl Histogram {
             seen += b;
             if seen >= target {
                 // Midpoint of bucket [2^(i-1), 2^i) — approximate.
-                return if i == 0 { 1 } else { (1u64 << (i - 1)) + (1u64 << i) >> 1 };
+                return if i == 0 {
+                    1
+                } else {
+                    ((1u64 << (i - 1)) + (1u64 << i)) >> 1
+                };
             }
         }
         self.stats.max().unwrap_or(0)
+    }
+}
+
+/// Occupancy and bandwidth accounting for one directed link.
+///
+/// Tracks totals (bytes, packets, busy cycles) plus a windowed byte count
+/// whose maximum gives the link's *peak* bandwidth — the quantity rack-scale
+/// congestion studies care about, since a link can be near-idle on average
+/// yet saturated in bursts.
+///
+/// ```
+/// use ni_engine::{Cycle, Frequency, LinkLoad};
+/// let mut l = LinkLoad::new(100);
+/// l.record(Cycle(10), 64, 4);
+/// l.record(Cycle(150), 32, 2);
+/// assert_eq!(l.total_bytes(), 96);
+/// assert_eq!(l.packets(), 2);
+/// assert_eq!(l.busy_cycles(), 6);
+/// assert_eq!(l.peak_window_bytes(), 64);
+/// let peak = l.peak_gbps(Frequency::GHZ2);
+/// assert!((peak - 64.0 / 100.0 * 2.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LinkLoad {
+    window: u64,
+    window_start: u64,
+    window_bytes: u64,
+    peak_window_bytes: u64,
+    total_bytes: u64,
+    busy_cycles: u64,
+    packets: u64,
+}
+
+impl LinkLoad {
+    /// New accumulator using `window`-cycle windows for peak tracking.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> LinkLoad {
+        assert!(window > 0, "window must be non-zero");
+        LinkLoad {
+            window,
+            window_start: 0,
+            window_bytes: 0,
+            peak_window_bytes: 0,
+            total_bytes: 0,
+            busy_cycles: 0,
+            packets: 0,
+        }
+    }
+
+    /// Record one packet of `bytes` crossing the link at `now`, occupying it
+    /// for `busy` cycles. `now` must be non-decreasing across calls.
+    pub fn record(&mut self, now: Cycle, bytes: u64, busy: u64) {
+        if now.0 >= self.window_start + self.window {
+            self.peak_window_bytes = self.peak_window_bytes.max(self.window_bytes);
+            self.window_bytes = 0;
+            // Jump straight to the window containing `now` (links are often
+            // idle for long stretches; no need to roll through empty windows).
+            self.window_start = now.0 - now.0 % self.window;
+        }
+        self.window_bytes += bytes;
+        self.total_bytes += bytes;
+        self.busy_cycles += busy;
+        self.packets += 1;
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total packets moved.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Cycles the link spent serializing flits.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Bytes in the busiest window seen so far (including the open one).
+    pub fn peak_window_bytes(&self) -> u64 {
+        self.peak_window_bytes.max(self.window_bytes)
+    }
+
+    /// Peak bandwidth over any window, in GB/s at `freq`.
+    pub fn peak_gbps(&self, freq: Frequency) -> f64 {
+        freq.gbps_from_bytes_per_cycle(self.peak_window_bytes() as f64 / self.window as f64)
+    }
+
+    /// Average bandwidth over `elapsed` cycles, in GB/s at `freq`.
+    pub fn avg_gbps(&self, freq: Frequency, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        freq.gbps_from_bytes_per_cycle(self.total_bytes as f64 / elapsed as f64)
+    }
+
+    /// Fraction of `elapsed` cycles the link was busy.
+    pub fn utilization(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.busy_cycles as f64 / elapsed as f64
     }
 }
 
@@ -199,7 +309,10 @@ impl Histogram {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum WindowStatus {
     /// Not enough windows yet, or delta still above tolerance.
-    Open { windows: u32, last_delta: Option<f64> },
+    Open {
+        windows: u32,
+        last_delta: Option<f64>,
+    },
     /// Metric stabilized: consecutive windows within tolerance.
     Converged { value: f64, windows: u32 },
 }
@@ -267,7 +380,7 @@ impl ConvergenceMonitor {
         if now < self.next_boundary {
             return None;
         }
-        self.next_boundary = self.next_boundary + self.window;
+        self.next_boundary += self.window;
         self.windows_seen += 1;
         let status = match self.last_value {
             None => WindowStatus::Open {

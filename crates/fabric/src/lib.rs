@@ -6,12 +6,24 @@
 //! outgoing request rate as incoming remote requests, address-interleaved
 //! across the local RRPPs, and (b) answers the node's own requests after
 //! `2 x hops x 35ns` plus the measured service latency of the local RRPPs
-//! (assumed symmetric). This crate implements both the torus topology
-//! ([`torus::Torus3D`]) and that rate-matching emulator
-//! ([`rack::RackEmulator`]).
+//! (assumed symmetric).
+//!
+//! This crate implements that chip ↔ rack boundary as a pluggable trait,
+//! [`Fabric`], with two interchangeable backends:
+//!
+//! * [`rack::RackEmulator`] — the paper-faithful rate-matching emulator
+//!   (single simulated node);
+//! * [`torus_fabric::TorusFabric`] — a real transport carrying packets
+//!   hop-by-hop between fully simulated chips over the 3D torus
+//!   ([`torus::Torus3D`]), with per-directed-link occupancy counters and
+//!   finite link bandwidth.
 
+pub mod fabric;
 pub mod rack;
 pub mod torus;
+pub mod torus_fabric;
 
+pub use fabric::{Fabric, FabricStats, SharedFabric};
 pub use rack::{RackConfig, RackEmulator, RemoteReq, RemoteResp};
-pub use torus::Torus3D;
+pub use torus::{Dir, Torus3D};
+pub use torus_fabric::{LinkReport, TorusFabric, TorusFabricConfig};

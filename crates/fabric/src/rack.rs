@@ -21,6 +21,9 @@ pub struct RemoteReq {
     pub tid: u64,
     /// True for remote reads, false for remote writes.
     pub is_read: bool,
+    /// Requesting node id in the rack. Stamped by the fabric at injection
+    /// time ([`crate::Fabric::inject`]); producers may leave it zero.
+    pub src_node: u16,
     /// Destination node id in the rack.
     pub target_node: u16,
     /// Block address at the servicing node.
@@ -34,6 +37,9 @@ pub struct RemoteReq {
 pub struct RemoteResp {
     /// Echoed transfer tag.
     pub tid: u64,
+    /// Requesting node this response returns to (the request's `src_node`,
+    /// echoed by the servicing RRPP so the fabric can route it home).
+    pub dst_node: u16,
     /// Echoed block address.
     pub remote_block: BlockAddr,
     /// Read data (write responses carry 0).
@@ -163,6 +169,7 @@ impl RackEmulator {
             rtt,
             RemoteResp {
                 tid: req.tid,
+                dst_node: req.src_node,
                 remote_block: req.remote_block,
                 value,
                 is_read: req.is_read,
@@ -181,9 +188,8 @@ impl RackEmulator {
             self.cursor = self.rng.gen_range(0..self.cfg.incoming_region_blocks);
             self.burst_left = 128;
         }
-        let block = BlockAddr(
-            self.cfg.incoming_base.0 + (self.cursor % self.cfg.incoming_region_blocks),
-        );
+        let block =
+            BlockAddr(self.cfg.incoming_base.0 + (self.cursor % self.cfg.incoming_region_blocks));
         self.cursor += 1;
         self.burst_left -= 1;
         let tid = self.next_tid;
@@ -194,6 +200,7 @@ impl RackEmulator {
             RemoteReq {
                 tid,
                 is_read,
+                src_node: 1, // the emulated peer
                 target_node: 0,
                 remote_block: block,
                 value: Self::remote_value(block),
@@ -247,6 +254,7 @@ mod tests {
         RemoteReq {
             tid,
             is_read: true,
+            src_node: 0,
             target_node: 1,
             remote_block: BlockAddr(42),
             value: 0,
@@ -319,9 +327,7 @@ mod tests {
             if let Some(inc) = r.pop_incoming(Cycle(t)) {
                 n += 1;
                 assert!(inc.remote_block.0 >= cfg.incoming_base.0);
-                assert!(
-                    inc.remote_block.0 < cfg.incoming_base.0 + cfg.incoming_region_blocks
-                );
+                assert!(inc.remote_block.0 < cfg.incoming_base.0 + cfg.incoming_region_blocks);
             }
         }
         assert_eq!(n, 300);

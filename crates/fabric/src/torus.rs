@@ -1,5 +1,60 @@
 //! 3D torus topology of the rack (512 nodes = 8x8x8 in the paper).
 
+/// One of the six directed link directions leaving every torus node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// +x ring direction.
+    XPlus,
+    /// -x ring direction.
+    XMinus,
+    /// +y ring direction.
+    YPlus,
+    /// -y ring direction.
+    YMinus,
+    /// +z ring direction.
+    ZPlus,
+    /// -z ring direction.
+    ZMinus,
+}
+
+impl Dir {
+    /// All six directions, in index order.
+    pub const ALL: [Dir; 6] = [
+        Dir::XPlus,
+        Dir::XMinus,
+        Dir::YPlus,
+        Dir::YMinus,
+        Dir::ZPlus,
+        Dir::ZMinus,
+    ];
+
+    /// Stable index in `0..6` (for dense per-link arrays).
+    pub fn index(self) -> usize {
+        match self {
+            Dir::XPlus => 0,
+            Dir::XMinus => 1,
+            Dir::YPlus => 2,
+            Dir::YMinus => 3,
+            Dir::ZPlus => 4,
+            Dir::ZMinus => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for Dir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Dir::XPlus => "+x",
+            Dir::XMinus => "-x",
+            Dir::YPlus => "+y",
+            Dir::YMinus => "-y",
+            Dir::ZPlus => "+z",
+            Dir::ZMinus => "-z",
+        };
+        f.write_str(s)
+    }
+}
+
 /// A 3D torus of `dims.0 x dims.1 x dims.2` nodes with wraparound links.
 ///
 /// ```
@@ -69,6 +124,61 @@ impl Torus3D {
         u32::from(self.dims.0 / 2) + u32::from(self.dims.1 / 2) + u32::from(self.dims.2 / 2)
     }
 
+    /// Dimension sizes `(x, y, z)`.
+    pub fn dims(&self) -> (u16, u16, u16) {
+        self.dims
+    }
+
+    /// The node one hop from `id` in direction `d` (with wraparound).
+    pub fn neighbor(&self, id: u32, d: Dir) -> u32 {
+        let (dx, dy, dz) = self.dims;
+        let (x, y, z) = self.coords(id);
+        let step = |v: u16, dim: u16, up: bool| -> u16 {
+            if up {
+                if v + 1 == dim {
+                    0
+                } else {
+                    v + 1
+                }
+            } else if v == 0 {
+                dim - 1
+            } else {
+                v - 1
+            }
+        };
+        let c = match d {
+            Dir::XPlus => (step(x, dx, true), y, z),
+            Dir::XMinus => (step(x, dx, false), y, z),
+            Dir::YPlus => (x, step(y, dy, true), z),
+            Dir::YMinus => (x, step(y, dy, false), z),
+            Dir::ZPlus => (x, y, step(z, dz, true)),
+            Dir::ZMinus => (x, y, step(z, dz, false)),
+        };
+        self.id(c)
+    }
+
+    /// The direction of the next hop on a minimal (Lee-distance) path from
+    /// `from` to `to`, resolving dimensions in x, y, z order and breaking
+    /// exact antipode ties toward the positive ring direction. `None` when
+    /// already there.
+    pub fn next_hop(&self, from: u32, to: u32) -> Option<Dir> {
+        let (dx, dy, dz) = self.dims;
+        let a = self.coords(from);
+        let b = self.coords(to);
+        let choose = |av: u16, bv: u16, dim: u16, plus: Dir, minus: Dir| -> Option<Dir> {
+            if av == bv {
+                return None;
+            }
+            // Distance moving upward along the ring vs downward.
+            let up = (u32::from(bv) + u32::from(dim) - u32::from(av)) % u32::from(dim);
+            let down = u32::from(dim) - up;
+            Some(if up <= down { plus } else { minus })
+        };
+        choose(a.0, b.0, dx, Dir::XPlus, Dir::XMinus)
+            .or_else(|| choose(a.1, b.1, dy, Dir::YPlus, Dir::YMinus))
+            .or_else(|| choose(a.2, b.2, dz, Dir::ZPlus, Dir::ZMinus))
+    }
+
     /// Average hop count between distinct nodes (the paper quotes 6).
     pub fn average_hops(&self) -> f64 {
         // Per-dimension mean ring distance, summed (dimensions independent).
@@ -97,7 +207,11 @@ mod tests {
         assert_eq!(t.nodes(), 512);
         assert_eq!(t.max_hops(), 12);
         // §6.1.2: average hop count is 6.
-        assert!((t.average_hops() - 6.0).abs() < 0.02, "{}", t.average_hops());
+        assert!(
+            (t.average_hops() - 6.0).abs() < 0.02,
+            "{}",
+            t.average_hops()
+        );
     }
 
     #[test]

@@ -74,6 +74,7 @@ proptest! {
                 RemoteReq {
                     tid: i as u64,
                     is_read: true,
+                    src_node: 0,
                     target_node: 1,
                     remote_block: BlockAddr(i as u64),
                     value: 0,
@@ -106,6 +107,7 @@ proptest! {
                 RemoteReq {
                     tid: i as u64,
                     is_read: true,
+                    src_node: 0,
                     target_node: 1,
                     remote_block: BlockAddr(7),
                     value: 0,
@@ -130,5 +132,125 @@ proptest! {
             r.record_rrpp_latency(target);
         }
         prop_assert!((r.rrpp_estimate() - target as f64).abs() < target as f64 * 0.05);
+    }
+}
+
+// ---- TorusFabric: hop-by-hop transport properties --------------------------
+
+use ni_fabric::{Fabric, TorusFabric, TorusFabricConfig};
+
+fn torus_fabric(t: Torus3D) -> TorusFabric {
+    TorusFabric::new(TorusFabricConfig {
+        torus: t,
+        ..TorusFabricConfig::default()
+    })
+}
+
+fn fabric_req(tid: u64, target: u16) -> RemoteReq {
+    RemoteReq {
+        tid,
+        is_read: true,
+        src_node: 0,
+        target_node: target,
+        remote_block: BlockAddr(tid),
+        value: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every packet's route length equals the Lee distance between its
+    /// source and destination, for random pairs and torus dimensions — and
+    /// the per-directed-link counters account exactly those traversals.
+    #[test]
+    fn torus_fabric_routes_are_lee_minimal(
+        t in torus(),
+        pairs in prop::collection::vec((0u32..10_000, 0u32..10_000), 1..20),
+    ) {
+        let mut f = torus_fabric(t);
+        let mut expected_hops = 0u64;
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let (a, b) = (a % t.nodes(), b % t.nodes());
+            expected_hops += u64::from(t.hops(a, b));
+            f.inject(Cycle(0), a as u16, fabric_req(i as u64, b as u16));
+        }
+        let mut now = Cycle(0);
+        let mut delivered = 0usize;
+        while delivered < pairs.len() {
+            f.tick(now);
+            for n in 0..t.nodes() {
+                while f.pop_incoming(now, n as u16).is_some() {
+                    delivered += 1;
+                }
+            }
+            now += 1;
+            prop_assert!(now.0 < 1_000_000, "fabric never drained: {delivered}/{}", pairs.len());
+        }
+        prop_assert_eq!(f.hops_traversed(), expected_hops, "route length != Lee distance");
+        let link_sum: u64 = f.link_report().iter().map(|l| l.packets).sum();
+        prop_assert_eq!(link_sum, expected_hops, "link counters must sum to total hops");
+        prop_assert!(f.is_idle());
+    }
+
+    /// An unloaded packet can never beat the physical floor of
+    /// `hops x hop_cycles` (serialization only adds to it), and arrives
+    /// within the floor plus per-hop serialization.
+    #[test]
+    fn torus_fabric_respects_the_wire_latency_floor(
+        t in torus(),
+        a in 0u32..10_000,
+        b in 0u32..10_000,
+    ) {
+        let (a, b) = (a % t.nodes(), b % t.nodes());
+        prop_assume!(a != b);
+        let mut f = torus_fabric(t);
+        let cfg = *f.config();
+        f.inject(Cycle(0), a as u16, fabric_req(1, b as u16));
+        let hops = u64::from(t.hops(a, b));
+        let mut now = Cycle(0);
+        let arrival = loop {
+            f.tick(now);
+            if f.pop_incoming(now, b as u16).is_some() {
+                break now.0;
+            }
+            now += 1;
+            prop_assert!(now.0 < 100_000, "undelivered after bound");
+        };
+        prop_assert!(arrival >= hops * cfg.hop_cycles, "{arrival} beats the floor");
+        // Read requests are 32B; each hop adds its serialization delay.
+        let ser = 32u64.div_ceil(cfg.link_bytes_per_cycle);
+        prop_assert_eq!(arrival, hops * (cfg.hop_cycles + ser));
+    }
+
+    /// Responses reach exactly the node named in `dst_node`.
+    #[test]
+    fn torus_fabric_delivers_responses_to_their_requester(
+        t in torus(),
+        from in 0u32..10_000,
+        to in 0u32..10_000,
+    ) {
+        let (from, to) = (from % t.nodes(), to % t.nodes());
+        let mut f = torus_fabric(t);
+        f.inject_resp(Cycle(0), from as u16, ni_fabric::RemoteResp {
+            tid: 7,
+            dst_node: to as u16,
+            remote_block: BlockAddr(3),
+            value: 99,
+            is_read: true,
+        });
+        let mut now = Cycle(0);
+        while !f.is_idle() {
+            f.tick(now);
+            for n in 0..t.nodes() {
+                if let Some(resp) = f.pop_response(now, n as u16) {
+                    prop_assert_eq!(n, to, "response surfaced at the wrong node");
+                    prop_assert_eq!(resp.value, 99);
+                }
+            }
+            now += 1;
+            prop_assert!(now.0 < 100_000);
+        }
+        prop_assert_eq!(f.hops_traversed(), u64::from(t.hops(from, to)));
     }
 }

@@ -118,7 +118,9 @@ impl MemoryController {
     ///
     /// # Errors
     /// Returns `Err(())` when the concurrency cap is reached; the caller
-    /// should retry next cycle.
+    /// should retry next cycle. (The unit error is deliberate: rejection
+    /// carries no information beyond "retry".)
+    #[allow(clippy::result_unit_err)]
     pub fn push(
         &mut self,
         now: Cycle,

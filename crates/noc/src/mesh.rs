@@ -42,7 +42,7 @@ impl Default for MeshConfig {
             router: RouterConfig::default(),
             policy: RoutingPolicy::default(),
             delivery_capacity_flits: 40,
-            seed: 0xDA61_15,
+            seed: 0x00DA_6115,
             watchdog_cycles: 200_000,
         }
     }
@@ -117,7 +117,10 @@ impl<P> MeshNoc<P> {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(cfg: MeshConfig) -> MeshNoc<P> {
-        assert!(cfg.width > 0 && cfg.height > 0, "mesh dimensions must be non-zero");
+        assert!(
+            cfg.width > 0 && cfg.height > 0,
+            "mesh dimensions must be non-zero"
+        );
         let routers = (0..cfg.height)
             .flat_map(|y| (0..cfg.width).map(move |x| Router::new(Coord::new(x, y))))
             .collect();
@@ -272,8 +275,7 @@ impl<P> MeshNoc<P> {
         let router = &self.routers[r_idx];
         let ring = &router.outputs[port.index()].candidates;
         let window = self.cfg.router.arbitration_window.min(ring.len());
-        for slot in 0..window {
-            let (in_port, vq) = ring[slot];
+        for (slot, &(in_port, vq)) in ring.iter().enumerate().take(window) {
             let head = router.inputs[usize::from(in_port)][usize::from(vq)]
                 .head()
                 .expect("registered candidate has a head");
@@ -322,11 +324,7 @@ impl<P> MeshNoc<P> {
             Port::North | Port::South | Port::East | Port::West => {
                 let n = self.neighbor(coord, port).expect("grant checked neighbor");
                 let n_idx = self.router_index(n);
-                self.routers[n_idx].reserve(
-                    Self::opposite(port).index(),
-                    usize::from(vq),
-                    flits,
-                );
+                self.routers[n_idx].reserve(Self::opposite(port).index(), usize::from(vq), flits);
                 self.stats
                     .record_hop(flits, self.crosses_bisection(coord.x, port));
                 self.links.push_at(
@@ -354,8 +352,7 @@ impl<P> MeshNoc<P> {
     }
 
     fn check_watchdog(&self, now: Cycle) {
-        if self.in_flight > 0
-            && now.saturating_since(self.last_progress) > self.cfg.watchdog_cycles
+        if self.in_flight > 0 && now.saturating_since(self.last_progress) > self.cfg.watchdog_cycles
         {
             panic!(
                 "mesh NOC watchdog: {} packets in flight with no progress since {:?} (now {:?})",

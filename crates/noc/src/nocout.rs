@@ -165,7 +165,7 @@ impl<P> NocOutNoc<P> {
     pub fn new(cfg: NocOutConfig) -> NocOutNoc<P> {
         assert!(cfg.columns > 0, "need at least one column");
         assert!(
-            cfg.cores_per_column > 0 && cfg.cores_per_column % 2 == 0,
+            cfg.cores_per_column > 0 && cfg.cores_per_column.is_multiple_of(2),
             "cores per column must be even (half above, half below the LLC row)"
         );
         let cols = usize::from(cfg.columns);
@@ -370,9 +370,7 @@ impl<P> NocOutNoc<P> {
         let g = group_of(flight.pkt.class);
         let key = flight.path.front().copied().unwrap_or(s);
         let st = &mut self.stations[s as usize];
-        let w = st
-            .wire_to(key)
-            .expect("reservation created the wire queue");
+        let w = st.wire_to(key).expect("reservation created the wire queue");
         st.wires[w].groups[g].push_back(flight);
         st.queued += 1;
     }
@@ -380,13 +378,7 @@ impl<P> NocOutNoc<P> {
     /// Reserve space in the queue a flight will join at station `s` en route
     /// to `next` (`None` = terminal delivery at `s`). Returns `false` when
     /// the queue is full.
-    fn try_reserve(
-        &mut self,
-        s: u16,
-        next: Option<u16>,
-        class: MessageClass,
-        flits: u8,
-    ) -> bool {
+    fn try_reserve(&mut self, s: u16, next: Option<u16>, class: MessageClass, flits: u8) -> bool {
         let g = group_of(class);
         let key = next.unwrap_or(s);
         let st = &mut self.stations[s as usize];
@@ -513,7 +505,14 @@ impl<P> Interconnect<P> for NocOutNoc<P> {
         self.in_flight += 1;
         self.stats.injected_packets.incr();
         self.last_progress = now;
-        self.enqueue_at(s, Flight { pkt, path, endpoint });
+        self.enqueue_at(
+            s,
+            Flight {
+                pkt,
+                path,
+                endpoint,
+            },
+        );
         Ok(())
     }
 
@@ -527,8 +526,7 @@ impl<P> Interconnect<P> for NocOutNoc<P> {
     fn tick(&mut self, now: Cycle) {
         self.absorb_arrivals(now);
         self.forward_all(now);
-        if self.in_flight > 0
-            && now.saturating_since(self.last_progress) > self.cfg.watchdog_cycles
+        if self.in_flight > 0 && now.saturating_since(self.last_progress) > self.cfg.watchdog_cycles
         {
             panic!(
                 "NOC-Out watchdog: {} packets stalled since {:?} (now {:?})",

@@ -207,7 +207,7 @@ mod tests {
 
     #[test]
     fn vq_indices_are_dense() {
-        let mut seen = vec![false; NUM_VQ];
+        let mut seen = [false; NUM_VQ];
         for c in MessageClass::ALL {
             for k in [RouteKind::Xy, RouteKind::Yx] {
                 let i = vq_index(c, k);

@@ -243,19 +243,40 @@ mod tests {
     fn cdr_routes_memory_requests_yx() {
         let mut rng = SplitMix::new(1);
         let p = RoutingPolicy::Cdr;
-        assert_eq!(p.choose(&pkt(MessageClass::MemReq, true), &mut rng), RouteKind::Yx);
-        assert_eq!(p.choose(&pkt(MessageClass::MemResp, false), &mut rng), RouteKind::Xy);
-        assert_eq!(p.choose(&pkt(MessageClass::NiData, false), &mut rng), RouteKind::Xy);
+        assert_eq!(
+            p.choose(&pkt(MessageClass::MemReq, true), &mut rng),
+            RouteKind::Yx
+        );
+        assert_eq!(
+            p.choose(&pkt(MessageClass::MemResp, false), &mut rng),
+            RouteKind::Xy
+        );
+        assert_eq!(
+            p.choose(&pkt(MessageClass::NiData, false), &mut rng),
+            RouteKind::Xy
+        );
     }
 
     #[test]
     fn cdr_ni_routes_directory_sourced_yx() {
         let mut rng = SplitMix::new(1);
         let p = RoutingPolicy::CdrNi;
-        assert_eq!(p.choose(&pkt(MessageClass::CohFwd, true), &mut rng), RouteKind::Yx);
-        assert_eq!(p.choose(&pkt(MessageClass::CohResp, true), &mut rng), RouteKind::Yx);
-        assert_eq!(p.choose(&pkt(MessageClass::CohReq, false), &mut rng), RouteKind::Xy);
-        assert_eq!(p.choose(&pkt(MessageClass::NiData, false), &mut rng), RouteKind::Xy);
+        assert_eq!(
+            p.choose(&pkt(MessageClass::CohFwd, true), &mut rng),
+            RouteKind::Yx
+        );
+        assert_eq!(
+            p.choose(&pkt(MessageClass::CohResp, true), &mut rng),
+            RouteKind::Yx
+        );
+        assert_eq!(
+            p.choose(&pkt(MessageClass::CohReq, false), &mut rng),
+            RouteKind::Xy
+        );
+        assert_eq!(
+            p.choose(&pkt(MessageClass::NiData, false), &mut rng),
+            RouteKind::Xy
+        );
     }
 
     #[test]
@@ -274,14 +295,20 @@ mod tests {
         let here = Coord::new(2, 2);
         let tgt = Coord::new(5, 6);
         assert_eq!(next_port(here, tgt, Port::Local, RouteKind::Xy), Port::East);
-        assert_eq!(next_port(here, tgt, Port::Local, RouteKind::Yx), Port::South);
+        assert_eq!(
+            next_port(here, tgt, Port::Local, RouteKind::Yx),
+            Port::South
+        );
         // Aligned in X: XY continues in Y.
         assert_eq!(
             next_port(Coord::new(5, 2), tgt, Port::Local, RouteKind::Xy),
             Port::South
         );
         // At target: exit port.
-        assert_eq!(next_port(tgt, tgt, Port::NiAttach, RouteKind::Xy), Port::NiAttach);
+        assert_eq!(
+            next_port(tgt, tgt, Port::NiAttach, RouteKind::Xy),
+            Port::NiAttach
+        );
     }
 
     #[test]
@@ -290,7 +317,10 @@ mod tests {
             attach_of(NocNode::NiBlock(3), 8),
             (Coord::new(0, 3), Port::NiAttach)
         );
-        assert_eq!(attach_of(NocNode::Mc(5), 8), (Coord::new(7, 5), Port::McAttach));
+        assert_eq!(
+            attach_of(NocNode::Mc(5), 8),
+            (Coord::new(7, 5), Port::McAttach)
+        );
         assert_eq!(
             attach_of(NocNode::tile(4, 4), 8),
             (Coord::new(4, 4), Port::Local)

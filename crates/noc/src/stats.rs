@@ -31,7 +31,13 @@ pub struct NocStats {
 
 impl NocStats {
     /// Record a delivery that was injected at `injected_at`.
-    pub(crate) fn record_delivery(&mut self, class: MessageClass, flits: u8, injected_at: Cycle, now: Cycle) {
+    pub(crate) fn record_delivery(
+        &mut self,
+        class: MessageClass,
+        flits: u8,
+        injected_at: Cycle,
+        now: Cycle,
+    ) {
         self.delivered_packets.incr();
         self.delivered_flits.add(u64::from(flits));
         self.delivered_by_class[class.index()].incr();

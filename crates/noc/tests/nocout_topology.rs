@@ -41,7 +41,10 @@ fn cross_column_traffic_crosses_the_butterfly() {
     let same = deliver(pkt(NocNode::tile(0, 3), NocNode::Llc(0)), 100);
     let cross = deliver(pkt(NocNode::tile(0, 3), NocNode::Llc(7)), 100);
     // The butterfly moves 2 tiles/cycle: 7 columns cost ~4 extra cycles.
-    assert!(cross > same, "butterfly traversal must show: {cross} vs {same}");
+    assert!(
+        cross > same,
+        "butterfly traversal must show: {cross} vs {same}"
+    );
     assert!(
         cross - same <= 8,
         "rich butterfly connectivity keeps it cheap: +{}",
@@ -64,7 +67,10 @@ fn llc_access_is_faster_than_mesh_average() {
     // A worst-case core->LLC path on NOC-Out (tree depth 4 + butterfly)
     // must beat a worst-case mesh corner-to-corner path (14 hops x 3).
     let worst = deliver(pkt(NocNode::tile(0, 0), NocNode::Llc(7)), 200);
-    assert!(worst < 14 * 3, "NOC-Out worst LLC access {worst} vs mesh 42");
+    assert!(
+        worst < 14 * 3,
+        "NOC-Out worst LLC access {worst} vs mesh 42"
+    );
 }
 
 #[test]

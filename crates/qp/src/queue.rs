@@ -154,7 +154,9 @@ impl QueuePair {
     /// Application enqueues a remote operation; returns its id.
     ///
     /// # Errors
-    /// Returns `Err(())` when the WQ is full.
+    /// Returns `Err(())` when the WQ is full. (The unit error is
+    /// deliberate: fullness carries no information beyond "retry".)
+    #[allow(clippy::result_unit_err)]
     pub fn enqueue(
         &mut self,
         op: RemoteOp,
@@ -296,7 +298,8 @@ mod tests {
         let mut q = qp();
         for i in 0..128 {
             assert!(
-                q.enqueue(RemoteOp::Read, 0, Addr(i * 64), Addr(0), 64).is_ok(),
+                q.enqueue(RemoteOp::Read, 0, Addr(i * 64), Addr(0), 64)
+                    .is_ok(),
                 "entry {i}"
             );
         }
@@ -332,7 +335,8 @@ mod tests {
     #[test]
     fn unroll_counts_match_transfer_size() {
         let mut q = qp();
-        q.enqueue(RemoteOp::Read, 0, Addr(0), Addr(0), 16384).unwrap();
+        q.enqueue(RemoteOp::Read, 0, Addr(0), Addr(0), 16384)
+            .unwrap();
         assert_eq!(q.ni_peek().unwrap().blocks(), 256);
         q.enqueue(RemoteOp::Write, 0, Addr(0), Addr(0), 1).unwrap();
         q.ni_take();

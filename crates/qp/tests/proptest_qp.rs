@@ -18,8 +18,7 @@ enum Action {
 
 fn action_strategy() -> impl Strategy<Value = Action> {
     prop_oneof![
-        (1u64..20_000, any::<bool>())
-            .prop_map(|(len, write)| Action::Enqueue { len, write }),
+        (1u64..20_000, any::<bool>()).prop_map(|(len, write)| Action::Enqueue { len, write }),
         Just(Action::NiTake),
         Just(Action::NiComplete),
         Just(Action::AppReap),

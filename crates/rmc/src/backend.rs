@@ -38,7 +38,11 @@ struct IttEntry {
 #[derive(Debug)]
 enum BeEv {
     /// Finish RGP backend processing; start unrolling the entry.
-    Activate { entry: WqEntry, qp: u32, fe: NocNode },
+    Activate {
+        entry: WqEntry,
+        qp: u32,
+        fe: NocNode,
+    },
     /// Finish RCP backend processing of one response.
     RespDone(RemoteResp),
 }
@@ -167,6 +171,7 @@ impl NiBackend {
         let req = RemoteReq {
             tid: self.tid(slot),
             is_read: false,
+            src_node: 0, // stamped by the fabric at the network router
             target_node: e.remote_node,
             remote_block: e.remote_base.step(idx),
             value,
@@ -196,7 +201,9 @@ impl NiBackend {
         }
         // Unroll active transfers.
         for _ in 0..self.cfg.unroll_per_cycle {
-            let Some(&slot) = self.active.front() else { break };
+            let Some(&slot) = self.active.front() else {
+                break;
+            };
             self.unroll_one(now, slot);
         }
     }
@@ -247,8 +254,11 @@ impl NiBackend {
         let e = self.itt.get_mut(&slot).expect("active slot is live");
         let idx = e.sent;
         let (qp, wq_id, op) = (e.qp, e.wq_id, e.op);
-        let (remote_block, local_block, tgt) =
-            (e.remote_base.step(idx), e.local_base.step(idx), e.remote_node);
+        let (remote_block, local_block, tgt) = (
+            e.remote_base.step(idx),
+            e.local_base.step(idx),
+            e.remote_node,
+        );
         e.sent += 1;
         let finished_unroll = e.sent >= e.total;
         if finished_unroll {
@@ -278,6 +288,7 @@ impl NiBackend {
                 let req = RemoteReq {
                     tid: self.tid(slot),
                     is_read: true,
+                    src_node: 0, // stamped by the fabric at the network router
                     target_node: tgt,
                     remote_block,
                     value: 0,

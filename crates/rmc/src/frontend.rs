@@ -13,10 +13,10 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use ni_coherence::{Access, AccessKind, AccessOrigin, CacheComplex};
 use ni_engine::{Cycle, DelayLine};
 use ni_noc::NocNode;
 use ni_qp::QueuePair;
-use ni_coherence::{Access, AccessKind, AccessOrigin, CacheComplex};
 
 use crate::config::RmcConfig;
 use crate::trace::{Stage, TraceEvent};
@@ -202,13 +202,7 @@ impl NiFrontend {
 
     /// Handle a completed NI-cache access (routed here by the SoC for
     /// completions with `AccessOrigin::Ni`).
-    pub fn on_cache_completion(
-        &mut self,
-        now: Cycle,
-        tag: u64,
-        value: u64,
-        qps: &mut [QueuePair],
-    ) {
+    pub fn on_cache_completion(&mut self, now: Cycle, tag: u64, value: u64, qps: &mut [QueuePair]) {
         if tag & TAG_CQ != 0 {
             let (stag, qp, wq_id) = self.storing_cq.take().expect("CQ store outstanding");
             debug_assert_eq!(stag, tag);
@@ -248,11 +242,8 @@ impl NiFrontend {
                 stage: Stage::FeObserved,
                 at: now,
             }));
-            self.events.push_after(
-                now,
-                delay + i as u64,
-                FeEv::SendWq { qp, wq_id: *id },
-            );
+            self.events
+                .push_after(now, delay + i as u64, FeEv::SendWq { qp, wq_id: *id });
         }
         if !found {
             self.poll_ready_at = now + self.cfg.poll_backoff;

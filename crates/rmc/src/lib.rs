@@ -124,22 +124,30 @@ mod tests {
         let read_req = RemoteReq {
             tid: 0,
             is_read: true,
+            src_node: 0,
             target_node: 0,
             remote_block: ni_mem::BlockAddr(0),
             value: 0,
         };
-        let write_req = RemoteReq { is_read: false, ..read_req };
+        let write_req = RemoteReq {
+            is_read: false,
+            ..read_req
+        };
         // Read requests carry no payload (2 flits); write requests carry a
         // block (6 flits). Responses mirror that.
         assert_eq!(NiMsg::NetOut(read_req).flits(), 2);
         assert_eq!(NiMsg::NetOut(write_req).flits(), 6);
         let read_resp = RemoteResp {
             tid: 0,
+            dst_node: 0,
             remote_block: ni_mem::BlockAddr(0),
             value: 0,
             is_read: true,
         };
-        let write_resp = RemoteResp { is_read: false, ..read_resp };
+        let write_resp = RemoteResp {
+            is_read: false,
+            ..read_resp
+        };
         assert_eq!(NiMsg::NetIn(read_resp).flits(), 6);
         assert_eq!(NiMsg::NetIn(write_resp).flits(), 2);
     }

@@ -36,12 +36,15 @@ pub struct Rrpp {
     cfg: RmcConfig,
     home: fn(BlockAddr, u32) -> NocNode,
     n_banks: u32,
-    queue: VecDeque<RemoteReq>,
+    /// Waiting requests, each with its arrival time. The arrival timestamp
+    /// rides alongside the request through the whole pipeline: transfer
+    /// tags are not unique across blocks of one transfer (or across
+    /// requesting nodes), so no tid-keyed lookup can be correct.
+    queue: VecDeque<(RemoteReq, Cycle)>,
     /// Requests whose local access is outstanding, FIFO per block.
     pending: HashMap<BlockAddr, Vec<(RemoteReq, Cycle)>>,
     outstanding: usize,
-    started: DelayLine<RemoteReq>,
-    arrival: HashMap<u64, Cycle>,
+    started: DelayLine<(RemoteReq, Cycle)>,
     egress: VecDeque<RmcEgress>,
     latency: RunningMean,
     samples: VecDeque<u64>,
@@ -65,7 +68,6 @@ impl Rrpp {
             pending: HashMap::new(),
             outstanding: 0,
             started: DelayLine::new(),
-            arrival: HashMap::new(),
             egress: VecDeque::new(),
             latency: RunningMean::new(),
             samples: VecDeque::new(),
@@ -95,9 +97,7 @@ impl Rrpp {
 
     /// An incoming remote request arrives from the network router.
     pub fn on_request(&mut self, now: Cycle, req: RemoteReq) {
-        self.arrival.insert(req.tid, now);
-        self.queue.push_back(req);
-        let _ = now;
+        self.queue.push_back((req, now));
     }
 
     /// The local read for a request finished.
@@ -114,13 +114,13 @@ impl Rrpp {
     pub fn tick(&mut self, now: Cycle) {
         // Begin processing queued requests (one per cycle, bounded window).
         if self.outstanding < self.cfg.rrpp_max_outstanding {
-            if let Some(req) = self.queue.pop_front() {
+            if let Some(entry) = self.queue.pop_front() {
                 self.outstanding += 1;
-                self.started.push_after(now, self.cfg.rrpp_proc, req);
+                self.started.push_after(now, self.cfg.rrpp_proc, entry);
             }
         }
         // Issue the local memory access after the processing delay.
-        while let Some(req) = self.started.pop_ready(now) {
+        while let Some((req, arrived)) = self.started.pop_ready(now) {
             let dst = (self.home)(req.remote_block, self.n_banks);
             let msg = if req.is_read {
                 CohMsg::NcRead {
@@ -135,8 +135,12 @@ impl Rrpp {
             self.pending
                 .entry(req.remote_block)
                 .or_default()
-                .push((req, now));
-            self.egress.push_back(RmcEgress::Coh(Egress { dst, kind: ClientKind::Directory, msg }));
+                .push((req, arrived));
+            self.egress.push_back(RmcEgress::Coh(Egress {
+                dst,
+                kind: ClientKind::Directory,
+                msg,
+            }));
         }
     }
 
@@ -160,7 +164,7 @@ impl Rrpp {
         let Some(list) = self.pending.get_mut(&block) else {
             return;
         };
-        let (req, _issued) = list.remove(0);
+        let (req, arrived) = list.remove(0);
         if list.is_empty() {
             self.pending.remove(&block);
         }
@@ -169,15 +173,12 @@ impl Rrpp {
         // Payload moved on behalf of the remote requester: a block sent
         // back (read) or a block absorbed into local memory (write).
         self.stats.payload_bytes.add(ni_mem::BLOCK_BYTES);
-        let arrived = self
-            .arrival
-            .remove(&req.tid)
-            .expect("arrival recorded on request");
         let lat = now.saturating_since(arrived);
         self.latency.record(lat);
         self.samples.push_back(lat);
         self.egress.push_back(RmcEgress::NetResp(RemoteResp {
             tid: req.tid,
+            dst_node: req.src_node,
             remote_block: req.remote_block,
             value: value.unwrap_or(0),
             is_read: req.is_read,

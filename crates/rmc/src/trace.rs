@@ -146,8 +146,18 @@ mod tests {
     #[test]
     fn first_stamp_wins() {
         let mut t = TraceTable::new();
-        t.record(TraceEvent { qp: 0, wq_id: 1, stage: Stage::FeObserved, at: Cycle(10) });
-        t.record(TraceEvent { qp: 0, wq_id: 1, stage: Stage::FeObserved, at: Cycle(20) });
+        t.record(TraceEvent {
+            qp: 0,
+            wq_id: 1,
+            stage: Stage::FeObserved,
+            at: Cycle(10),
+        });
+        t.record(TraceEvent {
+            qp: 0,
+            wq_id: 1,
+            stage: Stage::FeObserved,
+            at: Cycle(20),
+        });
         assert_eq!(t.at(0, 1, Stage::FeObserved), Some(Cycle(10)));
     }
 
@@ -155,8 +165,18 @@ mod tests {
     fn averages_across_requests() {
         let mut t = TraceTable::new();
         for (id, dt) in [(1u64, 100u64), (2, 200)] {
-            t.record(TraceEvent { qp: 0, wq_id: id, stage: Stage::WqWriteStart, at: Cycle(0) });
-            t.record(TraceEvent { qp: 0, wq_id: id, stage: Stage::CqReadDone, at: Cycle(dt) });
+            t.record(TraceEvent {
+                qp: 0,
+                wq_id: id,
+                stage: Stage::WqWriteStart,
+                at: Cycle(0),
+            });
+            t.record(TraceEvent {
+                qp: 0,
+                wq_id: id,
+                stage: Stage::CqReadDone,
+                at: Cycle(dt),
+            });
         }
         assert_eq!(t.mean_end_to_end(), Some(150.0));
     }

@@ -68,7 +68,12 @@ fn drain(be: &mut NiBackend, start: u64, cycles: u64) -> Drained {
 #[test]
 fn read_entry_unrolls_into_one_request_per_block() {
     let mut be = backend(None);
-    be.on_wq_entry(Cycle(0), entry(1, RemoteOp::Read, 8 * 64), 5, NocNode::tile(2, 2));
+    be.on_wq_entry(
+        Cycle(0),
+        entry(1, RemoteOp::Read, 8 * 64),
+        5,
+        NocNode::tile(2, 2),
+    );
     let d = drain(&mut be, 0, 40);
     assert_eq!(d.net.len(), 8, "8 blocks -> 8 requests");
     for (i, r) in d.net.iter().enumerate() {
@@ -79,17 +84,30 @@ fn read_entry_unrolls_into_one_request_per_block() {
             Addr(0x10_0000).block().step(i as u64),
             "blocks are consecutive"
         );
-        assert_eq!(NiBackend::backend_of_tid(r.tid), 3, "tid carries backend id");
+        assert_eq!(
+            NiBackend::backend_of_tid(r.tid),
+            3,
+            "tid carries backend id"
+        );
     }
     assert!(d.stages.contains(&Stage::BeReceived));
     assert!(d.stages.contains(&Stage::NetOut));
-    assert_eq!(be.inflight(), 1, "transfer stays in the ITT until responses");
+    assert_eq!(
+        be.inflight(),
+        1,
+        "transfer stays in the ITT until responses"
+    );
 }
 
 #[test]
 fn unroll_rate_is_bounded_per_cycle() {
     let mut be = backend(None);
-    be.on_wq_entry(Cycle(0), entry(1, RemoteOp::Read, 64 * 64), 0, NocNode::tile(0, 0));
+    be.on_wq_entry(
+        Cycle(0),
+        entry(1, RemoteOp::Read, 64 * 64),
+        0,
+        NocNode::tile(0, 0),
+    );
     // After activation (rgp_be_proc = 4) + k cycles, at most k requests.
     let d = drain(&mut be, 0, 20);
     assert!(
@@ -98,7 +116,11 @@ fn unroll_rate_is_bounded_per_cycle() {
         d.net.len()
     );
     let rest = drain(&mut be, 20, 100);
-    assert_eq!(d.net.len() + rest.net.len(), 64, "all blocks eventually sent");
+    assert_eq!(
+        d.net.len() + rest.net.len(),
+        64,
+        "all blocks eventually sent"
+    );
 }
 
 #[test]
@@ -114,6 +136,7 @@ fn responses_complete_transfer_and_notify_frontend() {
             Cycle(30 + i as u64),
             RemoteResp {
                 tid: r.tid,
+                dst_node: 0,
                 remote_block: r.remote_block,
                 value: 0xAB + i as u64,
                 is_read: true,
@@ -132,9 +155,7 @@ fn responses_complete_transfer_and_notify_frontend() {
     let notifies: Vec<_> = d2
         .ni
         .iter()
-        .filter(|(dst, msg)| {
-            *dst == fe && matches!(msg, NiMsg::CqNotify { qp: 7, wq_id: 9 })
-        })
+        .filter(|(dst, msg)| *dst == fe && matches!(msg, NiMsg::CqNotify { qp: 7, wq_id: 9 }))
         .collect();
     assert_eq!(notifies.len(), 1, "exactly one CqNotify");
     assert_eq!(be.inflight(), 0, "ITT slot freed");
@@ -144,8 +165,10 @@ fn responses_complete_transfer_and_notify_frontend() {
 
 #[test]
 fn itt_exhaustion_queues_and_drains() {
-    let mut cfg = RmcConfig::default();
-    cfg.itt_slots = 2;
+    let cfg = RmcConfig {
+        itt_slots: 2,
+        ..RmcConfig::default()
+    };
     let mut be = NiBackend::new(
         NocNode::NiBlock(0),
         0,
@@ -156,7 +179,12 @@ fn itt_exhaustion_queues_and_drains() {
         None,
     );
     for id in 1..=4u64 {
-        be.on_wq_entry(Cycle(0), entry(id, RemoteOp::Read, 64), id as u32, NocNode::tile(0, 0));
+        be.on_wq_entry(
+            Cycle(0),
+            entry(id, RemoteOp::Read, 64),
+            id as u32,
+            NocNode::tile(0, 0),
+        );
     }
     let d = drain(&mut be, 0, 30);
     assert_eq!(d.net.len(), 2, "only two slots admit transfers");
@@ -167,6 +195,7 @@ fn itt_exhaustion_queues_and_drains() {
             Cycle(40),
             RemoteResp {
                 tid: r.tid,
+                dst_node: 0,
                 remote_block: r.remote_block,
                 value: 0,
                 is_read: true,
@@ -180,9 +209,17 @@ fn itt_exhaustion_queues_and_drains() {
 #[test]
 fn write_entry_loads_payload_before_shipping() {
     let mut be = backend(None);
-    be.on_wq_entry(Cycle(0), entry(1, RemoteOp::Write, 3 * 64), 0, NocNode::tile(0, 0));
+    be.on_wq_entry(
+        Cycle(0),
+        entry(1, RemoteOp::Write, 3 * 64),
+        0,
+        NocNode::tile(0, 0),
+    );
     let d = drain(&mut be, 0, 30);
-    assert!(d.net.is_empty(), "nothing ships before the local reads return");
+    assert!(
+        d.net.is_empty(),
+        "nothing ships before the local reads return"
+    );
     let reads: Vec<_> = d
         .coh
         .iter()
@@ -209,29 +246,53 @@ fn write_entry_loads_payload_before_shipping() {
 fn per_tile_backend_detours_via_edge() {
     let via = NocNode::NiBlock(5);
     let mut be = backend(Some(via));
-    be.on_wq_entry(Cycle(0), entry(1, RemoteOp::Read, 64), 0, NocNode::tile(0, 0));
+    be.on_wq_entry(
+        Cycle(0),
+        entry(1, RemoteOp::Read, 64),
+        0,
+        NocNode::tile(0, 0),
+    );
     let d = drain(&mut be, 0, 20);
-    assert!(d.net.is_empty(), "per-tile backends cannot reach the router directly");
-    let outs: Vec<_> = d
-        .ni
-        .iter()
-        .filter(|(dst, msg)| *dst == via && matches!(msg, NiMsg::NetOut(_)))
-        .collect();
-    assert_eq!(outs.len(), 1, "request detours via the edge NI block (§6.2)");
+    assert!(
+        d.net.is_empty(),
+        "per-tile backends cannot reach the router directly"
+    );
+    let outs: Vec<_> =
+        d.ni.iter()
+            .filter(|(dst, msg)| *dst == via && matches!(msg, NiMsg::NetOut(_)))
+            .collect();
+    assert_eq!(
+        outs.len(),
+        1,
+        "request detours via the edge NI block (§6.2)"
+    );
 }
 
 #[test]
 fn concurrent_transfers_interleave_round_robin() {
     let mut be = backend(None);
-    be.on_wq_entry(Cycle(0), entry(1, RemoteOp::Read, 4 * 64), 1, NocNode::tile(0, 0));
-    be.on_wq_entry(Cycle(0), entry(2, RemoteOp::Read, 4 * 64), 2, NocNode::tile(1, 0));
+    be.on_wq_entry(
+        Cycle(0),
+        entry(1, RemoteOp::Read, 4 * 64),
+        1,
+        NocNode::tile(0, 0),
+    );
+    be.on_wq_entry(
+        Cycle(0),
+        entry(2, RemoteOp::Read, 4 * 64),
+        2,
+        NocNode::tile(1, 0),
+    );
     let d = drain(&mut be, 0, 40);
     assert_eq!(d.net.len(), 8);
     // Both transfers make progress within the first half of the unrolls.
     let first_half: Vec<u16> = d.net[..4].iter().map(|r| (r.tid >> 32) as u16).collect();
     let slots: std::collections::HashSet<u64> =
         d.net[..4].iter().map(|r| r.tid & 0xffff_ffff).collect();
-    assert!(slots.len() > 1, "round-robin interleaves slots: {first_half:?}");
+    assert!(
+        slots.len() > 1,
+        "round-robin interleaves slots: {first_half:?}"
+    );
 }
 
 // ---- RRPP --------------------------------------------------------------
@@ -244,6 +305,7 @@ fn req(tid: u64, is_read: bool, block: u64) -> RemoteReq {
     RemoteReq {
         tid,
         is_read,
+        src_node: 0,
         target_node: 0,
         remote_block: BlockAddr(block),
         value: 0x77,
@@ -270,13 +332,20 @@ fn rrpp_services_read_with_local_access_and_responds() {
         }
     }
     assert_eq!(reads.len(), 1);
-    assert_eq!(reads[0].dst, home(BlockAddr(42), 64), "local access goes to the home bank");
+    assert_eq!(
+        reads[0].dst,
+        home(BlockAddr(42), 64),
+        "local access goes to the home bank"
+    );
     assert_eq!(resps.len(), 1);
     assert_eq!(resps[0].tid, 11);
     assert_eq!(resps[0].value, 0xDEAD);
     assert!(resps[0].is_read);
     assert_eq!(r.stats().serviced.get(), 1);
-    assert!(r.pop_latency_sample().is_some(), "latency sample feeds the rack emulator");
+    assert!(
+        r.pop_latency_sample().is_some(),
+        "latency sample feeds the rack emulator"
+    );
 }
 
 #[test]
@@ -312,8 +381,10 @@ fn rrpp_services_write_with_nc_write() {
 
 #[test]
 fn rrpp_outstanding_window_is_bounded() {
-    let mut cfg = RmcConfig::default();
-    cfg.rrpp_max_outstanding = 4;
+    let cfg = RmcConfig {
+        rrpp_max_outstanding: 4,
+        ..RmcConfig::default()
+    };
     let mut r = Rrpp::new(NocNode::NiBlock(0), cfg, home, 64);
     for i in 0..20u64 {
         r.on_request(Cycle(0), req(i, true, i));

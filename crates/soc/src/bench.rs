@@ -146,7 +146,16 @@ pub struct BandwidthResult {
 /// mirrors the rate as incoming requests. Bandwidth is measured in windows
 /// until the delta between consecutive windows is below 1%.
 pub fn run_bandwidth(cfg: ChipConfig, size: u64, window: u64, max_windows: u32) -> BandwidthResult {
-    run_bandwidth_workload(cfg, Workload::AsyncRead { size, poll_every: 4 }, size, window, max_windows)
+    run_bandwidth_workload(
+        cfg,
+        Workload::AsyncRead {
+            size,
+            poll_every: 4,
+        },
+        size,
+        window,
+        max_windows,
+    )
 }
 
 /// As [`run_bandwidth`] but issuing asynchronous remote *writes*.
@@ -156,7 +165,16 @@ pub fn run_write_bandwidth(
     window: u64,
     max_windows: u32,
 ) -> BandwidthResult {
-    run_bandwidth_workload(cfg, Workload::AsyncWrite { size, poll_every: 4 }, size, window, max_windows)
+    run_bandwidth_workload(
+        cfg,
+        Workload::AsyncWrite {
+            size,
+            poll_every: 4,
+        },
+        size,
+        window,
+        max_windows,
+    )
 }
 
 fn run_bandwidth_workload(

@@ -1,15 +1,13 @@
 //! The simulated node: cores, caches, directories, memory, RMC pipelines,
-//! interconnect, network router and rack emulator, ticked in lock step.
+//! interconnect, network router and rack fabric, ticked in lock step.
 
 use std::collections::{HashMap, VecDeque};
 
-use ni_coherence::{CacheComplex, ClientKind, CohMsg, DirectoryBank, Egress, wire_of};
+use ni_coherence::{wire_of, CacheComplex, ClientKind, CohMsg, DirectoryBank, Egress};
 use ni_engine::{Cycle, DelayLine};
-use ni_fabric::{RackEmulator, RemoteResp};
+use ni_fabric::{Fabric, FabricStats, RackConfig, RackEmulator, RemoteResp};
 use ni_mem::{Addr, BlockAddr, MemRequestKind, MemoryController};
-use ni_noc::{
-    Coord, Interconnect, MeshNoc, MessageClass, NocNode, NocOutNoc, NocStats, Packet,
-};
+use ni_noc::{Coord, Interconnect, MeshNoc, MessageClass, NocNode, NocOutNoc, NocStats, Packet};
 use ni_qp::QueuePair;
 use ni_rmc::{NiBackend, NiFrontend, NiMsg, NiPlacement, RmcEgress, Rrpp, TraceTable};
 
@@ -73,9 +71,20 @@ impl NocImpl {
 /// Co-located (latch) deliveries between components at the same node.
 #[derive(Debug)]
 enum Latch {
-    Coh { dst: NocNode, kind: ClientKind, src: NocNode, msg: CohMsg },
-    Ni { dst: NocNode, msg: NiMsg },
-    NetResp { backend: usize, resp: RemoteResp },
+    Coh {
+        dst: NocNode,
+        kind: ClientKind,
+        src: NocNode,
+        msg: CohMsg,
+    },
+    Ni {
+        dst: NocNode,
+        msg: NiMsg,
+    },
+    NetResp {
+        backend: usize,
+        resp: RemoteResp,
+    },
 }
 
 /// The simulated node.
@@ -102,8 +111,12 @@ pub struct Chip {
     backends: Vec<NiBackend>,
     backend_index: HashMap<NocNode, usize>,
     rrpps: Vec<Rrpp>,
-    /// The rack emulator behind the network router.
-    pub rack: RackEmulator,
+    /// This chip's node id in the rack.
+    node_id: u16,
+    /// The rack fabric behind the network router: the rate-matching
+    /// emulator for single-node runs, or a shared handle onto a real
+    /// multi-node transport (see [`ni_fabric::Fabric`]).
+    fabric: Box<dyn Fabric>,
     /// Collected latency tomography.
     pub traces: TraceTable,
     latch: DelayLine<Latch>,
@@ -117,8 +130,22 @@ pub struct Chip {
 }
 
 impl Chip {
-    /// Build a node: every core runs `workload`, cores `>= active_cores` idle.
+    /// Build a node behind the paper's rate-matching rack emulator: every
+    /// core runs `workload`, cores `>= active_cores` idle.
     pub fn new(cfg: ChipConfig, workload: Workload) -> Chip {
+        // The chip-level seed is authoritative (reproducible from the
+        // ChipConfig alone, emulated or multi-node).
+        let emulator = RackEmulator::new(RackConfig {
+            seed: cfg.seed,
+            ..cfg.rack
+        });
+        Chip::with_fabric(cfg, workload, Box::new(emulator))
+    }
+
+    /// Build a node whose network router hands traffic to `fabric` — the
+    /// multi-node entry point ([`crate::Rack`] passes a shared
+    /// [`ni_fabric::TorusFabric`] handle).
+    pub fn with_fabric(cfg: ChipConfig, workload: Workload, fabric: Box<dyn Fabric>) -> Chip {
         let n = cfg.n_cores();
         let n_banks = cfg.n_banks();
         let n_edge = cfg.n_edge();
@@ -128,12 +155,8 @@ impl Chip {
         };
         let tile_node = |i: usize| -> NocNode {
             match cfg.topology {
-                Topology::Mesh => {
-                    NocNode::Tile(Coord::new((i % 8) as u8, (i / 8) as u8))
-                }
-                Topology::NocOut => {
-                    NocNode::Tile(Coord::new((i % 8) as u8, (i / 8) as u8))
-                }
+                Topology::Mesh => NocNode::Tile(Coord::new((i % 8) as u8, (i / 8) as u8)),
+                Topology::NocOut => NocNode::Tile(Coord::new((i % 8) as u8, (i / 8) as u8)),
             }
         };
         // The NI block a tile's traffic exits through: its mesh row, or its
@@ -198,7 +221,9 @@ impl Chip {
             dirs.push(DirectoryBank::new(cfg.coherence, node, mc));
         }
 
-        let mcs = (0..n_edge).map(|_| MemoryController::new(cfg.mem)).collect();
+        let mcs = (0..n_edge)
+            .map(|_| MemoryController::new(cfg.mem))
+            .collect();
 
         // Queue pairs and cores.
         let mut qps = Vec::new();
@@ -207,7 +232,11 @@ impl Chip {
             let wq = Addr(QP_BASE + i as u64 * QP_STRIDE);
             let cq = Addr(QP_BASE + i as u64 * QP_STRIDE + QP_STRIDE / 2);
             qps.push(QueuePair::new(i as u32, cfg.qp, wq, cq));
-            let wl = if i < cfg.active_cores { workload } else { Workload::Idle };
+            let wl = if i < cfg.active_cores {
+                workload
+            } else {
+                Workload::Idle
+            };
             cores.push(Core::new(
                 i,
                 i as u32,
@@ -240,13 +269,7 @@ impl Chip {
                 let node = NocNode::NiBlock(r as u8);
                 backend_index.insert(node, backends.len());
                 backends.push(NiBackend::new(
-                    node,
-                    r as u16,
-                    cfg.rmc,
-                    cfg.qp,
-                    home,
-                    n_banks,
-                    None,
+                    node, r as u16, cfg.rmc, cfg.qp, home, n_banks, None,
                 ));
             }
         }
@@ -307,7 +330,8 @@ impl Chip {
             backends,
             backend_index,
             rrpps,
-            rack: RackEmulator::new(cfg.rack),
+            node_id: cfg.node_id,
+            fabric,
             traces: TraceTable::new(),
             latch: DelayLine::new(),
             backlog: HashMap::new(),
@@ -325,6 +349,46 @@ impl Chip {
         self.now
     }
 
+    /// This chip's node id in the rack.
+    pub fn node_id(&self) -> u16 {
+        self.node_id
+    }
+
+    /// Traffic counters of the rack fabric behind the network router. For a
+    /// multi-node rack these are fabric-wide (shared by all chips).
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.fabric.stats()
+    }
+
+    /// Directly install a token in this node's memory hierarchy, bypassing
+    /// timing (experiment setup: seed the data a remote peer will fetch).
+    /// Updates the home LLC bank's copy in place when one exists, else the
+    /// backing store; private L1 copies are not touched.
+    pub fn poke_block(&mut self, b: BlockAddr, value: u64) {
+        let home = self.home_of(b);
+        if let Some(&d) = self.dir_index.get(&home) {
+            if self.dirs[d].poke_llc(b, value) {
+                return;
+            }
+        }
+        let m = usize::from(self.edge_of_node(home));
+        self.mcs[m].poke(b, value);
+    }
+
+    /// Directly read a token from this node's memory hierarchy, bypassing
+    /// timing (end-to-end data verification): the home LLC bank's copy if
+    /// resident (NUCA writes land there first), else the backing store.
+    pub fn peek_block(&self, b: BlockAddr) -> u64 {
+        let home = self.home_of(b);
+        if let Some(&d) = self.dir_index.get(&home) {
+            if let Some(v) = self.dirs[d].peek_llc(b) {
+                return v;
+            }
+        }
+        let m = usize::from(self.edge_of_node(home));
+        self.mcs[m].peek(b)
+    }
+
     /// Interconnect statistics.
     pub fn noc_stats(&self) -> &NocStats {
         self.noc.stats()
@@ -334,8 +398,16 @@ impl Chip {
     /// into local buffers by RCPs plus data sent out by RRPPs (§6.2's
     /// bandwidth definition).
     pub fn app_payload_bytes(&self) -> u64 {
-        let be: u64 = self.backends.iter().map(|b| b.stats().payload_bytes.get()).sum();
-        let rr: u64 = self.rrpps.iter().map(|r| r.stats().payload_bytes.get()).sum();
+        let be: u64 = self
+            .backends
+            .iter()
+            .map(|b| b.stats().payload_bytes.get())
+            .sum();
+        let rr: u64 = self
+            .rrpps
+            .iter()
+            .map(|r| r.stats().payload_bytes.get())
+            .sum();
         be + rr
     }
 
@@ -355,14 +427,22 @@ impl Chip {
                 n += s as u32;
             }
         }
-        if n == 0 { 0.0 } else { sum / f64::from(n) }
+        if n == 0 {
+            0.0
+        } else {
+            sum / f64::from(n)
+        }
     }
 
     /// Advance the node by one cycle.
     pub fn tick(&mut self) {
         let now = self.now;
+        // Advance the fabric first so this cycle's arrivals are visible;
+        // idempotent per cycle, so lock-stepped chips sharing one fabric
+        // advance it exactly once.
+        self.fabric.tick(now);
         self.retry_backlog(now);
-        self.pump_rack(now);
+        self.pump_fabric(now);
         self.pump_latch(now);
         self.tick_cores(now);
         self.tick_frontends(now);
@@ -461,9 +541,9 @@ impl Chip {
         Packet::new(src, dst, class, msg.flits(), ChipMsg::Ni(msg))
     }
 
-    /// Responses and mirrored incoming requests from the rack.
-    fn pump_rack(&mut self, now: Cycle) {
-        while let Some(resp) = self.rack.pop_response(now) {
+    /// Responses and incoming remote requests arriving from the rack.
+    fn pump_fabric(&mut self, now: Cycle) {
+        while let Some(resp) = self.fabric.pop_response(now, self.node_id) {
             let bid = NiBackend::backend_of_tid(resp.tid) as usize;
             if resp.tid >= NUMA_TID_BASE {
                 // NUMA-mode response: travels edge -> core tile over the NOC.
@@ -491,7 +571,7 @@ impl Chip {
                     .push_after(now, 2, Latch::NetResp { backend: bid, resp });
             }
         }
-        while let Some(req) = self.rack.pop_incoming(now) {
+        while let Some(req) = self.fabric.pop_incoming(now, self.node_id) {
             // Address-interleaved to the RRPP nearest the home bank (§4.3).
             let home = self.home_of(req.remote_block);
             let r = self.edge_of_node(home);
@@ -502,11 +582,14 @@ impl Chip {
     fn pump_latch(&mut self, now: Cycle) {
         while let Some(l) = self.latch.pop_ready(now) {
             match l {
-                Latch::Coh { dst, kind, src, msg } => self.deliver_coh(now, dst, kind, src, msg),
+                Latch::Coh {
+                    dst,
+                    kind,
+                    src,
+                    msg,
+                } => self.deliver_coh(now, dst, kind, src, msg),
                 Latch::Ni { dst, msg } => self.deliver_ni(now, dst, msg),
-                Latch::NetResp { backend, resp } => {
-                    self.backends[backend].on_response(now, resp)
-                }
+                Latch::NetResp { backend, resp } => self.backends[backend].on_response(now, resp),
             }
         }
     }
@@ -517,11 +600,8 @@ impl Chip {
             if let Some(req) = self.cores[i].take_numa_request() {
                 // NUMA issue: request packet core tile -> edge -> rack.
                 let row = self.edge_of_tile(i);
-                let pkt = Self::ni_packet(
-                    self.tile_node(i),
-                    NocNode::NiBlock(row),
-                    NiMsg::NetOut(req),
-                );
+                let pkt =
+                    Self::ni_packet(self.tile_node(i), NocNode::NiBlock(row), NiMsg::NetOut(req));
                 self.inject(pkt);
             }
             for t in self.cores[i].drain_traces() {
@@ -556,7 +636,7 @@ impl Chip {
                 self.dispatch_rmc(now, node, e);
             }
             while let Some(s) = self.rrpps[r].pop_latency_sample() {
-                self.rack.record_rrpp_latency(s);
+                self.fabric.record_rrpp_latency(self.node_id, s);
             }
         }
     }
@@ -576,11 +656,13 @@ impl Chip {
                 }
             }
             RmcEgress::Net(req) => {
-                self.rack.send(now, req);
+                self.fabric.inject(now, self.node_id, req);
             }
-            RmcEgress::NetResp(_resp) => {
-                // Response leaves for the remote node; the emulator does not
-                // consume it (bandwidth already accounted by RRPP stats).
+            RmcEgress::NetResp(resp) => {
+                // Response leaves for the remote requester. The emulator
+                // backend drops it (bandwidth already accounted by RRPP
+                // stats); a real fabric routes it home.
+                self.fabric.inject_resp(now, self.node_id, resp);
             }
             RmcEgress::Trace(t) => self.traces.record(t),
         }
@@ -759,7 +841,7 @@ impl Chip {
             }
             NiMsg::NetOut(req) => {
                 // Arrived at the edge: hand to the network router / rack.
-                self.rack.send(now, req);
+                self.fabric.inject(now, self.node_id, req);
             }
             NiMsg::NetIn(resp) => {
                 if resp.tid >= NUMA_TID_BASE {

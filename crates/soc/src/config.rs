@@ -36,6 +36,13 @@ pub struct ChipConfig {
     pub rmc: RmcConfig,
     /// Rack emulation parameters (hops, 35ns links, mirroring).
     pub rack: RackConfig,
+    /// This chip's node id in the rack (0 for single-node runs; assigned by
+    /// the multi-node [`crate::Rack`] driver otherwise).
+    pub node_id: u16,
+    /// Master RNG seed for this chip's run. Threaded into the rack
+    /// emulator's traffic generator (overriding `rack.seed`) so every run —
+    /// emulated or multi-node — is reproducible from its config alone.
+    pub seed: u64,
     /// Mesh parameters.
     pub mesh: MeshConfig,
     /// NOC-Out parameters.
@@ -55,6 +62,8 @@ impl Default for ChipConfig {
             qp: QpConfig::default(),
             rmc: RmcConfig::default(),
             rack: RackConfig::default(),
+            node_id: 0,
+            seed: RackConfig::default().seed,
             mesh: MeshConfig::default(),
             nocout: NocOutConfig::default(),
             active_cores: 64,
@@ -66,9 +75,7 @@ impl ChipConfig {
     /// Total core count.
     pub fn n_cores(&self) -> usize {
         match self.topology {
-            Topology::Mesh => {
-                usize::from(self.mesh.width) * usize::from(self.mesh.height)
-            }
+            Topology::Mesh => usize::from(self.mesh.width) * usize::from(self.mesh.height),
             Topology::NocOut => {
                 usize::from(self.nocout.columns) * usize::from(self.nocout.cores_per_column)
             }

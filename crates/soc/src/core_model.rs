@@ -9,8 +9,8 @@
 //! configured compute gaps, which is the granularity at which software
 //! appears in every latency breakdown of the paper.
 
-use ni_engine::{Cycle, DelayLine, Histogram, RunningMean};
 use ni_coherence::{Access, AccessKind, AccessOrigin, CacheComplex};
+use ni_engine::{Cycle, DelayLine, Histogram, RunningMean};
 use ni_fabric::RemoteReq;
 use ni_mem::Addr;
 use ni_qp::{QpConfig, QueuePair, RemoteOp};
@@ -188,6 +188,38 @@ impl Core {
         self.numa_out.take()
     }
 
+    /// Rack node this core's remote operations target.
+    pub fn target(&self) -> u16 {
+        self.target_node
+    }
+
+    /// Base address and size (bytes) of this core's local DMA buffer.
+    pub fn local_buf(&self) -> (u64, u64) {
+        (self.local_buf_base, self.local_buf_bytes)
+    }
+
+    /// Point subsequent remote operations at rack node `node` (multi-node
+    /// racks assign per-core destinations; the single-node emulator ignores
+    /// the value).
+    pub fn set_target(&mut self, node: u16) {
+        self.target_node = node;
+    }
+
+    /// Switch to a new workload and restart the issue state: clears pending
+    /// issue events and rewinds the remote/local address cursors to their
+    /// bases, so multi-phase experiments (e.g. write a region, then read it
+    /// back) revisit the same addresses. Safe between operations; pending
+    /// completion counters (`reaped`) survive so CQ tokens stay consistent.
+    pub fn reset_workload(&mut self, workload: Workload) {
+        self.workload = workload;
+        self.phase = Phase::Idle;
+        self.events = DelayLine::new();
+        self.pending_second_store = None;
+        self.remote_cursor = 0;
+        self.issued = 0;
+        self.last_poll_at_issue = u64::MAX;
+    }
+
     /// A NUMA response reached the core.
     pub fn on_numa_response(&mut self, now: Cycle) {
         debug_assert_eq!(self.phase, Phase::WaitNuma);
@@ -259,6 +291,7 @@ impl Core {
                     self.numa_out = Some(RemoteReq {
                         tid: NUMA_TID_BASE | self.tile as u64,
                         is_read: true,
+                        src_node: 0, // stamped by the fabric at the network router
                         target_node: self.target_node,
                         remote_block: addr.block(),
                         value: 0,
@@ -277,7 +310,7 @@ impl Core {
             Workload::AsyncRead { size, poll_every }
             | Workload::AsyncWrite { size, poll_every } => {
                 let due = self.issued > 0
-                    && self.issued % u64::from(poll_every) == 0
+                    && self.issued.is_multiple_of(u64::from(poll_every))
                     && self.last_poll_at_issue != self.issued;
                 if qp.wq_full() || due {
                     // Poll: blocking when full, opportunistic otherwise.
@@ -301,7 +334,10 @@ impl Core {
         let local = self.local_addr(size);
         // Record where the entry's stores land *before* enqueueing advances
         // the tail.
-        let op = self.workload.remote_op().expect("issuing workload has an op");
+        let op = self
+            .workload
+            .remote_op()
+            .expect("issuing workload has an op");
         let id = qp
             .enqueue(op, self.target_node, remote, local, size)
             .expect("caller checks wq_full");
@@ -346,13 +382,7 @@ impl Core {
     }
 
     /// A cache access completed (routed here by the chip).
-    pub fn on_cache_completion(
-        &mut self,
-        now: Cycle,
-        _tag: u64,
-        value: u64,
-        qp: &mut QueuePair,
-    ) {
+    pub fn on_cache_completion(&mut self, now: Cycle, _tag: u64, value: u64, qp: &mut QueuePair) {
         match self.phase {
             Phase::WaitStore1 => {
                 // Second store of the WQ entry, same block.

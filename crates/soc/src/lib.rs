@@ -10,16 +10,24 @@
 //! [`chip::Chip`] is the cycle-stepped top level; [`mod@bench`] contains the
 //! experiment drivers (synchronous latency, asynchronous bandwidth) used by
 //! the benchmark harness to regenerate the paper's tables and figures.
+//!
+//! The chip's network router hands rack traffic to a pluggable
+//! [`ni_fabric::Fabric`]: single-node runs keep the paper's rate-matching
+//! emulator, while [`rack::Rack`] instantiates N full chips in lock step
+//! over a real [`ni_fabric::TorusFabric`] — actual hop-by-hop multi-node
+//! simulation with per-link bandwidth accounting.
 
 pub mod bench;
 pub mod chip;
 pub mod config;
 pub mod core_model;
+pub mod rack;
 
 pub use bench::{
-    run_bandwidth, run_sync_latency, run_sync_write_latency, run_write_bandwidth,
-    stage_breakdown, BandwidthResult, LatencyResult, StageBreakdown,
+    run_bandwidth, run_sync_latency, run_sync_write_latency, run_write_bandwidth, stage_breakdown,
+    BandwidthResult, LatencyResult, StageBreakdown,
 };
 pub use chip::{Chip, ChipMsg};
 pub use config::{ChipConfig, Topology};
 pub use core_model::{Core, CoreStats, Workload};
+pub use rack::{Rack, RackSimConfig, TrafficPattern};

@@ -1,0 +1,234 @@
+//! Multi-node rack simulation: N fully simulated chips in lock step over a
+//! real [`TorusFabric`].
+//!
+//! This is the driver the paper's methodology could not afford (§5 simulates
+//! one node and emulates the rest): every node of the rack is a complete
+//! [`Chip`] — cores, caches, directories, RMC pipelines, NOC — and all
+//! chip-to-chip traffic crosses the 3D torus hop-by-hop with finite link
+//! bandwidth. Cross-node request/response flows are therefore *real*: node
+//! A's RGP unrolls onto the fabric, node B's RRPP services against node B's
+//! memory, and the response rides the torus back to node A's RCP.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ni_engine::Cycle;
+use ni_fabric::{Fabric, LinkReport, SharedFabric, Torus3D, TorusFabric, TorusFabricConfig};
+
+use crate::chip::Chip;
+use crate::config::ChipConfig;
+use crate::core_model::Workload;
+
+/// How active cores choose their remote destination node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Every core on node `n` targets node `n+1` (mod N): a directed ring,
+    /// one hop per request on the x-dimension where possible.
+    Neighbor,
+    /// Core `i` on node `n` targets `(n + 1 + (i mod (N-1))) mod N`: each
+    /// node spreads its cores across all other nodes near-uniformly.
+    Uniform,
+    /// Every core on node `n` targets the torus antipode of `n`: maximal
+    /// hop count per request, the worst-case bisection load.
+    Opposite,
+}
+
+impl TrafficPattern {
+    /// Destination node for core `core` of node `node` in `torus`.
+    pub fn target(self, torus: Torus3D, node: u32, core: usize) -> u32 {
+        let n = torus.nodes();
+        if n == 1 {
+            return node;
+        }
+        match self {
+            TrafficPattern::Neighbor => (node + 1) % n,
+            TrafficPattern::Uniform => (node + 1 + (core as u32 % (n - 1))) % n,
+            TrafficPattern::Opposite => {
+                let (dx, dy, dz) = torus.dims();
+                let (x, y, z) = torus.coords(node);
+                torus.id(((x + dx / 2) % dx, (y + dy / 2) % dy, (z + dz / 2) % dz))
+            }
+        }
+    }
+}
+
+/// Multi-node rack configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RackSimConfig {
+    /// Rack geometry (also sets the node count).
+    pub torus: Torus3D,
+    /// Per-node chip configuration. `node_id` is assigned per chip and the
+    /// per-chip seed is derived from `chip.seed` and the node id; the
+    /// emulator-specific `rack` settings are unused.
+    pub chip: ChipConfig,
+    /// Wire latency per torus hop in cycles (35ns = 70 cycles at 2 GHz).
+    pub hop_cycles: u64,
+    /// Link bandwidth in bytes per cycle.
+    pub link_bytes_per_cycle: u64,
+    /// Window length for per-link peak-bandwidth tracking, in cycles.
+    pub stats_window: u64,
+    /// Destination assignment for active cores.
+    pub traffic: TrafficPattern,
+}
+
+impl Default for RackSimConfig {
+    fn default() -> Self {
+        let fabric = TorusFabricConfig::default();
+        RackSimConfig {
+            torus: fabric.torus,
+            chip: ChipConfig::default(),
+            hop_cycles: fabric.hop_cycles,
+            link_bytes_per_cycle: fabric.link_bytes_per_cycle,
+            stats_window: fabric.stats_window,
+            traffic: TrafficPattern::Uniform,
+        }
+    }
+}
+
+/// A lock-stepped multi-node rack.
+pub struct Rack {
+    cfg: RackSimConfig,
+    chips: Vec<Chip>,
+    fabric: Rc<RefCell<TorusFabric>>,
+    now: Cycle,
+}
+
+impl Rack {
+    /// Build a rack of `cfg.torus.nodes()` chips, every active core running
+    /// `workload` against the destination chosen by `cfg.traffic`.
+    pub fn new(cfg: RackSimConfig, workload: Workload) -> Rack {
+        let fabric = Rc::new(RefCell::new(TorusFabric::new(TorusFabricConfig {
+            torus: cfg.torus,
+            hop_cycles: cfg.hop_cycles,
+            link_bytes_per_cycle: cfg.link_bytes_per_cycle,
+            stats_window: cfg.stats_window,
+        })));
+        let nodes = cfg.torus.nodes();
+        assert!(nodes <= u32::from(u16::MAX), "node ids are u16 on the wire");
+        let mut chips = Vec::with_capacity(nodes as usize);
+        for node in 0..nodes {
+            let chip_cfg = ChipConfig {
+                node_id: node as u16,
+                // Distinct, reproducible per-node streams from one master
+                // seed (splitmix-style odd multiplier keeps them decorrelated).
+                seed: cfg
+                    .chip
+                    .seed
+                    .wrapping_add(u64::from(node).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                ..cfg.chip
+            };
+            let mut chip = Chip::with_fabric(
+                chip_cfg,
+                workload,
+                Box::new(SharedFabric::new(Rc::clone(&fabric))),
+            );
+            for core in 0..chip.cores.len() {
+                let t = cfg.traffic.target(cfg.torus, node, core);
+                chip.cores[core].set_target(t as u16);
+            }
+            chips.push(chip);
+        }
+        Rack {
+            cfg,
+            chips,
+            fabric,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &RackSimConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The simulated chips, in node-id order.
+    pub fn chips(&self) -> &[Chip] {
+        &self.chips
+    }
+
+    /// Mutable access to one chip (workload resets, memory pokes).
+    pub fn chip_mut(&mut self, node: u32) -> &mut Chip {
+        &mut self.chips[node as usize]
+    }
+
+    /// Advance every chip (and the shared fabric, exactly once) by a cycle.
+    pub fn tick(&mut self) {
+        for chip in &mut self.chips {
+            chip.tick();
+        }
+        self.now += 1;
+    }
+
+    /// Run for `cycles`.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Total operations completed across all nodes.
+    pub fn completed_ops(&self) -> u64 {
+        self.chips.iter().map(Chip::completed_ops).sum()
+    }
+
+    /// Application payload bytes moved rack-wide (RCP deliveries plus RRPP
+    /// services, summed over nodes — §6.2's definition per node).
+    pub fn app_payload_bytes(&self) -> u64 {
+        self.chips.iter().map(Chip::app_payload_bytes).sum()
+    }
+
+    /// Fabric-wide traffic counters.
+    pub fn fabric_stats(&self) -> ni_fabric::FabricStats {
+        self.fabric.borrow().stats()
+    }
+
+    /// Per-directed-link traffic report of the shared fabric.
+    pub fn link_report(&self) -> Vec<LinkReport> {
+        self.fabric.borrow().link_report()
+    }
+
+    /// Largest per-link peak bandwidth seen so far, GB/s.
+    pub fn peak_link_gbps(&self) -> f64 {
+        self.fabric.borrow().peak_link_gbps()
+    }
+
+    /// Total torus link traversals completed.
+    pub fn hops_traversed(&self) -> u64 {
+        self.fabric.borrow().hops_traversed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_patterns_stay_in_range_and_avoid_self() {
+        let t = Torus3D::new(2, 2, 2);
+        for p in [
+            TrafficPattern::Neighbor,
+            TrafficPattern::Uniform,
+            TrafficPattern::Opposite,
+        ] {
+            for node in 0..t.nodes() {
+                for core in 0..64 {
+                    let d = p.target(t, node, core);
+                    assert!(d < t.nodes());
+                    assert_ne!(d, node, "{p:?} node {node} core {core} targets itself");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_is_the_antipode() {
+        let t = Torus3D::new(4, 4, 2);
+        let d = TrafficPattern::Opposite.target(t, 0, 0);
+        assert_eq!(t.hops(0, d), t.max_hops());
+    }
+}

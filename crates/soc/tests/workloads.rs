@@ -7,21 +7,39 @@ use ni_soc::{Chip, ChipConfig, Topology, Workload};
 
 #[test]
 fn workload_predicates() {
-    assert_eq!(Workload::SyncRead { size: 64 }.remote_op(), Some(RemoteOp::Read));
-    assert_eq!(Workload::SyncWrite { size: 64 }.remote_op(), Some(RemoteOp::Write));
     assert_eq!(
-        Workload::AsyncRead { size: 64, poll_every: 4 }.remote_op(),
+        Workload::SyncRead { size: 64 }.remote_op(),
         Some(RemoteOp::Read)
     );
     assert_eq!(
-        Workload::AsyncWrite { size: 64, poll_every: 4 }.remote_op(),
+        Workload::SyncWrite { size: 64 }.remote_op(),
+        Some(RemoteOp::Write)
+    );
+    assert_eq!(
+        Workload::AsyncRead {
+            size: 64,
+            poll_every: 4
+        }
+        .remote_op(),
+        Some(RemoteOp::Read)
+    );
+    assert_eq!(
+        Workload::AsyncWrite {
+            size: 64,
+            poll_every: 4
+        }
+        .remote_op(),
         Some(RemoteOp::Write)
     );
     assert_eq!(Workload::Idle.remote_op(), None);
     assert_eq!(Workload::NumaRead.remote_op(), None);
     assert!(Workload::SyncRead { size: 1 }.is_synchronous());
     assert!(Workload::SyncWrite { size: 1 }.is_synchronous());
-    assert!(!Workload::AsyncRead { size: 1, poll_every: 1 }.is_synchronous());
+    assert!(!Workload::AsyncRead {
+        size: 1,
+        poll_every: 1
+    }
+    .is_synchronous());
     assert!(!Workload::NumaRead.is_synchronous());
 }
 
@@ -100,8 +118,14 @@ fn entries_invisible_until_fully_written() {
 #[test]
 fn async_write_and_read_mix_designs_complete_on_nocout() {
     for wl in [
-        Workload::AsyncRead { size: 256, poll_every: 4 },
-        Workload::AsyncWrite { size: 256, poll_every: 4 },
+        Workload::AsyncRead {
+            size: 256,
+            poll_every: 4,
+        },
+        Workload::AsyncWrite {
+            size: 256,
+            poll_every: 4,
+        },
     ] {
         let cfg = ChipConfig {
             topology: Topology::NocOut,
@@ -110,7 +134,11 @@ fn async_write_and_read_mix_designs_complete_on_nocout() {
         };
         let mut chip = Chip::new(cfg, wl);
         chip.run(40_000);
-        assert!(chip.completed_ops() > 20, "{wl:?}: {}", chip.completed_ops());
+        assert!(
+            chip.completed_ops() > 20,
+            "{wl:?}: {}",
+            chip.completed_ops()
+        );
     }
 }
 
@@ -122,12 +150,21 @@ fn active_core_count_scales_throughput() {
             active_cores: n,
             ..ChipConfig::default()
         };
-        let mut chip = Chip::new(cfg, Workload::AsyncRead { size: 512, poll_every: 4 });
+        let mut chip = Chip::new(
+            cfg,
+            Workload::AsyncRead {
+                size: 512,
+                poll_every: 4,
+            },
+        );
         chip.run(20_000);
         ops.push(chip.completed_ops());
     }
     // Cores 0..8 share one mesh row, i.e. one RGP/RCP backend; scaling is
     // sublinear there. 8 -> 64 engages all eight backends.
     assert!(ops[1] as f64 > ops[0] as f64 * 1.5, "8 cores vs 1: {ops:?}");
-    assert!(ops[2] as f64 > ops[1] as f64 * 2.0, "64 cores vs 8: {ops:?}");
+    assert!(
+        ops[2] as f64 > ops[1] as f64 * 2.0,
+        "64 cores vs 8: {ops:?}"
+    );
 }

@@ -5,9 +5,7 @@
 //! RACKNI_SCALE=quick cargo run --release --example design_space
 //! ```
 
-use rackni::experiments::{
-    self, latency_vs_size, bandwidth_vs_size, table3, Scale,
-};
+use rackni::experiments::{self, bandwidth_vs_size, latency_vs_size, table3, Scale};
 use rackni::ni_soc::Topology;
 use rackni::report::{f1, Table};
 

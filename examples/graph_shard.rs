@@ -39,13 +39,7 @@ fn main() {
         run_bandwidth(cfg, s, 50_000, 3)
     });
 
-    let mut t = Table::new(&[
-        "design",
-        "2KB GBps",
-        "4KB GBps",
-        "8KB GBps",
-        "8KB edges/s",
-    ]);
+    let mut t = Table::new(&["design", "2KB GBps", "4KB GBps", "8KB GBps", "8KB edges/s"]);
     let mut at8k = [0.0f64; 3];
     for (di, &p) in designs.iter().enumerate() {
         let mut cells = vec![p.name().to_string()];
@@ -61,7 +55,10 @@ fn main() {
         }
         t.row_owned(cells);
     }
-    println!("aggregate fetch bandwidth (64 cores async):\n{}", t.render());
+    println!(
+        "aggregate fetch bandwidth (64 cores async):\n{}",
+        t.render()
+    );
     println!(
         "NI_per-tile reaches {:.0}% of NI_edge at 8KB (paper: ~25%): unrolling at\n\
          the source tile floods the NOC, so bulk transfers need an edge engine.",

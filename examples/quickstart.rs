@@ -58,7 +58,10 @@ fn main() {
     let mut t = Table::new(&["stage", "cycles"]);
     t.row_owned(vec!["WQ write (sw + coherence)".into(), f1(b.wq_write)]);
     t.row_owned(vec!["WQ poll + RGP frontend".into(), f1(b.wq_read_and_rgp)]);
-    t.row_owned(vec!["frontend -> backend -> router".into(), f1(b.fe_to_net)]);
+    t.row_owned(vec![
+        "frontend -> backend -> router".into(),
+        f1(b.fe_to_net),
+    ]);
     t.row_owned(vec!["network + remote RRPP".into(), f1(b.net_round_trip)]);
     t.row_owned(vec!["RCP + CQ write".into(), f1(b.rcp_and_cq_write)]);
     t.row_owned(vec!["CQ read (core)".into(), f1(b.cq_read)]);

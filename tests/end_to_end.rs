@@ -41,7 +41,10 @@ fn design_space_latency_ordering_matches_paper() {
     let sp = run_sync_latency(cfg(NiPlacement::Split, Topology::Mesh), 64, 6).mean_cycles;
     let ed = run_sync_latency(cfg(NiPlacement::Edge, Topology::Mesh), 64, 6).mean_cycles;
     assert!(n < pt && n < sp && n < ed, "NUMA floor: {n} {pt} {sp} {ed}");
-    assert!(ed > sp && ed > pt, "edge pays for QP round trips: {ed} vs {sp}/{pt}");
+    assert!(
+        ed > sp && ed > pt,
+        "edge pays for QP round trips: {ed} vs {sp}/{pt}"
+    );
     // Split within ~10% of per-tile (paper: both within 3% of each other).
     assert!((sp / pt - 1.0).abs() < 0.10, "split {sp} vs per-tile {pt}");
     // Edge overhead over NUMA is large (paper: ~80%).
@@ -64,18 +67,24 @@ fn multiblock_unroll_scales_latency_with_size() {
     // 4096B = 64 blocks unrolled at 1/cycle; the extra latency over 64B
     // must be at least the unroll serialization plus streaming returns.
     let small = run_sync_latency(cfg(NiPlacement::Split, Topology::Mesh), 64, 3).mean_cycles;
-    assert!(prev - small > 60.0, "4KB must cost >= 63 unroll cycles more");
+    assert!(
+        prev - small > 60.0,
+        "4KB must cost >= 63 unroll cycles more"
+    );
 }
 
 #[test]
 fn conservation_requests_equal_responses_after_drain() {
     let mut chip = Chip::new(
         cfg(NiPlacement::Split, Topology::Mesh),
-        Workload::AsyncRead { size: 512, poll_every: 4 },
+        Workload::AsyncRead {
+            size: 512,
+            poll_every: 4,
+        },
     );
     chip.run(30_000);
-    let sent = chip.rack.stats().sent.get();
-    let responded = chip.rack.stats().responded.get();
+    let sent = chip.fabric_stats().sent.get();
+    let responded = chip.fabric_stats().responded.get();
     assert!(sent > 0, "workload made no progress");
     // Responses lag sends by at most the in-flight window, which is
     // structurally bounded by WQ capacity: 64 QPs x 128 entries x 8 blocks.
@@ -95,13 +104,19 @@ fn conservation_requests_equal_responses_after_drain() {
 fn rate_matching_mirrors_outgoing_traffic() {
     let mut chip = Chip::new(
         cfg(NiPlacement::Split, Topology::Mesh),
-        Workload::AsyncRead { size: 256, poll_every: 4 },
+        Workload::AsyncRead {
+            size: 256,
+            poll_every: 4,
+        },
     );
     chip.run(30_000);
-    let sent = chip.rack.stats().sent.get();
-    let incoming = chip.rack.stats().incoming_generated.get();
+    let sent = chip.fabric_stats().sent.get();
+    let incoming = chip.fabric_stats().incoming_generated.get();
     assert_eq!(sent, incoming, "§5: incoming rate matches outgoing rate");
-    assert!(chip.rrpp_mean_latency() > 0.0, "RRPPs serviced incoming requests");
+    assert!(
+        chip.rrpp_mean_latency() > 0.0,
+        "RRPPs serviced incoming requests"
+    );
 }
 
 #[test]
@@ -110,7 +125,10 @@ fn latency_runs_measure_zero_load_rrpp_service_time() {
     // RRPPs service an unloaded request stream; their measured latency is
     // the paper's 208-cycle "RRPP servicing" component.
     let r = run_sync_latency(cfg(NiPlacement::Split, Topology::Mesh), 64, 5);
-    assert!(r.rrpp_cycles > 0.0, "mirrored requests must reach the RRPPs");
+    assert!(
+        r.rrpp_cycles > 0.0,
+        "mirrored requests must reach the RRPPs"
+    );
     assert!(
         (r.rrpp_cycles - 208.0).abs() < 60.0,
         "zero-load RRPP service {} should be near the paper's 208 cycles",
@@ -122,7 +140,10 @@ fn latency_runs_measure_zero_load_rrpp_service_time() {
 fn app_bandwidth_counts_both_directions() {
     let mut chip = Chip::new(
         cfg(NiPlacement::Split, Topology::Mesh),
-        Workload::AsyncRead { size: 1024, poll_every: 4 },
+        Workload::AsyncRead {
+            size: 1024,
+            poll_every: 4,
+        },
     );
     chip.run(40_000);
     let total = chip.app_payload_bytes();
@@ -140,7 +161,7 @@ fn idle_workload_stays_quiescent() {
     chip.run(5_000);
     assert_eq!(chip.completed_ops(), 0);
     assert_eq!(chip.app_payload_bytes(), 0);
-    assert_eq!(chip.rack.stats().sent.get(), 0);
+    assert_eq!(chip.fabric_stats().sent.get(), 0);
 }
 
 #[test]

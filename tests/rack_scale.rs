@@ -1,0 +1,219 @@
+//! Multi-node rack integration tests: cross-node request/response semantics
+//! over the real torus fabric, the latency floor of the wires, per-link
+//! accounting, and bit-exact reproducibility from the config seed.
+
+use rackni::ni_fabric::Torus3D;
+use rackni::ni_mem::Addr;
+use rackni::ni_soc::{Chip, ChipConfig, Rack, RackSimConfig, TrafficPattern, Workload};
+
+const REMOTE_BASE: u64 = 1 << 40;
+
+fn rack_cfg(torus: Torus3D, active_cores: usize, traffic: TrafficPattern) -> RackSimConfig {
+    RackSimConfig {
+        torus,
+        chip: ChipConfig {
+            active_cores,
+            ..ChipConfig::default()
+        },
+        traffic,
+        ..RackSimConfig::default()
+    }
+}
+
+fn run_until(rack: &mut Rack, limit: u64, mut done: impl FnMut(&Rack) -> bool) {
+    let mut guard = 0u64;
+    while !done(rack) {
+        rack.tick();
+        guard += 1;
+        assert!(guard < limit, "rack run exceeded {limit} cycles");
+    }
+}
+
+/// Satellite requirement: node A remote-writes a block homed on node B,
+/// then remote-reads it back — the value round-trips through B's actual
+/// memory hierarchy, and both operations pay at least the physical network
+/// floor of `2 x hops x 70` cycles (35 ns per hop at 2 GHz).
+#[test]
+fn cross_node_write_then_read_round_trips_through_remote_memory() {
+    let torus = Torus3D::new(2, 2, 2);
+    // Opposite pattern: node 0 targets its antipode, node 7, 3 hops away.
+    let mut rack = Rack::new(
+        rack_cfg(torus, 1, TrafficPattern::Opposite),
+        Workload::SyncWrite { size: 64 },
+    );
+    let target = rack.chips()[0].cores[0].target();
+    assert_eq!(u32::from(target), 7);
+    let hops = u64::from(torus.hops(0, u32::from(target)));
+    assert_eq!(hops, 3);
+
+    // Seed the payload in node 0's local buffer; node 7's remote region
+    // starts clean so the landing is observable.
+    const TOKEN: u64 = 0xfeed_c0de_0123_4567;
+    let lbuf = Addr(rack.chips()[0].cores[0].local_buf().0).block();
+    let remote = Addr(REMOTE_BASE).block();
+    rack.chip_mut(0).poke_block(lbuf, TOKEN);
+    assert_eq!(rack.chips()[7].peek_block(remote), 0, "remote starts clean");
+
+    // Phase 1: the write crosses the rack and lands in node 7's memory.
+    run_until(&mut rack, 200_000, |r| r.chips()[0].completed_ops() >= 1);
+    assert_eq!(
+        rack.chips()[7].peek_block(remote),
+        TOKEN,
+        "write payload must land in the remote node's memory"
+    );
+    let write_lat = rack.chips()[0].cores[0].stats.latency.mean();
+    assert!(
+        write_lat >= (2 * hops * 70) as f64,
+        "write latency {write_lat} beats the 2 x {hops} x 70 network floor"
+    );
+
+    // Phase 2: clear the local buffer and read the block back.
+    rack.chip_mut(0).poke_block(lbuf, 0);
+    rack.chip_mut(0).cores[0].reset_workload(Workload::SyncRead { size: 64 });
+    run_until(&mut rack, 400_000, |r| r.chips()[0].completed_ops() >= 2);
+    assert_eq!(
+        rack.chips()[0].peek_block(lbuf),
+        TOKEN,
+        "read must return the value written in phase 1"
+    );
+    let mean_lat = rack.chips()[0].cores[0].stats.latency.mean();
+    assert!(
+        mean_lat >= (2 * hops * 70) as f64,
+        "mean op latency {mean_lat} beats the network floor"
+    );
+}
+
+/// An 8-node rack completes real traffic on every node, and the fabric's
+/// per-directed-link counters account every hop traversed.
+#[test]
+fn eight_node_rack_completes_ops_on_every_node() {
+    let mut rack = Rack::new(
+        rack_cfg(Torus3D::new(2, 2, 2), 2, TrafficPattern::Uniform),
+        Workload::SyncRead { size: 64 },
+    );
+    rack.run(15_000);
+    for chip in rack.chips() {
+        assert!(
+            chip.completed_ops() > 0,
+            "node {} completed nothing",
+            chip.node_id()
+        );
+        assert!(
+            chip.app_payload_bytes() > 0,
+            "node {} moved no payload",
+            chip.node_id()
+        );
+    }
+    let link_sum: u64 = rack.link_report().iter().map(|l| l.packets).sum();
+    assert_eq!(link_sum, rack.hops_traversed());
+    assert!(rack.peak_link_gbps() > 0.0);
+    let fs = rack.fabric_stats();
+    assert!(fs.sent.get() > 0 && fs.responded.get() > 0);
+}
+
+/// NUMA-mode loads (no QP machinery) also cross the real torus and find
+/// their way back to the issuing core.
+#[test]
+fn numa_workload_crosses_the_torus() {
+    let mut rack = Rack::new(
+        rack_cfg(Torus3D::new(2, 1, 1), 1, TrafficPattern::Neighbor),
+        Workload::NumaRead,
+    );
+    run_until(&mut rack, 100_000, |r| {
+        r.chips().iter().all(|c| c.completed_ops() >= 3)
+    });
+    // One hop each way at 70 cycles plus remote service: well above 140.
+    let lat = rack.chips()[0].cores[0].stats.latency.mean();
+    assert!(lat >= 140.0, "NUMA latency {lat} beats the wire floor");
+}
+
+/// Reproducibility: a rack run is a pure function of its config (seed
+/// included), and the emulator path reproduces from `ChipConfig::seed`
+/// alone.
+#[test]
+fn rack_runs_are_reproducible_from_the_config_seed() {
+    let run = |seed: u64| {
+        let mut cfg = rack_cfg(Torus3D::new(2, 2, 1), 2, TrafficPattern::Uniform);
+        cfg.chip.seed = seed;
+        let mut rack = Rack::new(
+            cfg,
+            Workload::AsyncRead {
+                size: 256,
+                poll_every: 4,
+            },
+        );
+        rack.run(8_000);
+        (
+            rack.completed_ops(),
+            rack.app_payload_bytes(),
+            rack.hops_traversed(),
+            rack.fabric_stats().responded.get(),
+        )
+    };
+    assert_eq!(run(42), run(42), "same seed must reproduce bit-identically");
+
+    let emulated = |seed: u64| {
+        let cfg = ChipConfig {
+            seed,
+            active_cores: 4,
+            ..ChipConfig::default()
+        };
+        let mut chip = Chip::new(
+            cfg,
+            Workload::AsyncRead {
+                size: 256,
+                poll_every: 4,
+            },
+        );
+        chip.run(8_000);
+        (
+            chip.completed_ops(),
+            chip.app_payload_bytes(),
+            chip.fabric_stats().incoming_generated.get(),
+        )
+    };
+    assert_eq!(emulated(7), emulated(7));
+}
+
+/// The rack-scale experiment sweep produces structurally sound rows.
+#[test]
+fn rack_scale_experiment_reports_scaling_rows() {
+    use rackni::experiments::{rack_scale, Scale};
+    let pts = rack_scale(Scale::Quick, TrafficPattern::Uniform);
+    assert_eq!(pts.len(), 3);
+    for p in &pts {
+        assert_eq!(
+            p.nodes,
+            u32::from(p.dims.0) * u32::from(p.dims.1) * u32::from(p.dims.2)
+        );
+        assert!(p.completed_ops > 0, "{:?} rack idle", p.dims);
+        assert!(p.agg_ni_gbps > 0.0);
+        if p.nodes > 1 {
+            assert!(p.peak_link_gbps > 0.0);
+            assert!(
+                p.mean_hops >= 1.0,
+                "{:?}: mean hops {}",
+                p.dims,
+                p.mean_hops
+            );
+        }
+    }
+    // More nodes, more aggregate NI throughput (each node adds both
+    // requesters and servers).
+    assert!(
+        pts.last().expect("rows").agg_ni_gbps > pts[0].agg_ni_gbps,
+        "aggregate bandwidth should grow with rack size"
+    );
+}
+
+/// A degenerate 1x1x1 "rack" routes self-traffic without touching links
+/// and still makes progress against its own RRPPs.
+#[test]
+fn degenerate_single_node_rack_services_itself() {
+    let mut rack = Rack::new(
+        rack_cfg(Torus3D::new(1, 1, 1), 1, TrafficPattern::Neighbor),
+        Workload::SyncRead { size: 64 },
+    );
+    run_until(&mut rack, 100_000, |r| r.chips()[0].completed_ops() >= 2);
+    assert_eq!(rack.hops_traversed(), 0, "self traffic crosses no links");
+}

@@ -53,7 +53,11 @@ fn multiblock_writes_unroll_completely() {
 #[test]
 fn write_bandwidth_moves_payload_both_ways() {
     let r = run_write_bandwidth(cfg(NiPlacement::Split), 1024, 30_000, 3);
-    assert!(r.app_gbps > 10.0, "write bandwidth collapsed: {}", r.app_gbps);
+    assert!(
+        r.app_gbps > 10.0,
+        "write bandwidth collapsed: {}",
+        r.app_gbps
+    );
     assert!(r.cycles >= 30_000);
 }
 
@@ -61,14 +65,17 @@ fn write_bandwidth_moves_payload_both_ways() {
 fn rrpps_absorb_mirrored_incoming_writes() {
     let mut chip = Chip::new(
         cfg(NiPlacement::Split),
-        Workload::AsyncWrite { size: 512, poll_every: 4 },
+        Workload::AsyncWrite {
+            size: 512,
+            poll_every: 4,
+        },
     );
     chip.run(30_000);
     assert!(chip.completed_ops() > 0);
     // Mirrored traffic means incoming write requests hit the local RRPPs.
     assert_eq!(
-        chip.rack.stats().sent.get(),
-        chip.rack.stats().incoming_generated.get()
+        chip.fabric_stats().sent.get(),
+        chip.fabric_stats().incoming_generated.get()
     );
     assert!(chip.rrpp_mean_latency() > 0.0);
     assert!(chip.app_payload_bytes() > 0);

@@ -107,7 +107,10 @@ fn larger_transfers_stretch_netout_to_netin() {
         .traces
         .mean_between(Stage::NetOut, Stage::NetIn)
         .unwrap();
-    let rt_big = big.traces.mean_between(Stage::NetOut, Stage::NetIn).unwrap();
+    let rt_big = big
+        .traces
+        .mean_between(Stage::NetOut, Stage::NetIn)
+        .unwrap();
     // NetIn fires when the *last* block lands; 128 blocks at 1/cycle unroll
     // must stretch the window by at least the serialization time.
     assert!(
