@@ -11,7 +11,10 @@ use ni_fabric::Torus3D;
 use ni_noc::RoutingPolicy;
 use ni_rmc::NiPlacement;
 use ni_soc::bench::{run_bandwidth, run_sync_latency, stage_breakdown, StageBreakdown};
-use ni_soc::{ChipConfig, Rack, RackSimConfig, Topology, TrafficPattern, Workload};
+use ni_soc::{
+    builtin_scenarios, ChipConfig, Rack, RackSimConfig, Scenario, Topology, TrafficPattern,
+    Workload,
+};
 
 use crate::paper;
 use crate::parallel::par_map;
@@ -53,6 +56,14 @@ impl Scale {
         match self {
             Scale::Quick => 6,
             Scale::Full => 12,
+        }
+    }
+
+    /// Simulation horizon for one multi-node rack run at this scale.
+    pub fn rack_cycles(self) -> u64 {
+        match self {
+            Scale::Quick => 15_000,
+            Scale::Full => 60_000,
         }
     }
 }
@@ -496,13 +507,6 @@ fn rack_dims(scale: Scale) -> Vec<(u16, u16, u16)> {
     }
 }
 
-fn rack_cycles(scale: Scale) -> u64 {
-    match scale {
-        Scale::Quick => 15_000,
-        Scale::Full => 60_000,
-    }
-}
-
 /// The sweep's canonical rack for one dims point, run for `cycles`. Both
 /// the summary rows and the per-link detail table come through here, so
 /// they always describe the same experiment.
@@ -534,7 +538,7 @@ fn run_rack_point(dims: (u16, u16, u16), traffic: TrafficPattern, cycles: u64) -
 /// This is the experiment the paper's single-node methodology (§5) cannot
 /// express — cross-node flows, per-link load, and scaling with rack size.
 pub fn rack_scale(scale: Scale, traffic: TrafficPattern) -> Vec<RackScalePoint> {
-    let cycles = rack_cycles(scale);
+    let cycles = scale.rack_cycles();
     par_map(rack_dims(scale), move |(x, y, z)| {
         let torus = Torus3D::new(x, y, z);
         let rack = run_rack_point((x, y, z), traffic, cycles);
@@ -591,7 +595,7 @@ pub fn rack_scale_render(scale: Scale) -> String {
     // config as the summary rows (the sweep's racks are consumed by
     // `par_map`; determinism makes the rerun bit-identical).
     let (x, y, z) = *rack_dims(scale).last().expect("non-empty dims sweep");
-    let rack = run_rack_point((x, y, z), TrafficPattern::Uniform, rack_cycles(scale));
+    let rack = run_rack_point((x, y, z), TrafficPattern::Uniform, scale.rack_cycles());
     let mut links = rack.link_report();
     links.sort_by(|a, b| b.peak_gbps.total_cmp(&a.peak_gbps));
     let mut lt = Table::new(&["link", "packets", "bytes", "busy cycles", "peak GBps"]);
@@ -607,6 +611,124 @@ pub fn rack_scale_render(scale: Scale) -> String {
     out.push_str(&format!("\nbusiest directed links, {x}x{y}x{z} rack:\n"));
     out.push_str(&lt.render());
     out
+}
+
+/// One row of the scenario sweep: a built-in [`Scenario`] run on a full
+/// multi-node rack.
+#[derive(Clone, Debug)]
+pub struct ScenarioPoint {
+    /// Scenario name.
+    pub name: String,
+    /// Operations completed rack-wide.
+    pub completed_ops: u64,
+    /// Aggregate NI bandwidth rack-wide, GB/s (per-node sum, §6.2).
+    pub agg_ni_gbps: f64,
+    /// Busiest directed link's peak bandwidth, GB/s.
+    pub peak_link_gbps: f64,
+    /// Per-link load imbalance: busiest link's total bytes over the mean of
+    /// all loaded links (1.0 = perfectly balanced; hotspot scenarios are
+    /// far above the uniform baseline).
+    pub link_skew: f64,
+    /// RRPP queueing imbalance: hottest node's mean RRPP service latency
+    /// over the rack-wide mean (1.0 = balanced).
+    pub rrpp_skew: f64,
+    /// Total torus link traversals.
+    pub hops: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+/// Busiest-link bytes over the mean bytes of all loaded links.
+pub fn link_byte_skew(rack: &Rack) -> f64 {
+    let loaded: Vec<u64> = rack
+        .link_report()
+        .iter()
+        .map(|l| l.bytes)
+        .filter(|&b| b > 0)
+        .collect();
+    if loaded.is_empty() {
+        return 1.0;
+    }
+    let max = *loaded.iter().max().expect("non-empty") as f64;
+    let mean = loaded.iter().sum::<u64>() as f64 / loaded.len() as f64;
+    max / mean.max(1.0)
+}
+
+fn rrpp_latency_skew(rack: &Rack) -> f64 {
+    let lats: Vec<f64> = rack
+        .rrpp_mean_latencies()
+        .into_iter()
+        .filter(|&l| l > 0.0)
+        .collect();
+    if lats.is_empty() {
+        return 1.0;
+    }
+    let max = lats.iter().fold(0.0f64, |a, &b| a.max(b));
+    let mean = lats.iter().sum::<f64>() / lats.len() as f64;
+    max / mean.max(1.0)
+}
+
+/// Run one scenario on the sweep's canonical 8-node rack and measure it.
+pub fn run_scenario_point(scenario: &dyn Scenario, cycles: u64) -> ScenarioPoint {
+    let cfg = RackSimConfig {
+        torus: Torus3D::new(2, 2, 2),
+        chip: ChipConfig {
+            active_cores: 4,
+            ..ChipConfig::default()
+        },
+        ..RackSimConfig::default()
+    };
+    let mut rack = Rack::with_scenario(cfg, scenario);
+    rack.run(cycles);
+    ScenarioPoint {
+        name: rack.scenario_name().to_string(),
+        completed_ops: rack.completed_ops(),
+        agg_ni_gbps: Frequency::GHZ2
+            .gbps_from_bytes_per_cycle(rack.app_payload_bytes() as f64 / cycles.max(1) as f64),
+        peak_link_gbps: rack.peak_link_gbps(),
+        link_skew: link_byte_skew(&rack),
+        rrpp_skew: rrpp_latency_skew(&rack),
+        hops: rack.hops_traversed(),
+        cycles,
+    }
+}
+
+/// Scenario sweep: every built-in [`Scenario`] on an 8-node (2x2x2) rack of
+/// fully simulated chips. The experiment the closed `Workload` enum could
+/// not express: application traffic — synthetic streams, Zipf hotspots,
+/// key-value GET/PUT mixes, bulk graph fetches — through one trait, with
+/// per-link and per-RRPP skew measured against the paper's balanced
+/// assumption.
+pub fn scenario_sweep(scale: Scale) -> Vec<ScenarioPoint> {
+    let cycles = scale.rack_cycles();
+    let scenarios = builtin_scenarios();
+    par_map(scenarios, move |s| run_scenario_point(s.as_ref(), cycles))
+}
+
+/// Render the scenario sweep.
+pub fn scenario_sweep_render(scale: Scale) -> String {
+    let pts = scenario_sweep(scale);
+    let mut t = Table::new(&[
+        "scenario",
+        "ops",
+        "agg NI GBps (per-node sum)",
+        "peak link (GBps)",
+        "link skew",
+        "RRPP skew",
+        "hops",
+    ]);
+    for p in &pts {
+        t.row_owned(vec![
+            p.name.clone(),
+            p.completed_ops.to_string(),
+            f1(p.agg_ni_gbps),
+            f1(p.peak_link_gbps),
+            format!("{:.2}x", p.link_skew),
+            format!("{:.2}x", p.rrpp_skew),
+            p.hops.to_string(),
+        ]);
+    }
+    t.render()
 }
 
 /// The default size sweep of the paper's latency figures (64B to 16KB).

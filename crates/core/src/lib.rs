@@ -50,7 +50,9 @@ pub mod prelude {
     pub use ni_noc::RoutingPolicy;
     pub use ni_rmc::NiPlacement;
     pub use ni_soc::{
-        run_bandwidth, run_sync_latency, BandwidthResult, Chip, ChipConfig, LatencyResult, Rack,
-        RackSimConfig, Topology, TrafficPattern, Workload,
+        builtin_scenarios, run_bandwidth, run_chip_scenario, run_sync_latency, BandwidthResult,
+        Chip, ChipConfig, GraphShard, KvStore, LatencyResult, LinkReportFormat, Op, OpCtx, Rack,
+        RackSimConfig, Scenario, ScenarioRunResult, Synthetic, Topology, TrafficPattern, Workload,
+        Zipf, ZipfHotspot,
     };
 }

@@ -123,6 +123,38 @@ fn nicache_owned_state_saves_cycles() {
 }
 
 #[test]
+fn scenario_sweep_covers_every_builtin() {
+    let pts = experiments::scenario_sweep(Scale::Quick);
+    let names: Vec<&str> = pts.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["synthetic", "zipf-hotspot", "kv-store", "graph-shard"],
+        "stable scenario order"
+    );
+    for p in &pts {
+        assert!(p.completed_ops > 0, "{}: rack idle", p.name);
+        assert!(p.agg_ni_gbps > 0.0, "{}: no NI traffic", p.name);
+        assert!(p.hops > 0, "{}: nothing crossed the fabric", p.name);
+        assert!(
+            p.link_skew >= 1.0 && p.rrpp_skew >= 1.0,
+            "{}: skews are ratios",
+            p.name
+        );
+    }
+    // The hotspot scenario must stand out from the synthetic baseline.
+    let synth = &pts[0];
+    let zipf = &pts[1];
+    assert!(
+        zipf.link_skew > synth.link_skew,
+        "zipf {} vs synthetic {}",
+        zipf.link_skew,
+        synth.link_skew
+    );
+    let render = experiments::scenario_sweep_render(Scale::Quick);
+    assert!(render.contains("zipf-hotspot") && render.contains("link skew"));
+}
+
+#[test]
 fn scale_from_env_defaults_to_quick() {
     if std::env::var("RACKNI_SCALE").is_err() {
         assert_eq!(Scale::from_env(), Scale::Quick);

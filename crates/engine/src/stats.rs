@@ -168,6 +168,22 @@ impl Histogram {
         &self.stats
     }
 
+    /// Merge another histogram into this one (chip-wide tails from per-core
+    /// histograms). Exact samples are kept up to the cap; past it the
+    /// percentiles degrade to the bucketed approximation, as with `record`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.stats.merge(&other.stats);
+        for &s in &other.exact {
+            if self.exact.len() >= self.exact_cap {
+                break;
+            }
+            self.exact.push(s);
+        }
+    }
+
     /// `q`-quantile (0.0..=1.0). Exact while few samples, bucket-midpoint
     /// approximation afterwards. Returns 0 for an empty histogram.
     pub fn percentile(&self, q: f64) -> u64 {
@@ -450,6 +466,22 @@ mod tests {
         assert_eq!(a.mean(), 20.0);
         assert_eq!(a.min(), Some(10));
         assert_eq!(a.max(), Some(30));
+    }
+
+    #[test]
+    fn histogram_merge_combines_distributions() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=50u64 {
+            a.record(v);
+        }
+        for v in 51..=100u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.stats().count(), 100);
+        assert_eq!(a.percentile(0.5), 50);
+        assert_eq!(a.percentile(1.0), 100);
     }
 
     #[test]

@@ -26,4 +26,6 @@ pub mod torus_fabric;
 pub use fabric::{Fabric, FabricStats, SharedFabric};
 pub use rack::{RackConfig, RackEmulator, RemoteReq, RemoteResp};
 pub use torus::{Dir, Torus3D};
-pub use torus_fabric::{LinkReport, TorusFabric, TorusFabricConfig};
+pub use torus_fabric::{
+    link_report_csv, link_report_json, LinkReport, TorusFabric, TorusFabricConfig,
+};

@@ -179,6 +179,22 @@ impl Torus3D {
             .or_else(|| choose(a.2, b.2, dz, Dir::ZPlus, Dir::ZMinus))
     }
 
+    /// A Lee-distance antipode of `id`: a node at maximal minimal-hop
+    /// distance, i.e. exactly [`max_hops`](Torus3D::max_hops) away.
+    ///
+    /// Each coordinate moves `⌊d/2⌋` along its ring — the farthest any node
+    /// can be on a `d`-ring. For *odd* `d` the antipode is not unique
+    /// (offsets `+⌊d/2⌋` and `-⌊d/2⌋` are both maximal, `⌊d/2⌋ = (d-1)/2`
+    /// hops away); the positive offset is chosen, so on odd rings the
+    /// mapping is a rotation rather than an involution — A's antipode is B
+    /// without B's being A. Worst-case *distance* is preserved either way,
+    /// which is what antipodal (bisection-stress) traffic needs.
+    pub fn antipode(&self, id: u32) -> u32 {
+        let (dx, dy, dz) = self.dims;
+        let (x, y, z) = self.coords(id);
+        self.id(((x + dx / 2) % dx, (y + dy / 2) % dy, (z + dz / 2) % dz))
+    }
+
     /// Average hop count between distinct nodes (the paper quotes 6).
     pub fn average_hops(&self) -> f64 {
         // Per-dimension mean ring distance, summed (dimensions independent).
@@ -229,6 +245,40 @@ mod tests {
         let a = t.id((0, 0, 0));
         let b = t.id((7, 0, 0));
         assert_eq!(t.hops(a, b), 1);
+    }
+
+    /// Regression for odd torus dimensions: on a 3x3x3 rack the per-ring
+    /// offset is `⌊3/2⌋ = 1`, and the antipode must still be Lee-maximal
+    /// (`max_hops = 3`) and never the node itself — for every node, not
+    /// just node 0.
+    #[test]
+    fn antipode_is_lee_maximal_on_odd_dimensions() {
+        for t in [
+            Torus3D::new(3, 3, 3),
+            Torus3D::new(3, 1, 1),
+            Torus3D::new(5, 3, 2),
+        ] {
+            for id in 0..t.nodes() {
+                let a = t.antipode(id);
+                assert_ne!(a, id, "{:?}: node {id} is its own antipode", t.dims());
+                assert_eq!(
+                    t.hops(id, a),
+                    t.max_hops(),
+                    "{:?}: antipode of {id} is {a}, only {} of {} hops away",
+                    t.dims(),
+                    t.hops(id, a),
+                    t.max_hops()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn antipode_is_an_involution_on_even_dimensions() {
+        let t = Torus3D::new(4, 4, 2);
+        for id in 0..t.nodes() {
+            assert_eq!(t.antipode(t.antipode(id)), id);
+        }
     }
 
     proptest! {

@@ -110,6 +110,45 @@ pub struct LinkReport {
     pub peak_gbps: f64,
 }
 
+impl LinkReport {
+    /// Column names of [`csv_row`](LinkReport::csv_row), comma-separated.
+    pub const CSV_HEADER: &'static str = "node,dir,packets,bytes,busy_cycles,peak_gbps";
+
+    /// This row in the [`CSV_HEADER`](LinkReport::CSV_HEADER) column order
+    /// (no trailing newline).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{:.6}",
+            self.node, self.dir, self.packets, self.bytes, self.busy_cycles, self.peak_gbps
+        )
+    }
+
+    /// This row as a JSON object.
+    pub fn json_row(&self) -> String {
+        format!(
+            r#"{{"node":{},"dir":"{}","packets":{},"bytes":{},"busy_cycles":{},"peak_gbps":{:.6}}}"#,
+            self.node, self.dir, self.packets, self.bytes, self.busy_cycles, self.peak_gbps
+        )
+    }
+}
+
+/// Serialize a link report as CSV (header plus one row per directed link).
+pub fn link_report_csv(links: &[LinkReport]) -> String {
+    let mut out = String::from(LinkReport::CSV_HEADER);
+    out.push('\n');
+    for l in links {
+        out.push_str(&l.csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize a link report as a JSON array of per-link objects.
+pub fn link_report_json(links: &[LinkReport]) -> String {
+    let rows: Vec<String> = links.iter().map(LinkReport::json_row).collect();
+    format!("[\n  {}\n]\n", rows.join(",\n  "))
+}
+
 /// The multi-node torus transport.
 pub struct TorusFabric {
     cfg: TorusFabricConfig,

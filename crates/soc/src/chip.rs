@@ -1,11 +1,11 @@
 //! The simulated node: cores, caches, directories, memory, RMC pipelines,
 //! interconnect, network router and rack fabric, ticked in lock step.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use ni_coherence::{wire_of, CacheComplex, ClientKind, CohMsg, DirectoryBank, Egress};
 use ni_engine::{Cycle, DelayLine};
-use ni_fabric::{Fabric, FabricStats, RackConfig, RackEmulator, RemoteResp};
+use ni_fabric::{Fabric, FabricStats, RackConfig, RackEmulator, RemoteResp, Torus3D};
 use ni_mem::{Addr, BlockAddr, MemRequestKind, MemoryController};
 use ni_noc::{Coord, Interconnect, MeshNoc, MessageClass, NocNode, NocOutNoc, NocStats, Packet};
 use ni_qp::QueuePair;
@@ -13,6 +13,7 @@ use ni_rmc::{NiBackend, NiFrontend, NiMsg, NiPlacement, RmcEgress, Rrpp, TraceTa
 
 use crate::config::{ChipConfig, Topology};
 use crate::core_model::{Core, Workload, NUMA_TID_BASE};
+use crate::scenario::{core_seed, OpCtx, Scenario, Synthetic};
 
 /// QP region base (bytes).
 const QP_BASE: u64 = 0x0100_0000;
@@ -123,29 +124,52 @@ pub struct Chip {
     /// Packets that could not inject yet, FIFO per source node. Only the
     /// head of each queue can possibly inject (the source's injection port
     /// serializes), so retries cost one attempt per blocked source per
-    /// cycle, and point-to-point ordering per source is preserved.
-    backlog: HashMap<NocNode, VecDeque<Packet<ChipMsg>>>,
+    /// cycle, and point-to-point ordering per source is preserved. Ordered
+    /// map: retry order across sources must be deterministic for
+    /// same-seed runs to reproduce under congestion.
+    backlog: BTreeMap<NocNode, VecDeque<Packet<ChipMsg>>>,
     /// Total packets across all backlog queues.
     backlog_len: usize,
 }
 
 impl Chip {
     /// Build a node behind the paper's rate-matching rack emulator: every
-    /// core runs `workload`, cores `>= active_cores` idle.
+    /// core runs `workload`, cores `>= active_cores` idle. Thin wrapper over
+    /// [`Chip::with_scenario`] with a [`Synthetic`] generator.
     pub fn new(cfg: ChipConfig, workload: Workload) -> Chip {
+        Chip::with_scenario(cfg, &Synthetic::from_workload(workload))
+    }
+
+    /// Build a node behind the paper's rate-matching rack emulator, every
+    /// active core driven by its own generator from `scenario`.
+    pub fn with_scenario(cfg: ChipConfig, scenario: &dyn Scenario) -> Chip {
         // The chip-level seed is authoritative (reproducible from the
         // ChipConfig alone, emulated or multi-node).
         let emulator = RackEmulator::new(RackConfig {
             seed: cfg.seed,
             ..cfg.rack
         });
-        Chip::with_fabric(cfg, workload, Box::new(emulator))
+        // The emulated rack looks like one remote peer: node 1.
+        Chip::with_scenario_on(cfg, scenario, Box::new(emulator), 2, None)
     }
 
     /// Build a node whose network router hands traffic to `fabric` — the
-    /// multi-node entry point ([`crate::Rack`] passes a shared
-    /// [`ni_fabric::TorusFabric`] handle).
+    /// pre-scenario multi-node entry point, kept as a thin wrapper.
     pub fn with_fabric(cfg: ChipConfig, workload: Workload, fabric: Box<dyn Fabric>) -> Chip {
+        Chip::with_scenario_on(cfg, &Synthetic::from_workload(workload), fabric, 2, None)
+    }
+
+    /// Build a node whose network router hands traffic to `fabric`, every
+    /// active core driven by its own generator from `scenario` bound with
+    /// the rack geometry (`nodes` peers, `torus` when the fabric is a real
+    /// [`ni_fabric::TorusFabric`]). [`crate::Rack`] is the usual caller.
+    pub fn with_scenario_on(
+        cfg: ChipConfig,
+        scenario: &dyn Scenario,
+        fabric: Box<dyn Fabric>,
+        nodes: u32,
+        torus: Option<Torus3D>,
+    ) -> Chip {
         let n = cfg.n_cores();
         let n_banks = cfg.n_banks();
         let n_edge = cfg.n_edge();
@@ -225,22 +249,25 @@ impl Chip {
             .map(|_| MemoryController::new(cfg.mem))
             .collect();
 
-        // Queue pairs and cores.
+        // Queue pairs and cores: one per-core generator each, bound to the
+        // core's place in the rack and its decorrelated seed.
         let mut qps = Vec::new();
         let mut cores = Vec::new();
         for i in 0..n {
             let wq = Addr(QP_BASE + i as u64 * QP_STRIDE);
             let cq = Addr(QP_BASE + i as u64 * QP_STRIDE + QP_STRIDE / 2);
             qps.push(QueuePair::new(i as u32, cfg.qp, wq, cq));
-            let wl = if i < cfg.active_cores {
-                workload
+            let ctx = OpCtx::bind(cfg.node_id, i, nodes, torus, core_seed(cfg.seed, i));
+            let gen: Box<dyn Scenario> = if i < cfg.active_cores {
+                scenario.for_core(&ctx)
             } else {
-                Workload::Idle
+                Synthetic::from_workload(Workload::Idle).for_core(&ctx)
             };
             cores.push(Core::new(
                 i,
                 i as u32,
-                wl,
+                gen,
+                ctx,
                 cfg.qp,
                 LBUF_BASE + i as u64 * LBUF_BYTES,
                 LBUF_BYTES,
@@ -334,7 +361,7 @@ impl Chip {
             fabric,
             traces: TraceTable::new(),
             latch: DelayLine::new(),
-            backlog: HashMap::new(),
+            backlog: BTreeMap::new(),
             backlog_len: 0,
         }
     }

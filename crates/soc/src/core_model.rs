@@ -1,4 +1,4 @@
-//! Core model: an issue-cost sequencer running the paper's microbenchmarks.
+//! Core model: an issue-cost sequencer driven by a pluggable [`Scenario`].
 //!
 //! The paper's cores are ARM Cortex-A15-like OoO machines, but its
 //! microbenchmark analysis (§3.1, Table 3) reduces the software side to
@@ -8,13 +8,23 @@
 //! exactly those memory operations through its cache complex with the
 //! configured compute gaps, which is the granularity at which software
 //! appears in every latency breakdown of the paper.
+//!
+//! *What* the core issues — read or write, destination node, remote address
+//! and size, synchronous or asynchronous — comes from its [`Scenario`]
+//! generator, consulted whenever the core is ready for the next operation.
+//! The closed [`Workload`] enum survives as the parameter vocabulary of the
+//! built-in [`Synthetic`](crate::Synthetic) scenario and of the thin
+//! compatibility constructors ([`Chip::new`](crate::Chip::new),
+//! [`Rack::new`](crate::Rack::new)).
 
 use ni_coherence::{Access, AccessKind, AccessOrigin, CacheComplex};
 use ni_engine::{Cycle, DelayLine, Histogram, RunningMean};
 use ni_fabric::RemoteReq;
-use ni_mem::Addr;
+use ni_mem::{Addr, BlockAddr};
 use ni_qp::{QpConfig, QueuePair, RemoteOp};
 use ni_rmc::{Stage, TraceEvent};
+
+use crate::scenario::{Op, OpCtx, Scenario};
 
 /// Base of the NUMA-mode transfer-tag space (`tid >> 32` of 256+ marks a
 /// core-issued load/store rather than a backend transfer).
@@ -23,7 +33,8 @@ pub const NUMA_TID_BASE: u64 = 256 << 32;
 /// Remote region targeted by the microbenchmarks (bytes).
 pub const REMOTE_BASE: u64 = 1 << 40;
 
-/// What a core runs.
+/// What a core runs: the parameter vocabulary of the built-in
+/// [`Synthetic`](crate::Synthetic) scenario (the paper's microbenchmarks).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Workload {
     /// Do nothing.
@@ -93,8 +104,13 @@ enum Ev {
     Store1,
     /// Begin a CQ poll load (after poll compute).
     Poll,
-    /// Issue a NUMA remote load.
-    NumaIssue,
+    /// Issue a NUMA remote load of `block` at node `to`.
+    NumaIssue {
+        /// Destination node.
+        to: u16,
+        /// Remote block to load.
+        block: BlockAddr,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,7 +128,10 @@ pub struct Core {
     tile: usize,
     qp_id: u32,
     target_node: u16,
-    workload: Workload,
+    scenario: Box<dyn Scenario>,
+    /// Context template refreshed (issue count, time) before every
+    /// [`Scenario::next_op`] call.
+    ctx: OpCtx,
     qp_cfg: QpConfig,
     local_buf_base: u64,
     local_buf_bytes: u64,
@@ -122,12 +141,20 @@ pub struct Core {
     iter_start: Cycle,
     reaped: u64,
     issued: u64,
-    remote_cursor: u64,
+    /// QP ops issued but not yet reaped. Unlike `issued` this survives
+    /// [`reset_scenario`](Core::reset_scenario), so cadence polls and the
+    /// idle drain keep firing for pre-reset completions.
+    inflight: u64,
+    /// Total ops fetched from the scenario (QP and NUMA alike); exposed to
+    /// generators as [`OpCtx::issued`].
+    op_seq: u64,
     /// NUMA request ready for the chip to pick up.
     numa_out: Option<RemoteReq>,
     traces: Vec<TraceEvent>,
     /// WQ id currently being timed (sync workloads).
     cur_id: u64,
+    /// WQ id of the synchronous op the core is spinning for, if any.
+    awaiting_sync: Option<u64>,
     /// Second WQ store waiting to issue one cycle after the first.
     pending_second_store: Option<(Cycle, Access)>,
     /// Issue count at the last opportunistic poll (prevents poll loops).
@@ -139,20 +166,24 @@ pub struct Core {
 }
 
 impl Core {
-    /// Create the core of `tile` using queue pair `qp_id`.
+    /// Create the core of `tile` using queue pair `qp_id`, driven by the
+    /// per-core generator `scenario` bound to `ctx`.
     pub fn new(
         tile: usize,
         qp_id: u32,
-        workload: Workload,
+        scenario: Box<dyn Scenario>,
+        ctx: OpCtx,
         qp_cfg: QpConfig,
         local_buf_base: u64,
         local_buf_bytes: u64,
     ) -> Core {
+        let target_node = scenario.fixed_target().unwrap_or(1);
         Core {
             tile,
             qp_id,
-            target_node: 1,
-            workload,
+            target_node,
+            scenario,
+            ctx,
             qp_cfg,
             local_buf_base,
             local_buf_bytes,
@@ -162,10 +193,12 @@ impl Core {
             iter_start: Cycle::ZERO,
             reaped: 0,
             issued: 0,
-            remote_cursor: 0,
+            inflight: 0,
+            op_seq: 0,
             numa_out: None,
             traces: Vec::new(),
             cur_id: 0,
+            awaiting_sync: None,
             pending_second_store: None,
             last_poll_at_issue: u64::MAX,
             stats: CoreStats::default(),
@@ -178,6 +211,11 @@ impl Core {
         self.tile
     }
 
+    /// The scenario generator driving this core.
+    pub fn scenario(&self) -> &dyn Scenario {
+        self.scenario.as_ref()
+    }
+
     /// Drain accumulated trace events.
     pub fn drain_traces(&mut self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.traces)
@@ -188,7 +226,9 @@ impl Core {
         self.numa_out.take()
     }
 
-    /// Rack node this core's remote operations target.
+    /// Rack node this core's remote operations target: the generator's
+    /// fixed destination when it has one, else the destination of the most
+    /// recently issued op.
     pub fn target(&self) -> u16 {
         self.target_node
     }
@@ -198,26 +238,43 @@ impl Core {
         (self.local_buf_base, self.local_buf_bytes)
     }
 
-    /// Point subsequent remote operations at rack node `node` (multi-node
-    /// racks assign per-core destinations; the single-node emulator ignores
-    /// the value).
+    /// Point subsequent ops at `node`: the pre-scenario retargeting API.
+    /// Forwarded to the generator via [`Scenario::retarget`], so fixed-
+    /// destination scenarios ([`crate::Synthetic`]) steer their traffic
+    /// accordingly; randomized scenarios ignore it and keep choosing
+    /// destinations per op.
     pub fn set_target(&mut self, node: u16) {
         self.target_node = node;
+        self.scenario.retarget(node);
     }
 
-    /// Switch to a new workload and restart the issue state: clears pending
-    /// issue events and rewinds the remote/local address cursors to their
-    /// bases, so multi-phase experiments (e.g. write a region, then read it
-    /// back) revisit the same addresses. Safe between operations; pending
-    /// completion counters (`reaped`) survive so CQ tokens stay consistent.
-    pub fn reset_workload(&mut self, workload: Workload) {
-        self.workload = workload;
+    /// Switch to a new generator and restart the issue state: clears
+    /// pending issue events and rewinds address generation, so multi-phase
+    /// experiments (e.g. write a region, then read it back) revisit the
+    /// same addresses. Safe between operations; pending completion
+    /// counters (`reaped`) survive so CQ tokens stay consistent.
+    pub fn reset_scenario(&mut self, scenario: Box<dyn Scenario>) {
+        self.scenario = scenario;
         self.phase = Phase::Idle;
         self.events = DelayLine::new();
         self.pending_second_store = None;
-        self.remote_cursor = 0;
+        self.awaiting_sync = None;
         self.issued = 0;
+        self.op_seq = 0;
         self.last_poll_at_issue = u64::MAX;
+        if let Some(t) = self.scenario.fixed_target() {
+            self.target_node = t;
+        }
+    }
+
+    /// Switch to a new [`Workload`], keeping the current target node
+    /// (compatibility wrapper over [`reset_scenario`](Core::reset_scenario)
+    /// with a freshly bound [`Synthetic`](crate::Synthetic) generator).
+    pub fn reset_workload(&mut self, workload: Workload) {
+        let dest = self.target_node;
+        self.reset_scenario(Box::new(
+            crate::scenario::Synthetic::from_workload(workload).with_dest(dest),
+        ));
     }
 
     /// A NUMA response reached the core.
@@ -238,12 +295,6 @@ impl Core {
     fn tag(&mut self) -> u64 {
         self.seq += 1;
         self.seq
-    }
-
-    fn remote_addr(&mut self, size: u64) -> Addr {
-        let a = REMOTE_BASE + self.remote_cursor;
-        self.remote_cursor += size.max(64).next_multiple_of(64);
-        Addr(a)
     }
 
     fn local_addr(&self, size: u64) -> Addr {
@@ -284,16 +335,15 @@ impl Core {
                     self.phase = Phase::WaitPoll;
                     self.submit(now, cx, AccessKind::Load, block, 0, tag);
                 }
-                Ev::NumaIssue => {
-                    let addr = self.remote_addr(64);
+                Ev::NumaIssue { to, block } => {
                     self.iter_start = now;
                     self.phase = Phase::WaitNuma;
                     self.numa_out = Some(RemoteReq {
                         tid: NUMA_TID_BASE | self.tile as u64,
                         is_read: true,
                         src_node: 0, // stamped by the fabric at the network router
-                        target_node: self.target_node,
-                        remote_block: addr.block(),
+                        target_node: to,
+                        remote_block: block,
                         value: 0,
                     });
                 }
@@ -302,47 +352,85 @@ impl Core {
         if self.phase != Phase::Idle {
             return;
         }
-        match self.workload {
-            Workload::Idle => {}
-            Workload::SyncRead { size } | Workload::SyncWrite { size } => {
-                self.begin_issue(now, qp, size)
-            }
-            Workload::AsyncRead { size, poll_every }
-            | Workload::AsyncWrite { size, poll_every } => {
-                let due = self.issued > 0
-                    && self.issued.is_multiple_of(u64::from(poll_every))
-                    && self.last_poll_at_issue != self.issued;
-                if qp.wq_full() || due {
-                    // Poll: blocking when full, opportunistic otherwise.
-                    self.last_poll_at_issue = self.issued;
+        // Asynchronous housekeeping first: poll the CQ when the WQ has no
+        // room for another entry, or when completions are outstanding and
+        // the scenario's poll cadence is due.
+        let poll_every = u64::from(self.scenario.poll_every().max(1));
+        let due = self.inflight > 0
+            && self.issued > 0
+            && self.issued.is_multiple_of(poll_every)
+            && self.last_poll_at_issue != self.issued;
+        if qp.wq_full() || due {
+            // Poll: blocking when full, opportunistic otherwise.
+            self.last_poll_at_issue = self.issued;
+            self.phase = Phase::WaitPoll;
+            self.events
+                .push_after(now, self.qp_cfg.cq_read_compute, Ev::Poll);
+            return;
+        }
+        // Ready for the next application operation: ask the scenario.
+        self.ctx.issued = self.op_seq;
+        self.ctx.now = now;
+        let op = self.scenario.next_op(&self.ctx);
+        self.op_seq += 1;
+        match op {
+            Op::Idle => {
+                // Drain outstanding async completions while the scenario
+                // idles: a finite scenario may stop issuing before its last
+                // ops complete, and the cadence-based poll above only fires
+                // at issue-count multiples of `poll_every`.
+                if self.inflight > 0 {
                     self.phase = Phase::WaitPoll;
                     self.events
                         .push_after(now, self.qp_cfg.cq_read_compute, Ev::Poll);
-                } else {
-                    self.begin_issue(now, qp, size);
                 }
             }
-            Workload::NumaRead => {
+            Op::Remote {
+                op,
+                to,
+                addr,
+                size,
+                sync,
+            } => {
+                self.target_node = to;
+                self.begin_issue(now, qp, op, to, addr, size, sync);
+            }
+            Op::Numa { to, addr } => {
+                self.target_node = to;
                 self.phase = Phase::WaitNuma;
-                self.events.push_after(now, 1, Ev::NumaIssue);
+                self.events.push_after(
+                    now,
+                    1,
+                    Ev::NumaIssue {
+                        to,
+                        block: addr.block(),
+                    },
+                );
             }
         }
     }
 
-    fn begin_issue(&mut self, now: Cycle, qp: &mut QueuePair, size: u64) {
-        let remote = self.remote_addr(size);
+    #[allow(clippy::too_many_arguments)]
+    fn begin_issue(
+        &mut self,
+        now: Cycle,
+        qp: &mut QueuePair,
+        op: RemoteOp,
+        to: u16,
+        remote: Addr,
+        size: u64,
+        sync: bool,
+    ) {
         let local = self.local_addr(size);
         // Record where the entry's stores land *before* enqueueing advances
         // the tail.
-        let op = self
-            .workload
-            .remote_op()
-            .expect("issuing workload has an op");
         let id = qp
-            .enqueue(op, self.target_node, remote, local, size)
+            .enqueue(op, to, remote, local, size)
             .expect("caller checks wq_full");
         self.cur_id = id;
+        self.awaiting_sync = sync.then_some(id);
         self.issued += 1;
+        self.inflight += 1;
         self.iter_start = now;
         self.traces.push(TraceEvent {
             qp: self.qp_id,
@@ -407,7 +495,7 @@ impl Core {
                     stage: Stage::WqWriteDone,
                     at: now,
                 });
-                if self.workload.is_synchronous() {
+                if self.awaiting_sync.is_some() {
                     self.phase = Phase::WaitPoll;
                     self.events
                         .push_after(now, self.qp_cfg.cq_read_compute, Ev::Poll);
@@ -422,23 +510,32 @@ impl Core {
                     for _ in 0..newly {
                         let c = qp.app_reap().expect("token promised a completion");
                         self.stats.completed += 1;
+                        self.inflight = self.inflight.saturating_sub(1);
                         self.traces.push(TraceEvent {
                             qp: self.qp_id,
                             wq_id: c.wq_id,
                             stage: Stage::CqReadDone,
                             at: now,
                         });
-                        if self.workload.is_synchronous() {
+                        if self.awaiting_sync == Some(c.wq_id) {
                             let lat = now.saturating_since(self.iter_start);
                             self.stats.latency.record(lat);
                             self.latency_hist.record(lat);
+                            self.awaiting_sync = None;
                         }
                     }
                     self.reaped = value;
-                    self.phase = Phase::Idle;
+                    if self.awaiting_sync.is_some() {
+                        // The awaited synchronous op is still in flight
+                        // (earlier async completions drained): keep spinning.
+                        self.events
+                            .push_after(now, self.qp_cfg.cq_read_compute, Ev::Poll);
+                    } else {
+                        self.phase = Phase::Idle;
+                    }
                 } else {
                     // Sync (and full-WQ async): keep spinning.
-                    if self.workload.is_synchronous() || qp.wq_full() {
+                    if self.awaiting_sync.is_some() || qp.wq_full() {
                         self.events
                             .push_after(now, self.qp_cfg.cq_read_compute, Ev::Poll);
                     } else {

@@ -16,18 +16,32 @@
 //! emulator, while [`rack::Rack`] instantiates N full chips in lock step
 //! over a real [`ni_fabric::TorusFabric`] — actual hop-by-hop multi-node
 //! simulation with per-link bandwidth accounting.
+//!
+//! Workload generation is the open [`scenario::Scenario`] trait: a seeded
+//! per-core operation generator consumed uniformly by the single-chip and
+//! multi-node paths. Four built-ins ship with the crate
+//! ([`scenario::Synthetic`], [`scenario::ZipfHotspot`],
+//! [`scenario::KvStore`], [`scenario::GraphShard`]); the pre-scenario
+//! [`core_model::Workload`]/[`rack::TrafficPattern`] enums survive as
+//! [`scenario::Synthetic`]'s parameter vocabulary and thin constructors.
 
 pub mod bench;
 pub mod chip;
 pub mod config;
 pub mod core_model;
 pub mod rack;
+pub mod scenario;
 
 pub use bench::{
-    run_bandwidth, run_sync_latency, run_sync_write_latency, run_write_bandwidth, stage_breakdown,
-    BandwidthResult, LatencyResult, StageBreakdown,
+    run_bandwidth, run_chip_scenario, run_sync_latency, run_sync_write_latency,
+    run_write_bandwidth, stage_breakdown, BandwidthResult, LatencyResult, ScenarioRunResult,
+    StageBreakdown,
 };
 pub use chip::{Chip, ChipMsg};
 pub use config::{ChipConfig, Topology};
-pub use core_model::{Core, CoreStats, Workload};
-pub use rack::{Rack, RackSimConfig, TrafficPattern};
+pub use core_model::{Core, CoreStats, Workload, REMOTE_BASE};
+pub use rack::{LinkReportFormat, Rack, RackSimConfig, TrafficPattern};
+pub use scenario::{
+    builtin_scenarios, core_seed, GraphShard, KvStore, Op, OpCtx, Scenario, Synthetic, Zipf,
+    ZipfHotspot,
+};

@@ -8,18 +8,29 @@
 //! bandwidth. Cross-node request/response flows are therefore *real*: node
 //! A's RGP unrolls onto the fabric, node B's RRPP services against node B's
 //! memory, and the response rides the torus back to node A's RCP.
+//!
+//! Workloads come from a [`Scenario`]: [`Rack::with_scenario`] hands every
+//! active core of every node its own seeded generator. The pre-scenario
+//! [`Rack::new`]`(cfg, workload)` constructor survives as a thin wrapper
+//! over [`Synthetic`] with the config's [`TrafficPattern`].
 
 use std::cell::RefCell;
+use std::io::{self, Write};
 use std::rc::Rc;
 
 use ni_engine::Cycle;
-use ni_fabric::{Fabric, LinkReport, SharedFabric, Torus3D, TorusFabric, TorusFabricConfig};
+use ni_fabric::{
+    link_report_csv, link_report_json, Fabric, LinkReport, SharedFabric, Torus3D, TorusFabric,
+    TorusFabricConfig,
+};
 
 use crate::chip::Chip;
 use crate::config::ChipConfig;
 use crate::core_model::Workload;
+use crate::scenario::{Scenario, Synthetic};
 
-/// How active cores choose their remote destination node.
+/// How active cores choose their remote destination node (the destination
+/// vocabulary of the built-in [`Synthetic`] scenario).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TrafficPattern {
     /// Every core on node `n` targets node `n+1` (mod N): a directed ring,
@@ -28,8 +39,10 @@ pub enum TrafficPattern {
     /// Core `i` on node `n` targets `(n + 1 + (i mod (N-1))) mod N`: each
     /// node spreads its cores across all other nodes near-uniformly.
     Uniform,
-    /// Every core on node `n` targets the torus antipode of `n`: maximal
-    /// hop count per request, the worst-case bisection load.
+    /// Every core on node `n` targets a torus antipode of `n`
+    /// ([`Torus3D::antipode`]): maximal hop count per request, the
+    /// worst-case bisection load. On odd dimensions the antipode is one of
+    /// several equally distant peers; see the antipode docs.
     Opposite,
 }
 
@@ -43,13 +56,18 @@ impl TrafficPattern {
         match self {
             TrafficPattern::Neighbor => (node + 1) % n,
             TrafficPattern::Uniform => (node + 1 + (core as u32 % (n - 1))) % n,
-            TrafficPattern::Opposite => {
-                let (dx, dy, dz) = torus.dims();
-                let (x, y, z) = torus.coords(node);
-                torus.id(((x + dx / 2) % dx, (y + dy / 2) % dy, (z + dz / 2) % dz))
-            }
+            TrafficPattern::Opposite => torus.antipode(node),
         }
     }
+}
+
+/// Serialization format for [`Rack::write_link_report`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkReportFormat {
+    /// One header line plus one comma-separated row per directed link.
+    Csv,
+    /// A JSON array of per-link objects.
+    Json,
 }
 
 /// Multi-node rack configuration.
@@ -67,7 +85,8 @@ pub struct RackSimConfig {
     pub link_bytes_per_cycle: u64,
     /// Window length for per-link peak-bandwidth tracking, in cycles.
     pub stats_window: u64,
-    /// Destination assignment for active cores.
+    /// Destination assignment used by the [`Workload`]-based [`Rack::new`]
+    /// constructor; scenario-driven racks pick destinations per op instead.
     pub traffic: TrafficPattern,
 }
 
@@ -90,13 +109,23 @@ pub struct Rack {
     cfg: RackSimConfig,
     chips: Vec<Chip>,
     fabric: Rc<RefCell<TorusFabric>>,
+    scenario_name: String,
     now: Cycle,
 }
 
 impl Rack {
     /// Build a rack of `cfg.torus.nodes()` chips, every active core running
-    /// `workload` against the destination chosen by `cfg.traffic`.
+    /// `workload` against the destination chosen by `cfg.traffic` — the
+    /// pre-scenario constructor, now a wrapper over [`Rack::with_scenario`].
     pub fn new(cfg: RackSimConfig, workload: Workload) -> Rack {
+        let scenario = Synthetic::from_workload(workload).with_pattern(cfg.traffic);
+        Rack::with_scenario(cfg, &scenario)
+    }
+
+    /// Build a rack of `cfg.torus.nodes()` chips, every active core of every
+    /// node driven by its own generator from `scenario` (see
+    /// [`Scenario::for_core`]).
+    pub fn with_scenario(cfg: RackSimConfig, scenario: &dyn Scenario) -> Rack {
         let fabric = Rc::new(RefCell::new(TorusFabric::new(TorusFabricConfig {
             torus: cfg.torus,
             hop_cycles: cfg.hop_cycles,
@@ -117,21 +146,19 @@ impl Rack {
                     .wrapping_add(u64::from(node).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
                 ..cfg.chip
             };
-            let mut chip = Chip::with_fabric(
+            chips.push(Chip::with_scenario_on(
                 chip_cfg,
-                workload,
+                scenario,
                 Box::new(SharedFabric::new(Rc::clone(&fabric))),
-            );
-            for core in 0..chip.cores.len() {
-                let t = cfg.traffic.target(cfg.torus, node, core);
-                chip.cores[core].set_target(t as u16);
-            }
-            chips.push(chip);
+                nodes,
+                Some(cfg.torus),
+            ));
         }
         Rack {
             cfg,
             chips,
             fabric,
+            scenario_name: scenario.name().to_string(),
             now: Cycle::ZERO,
         }
     }
@@ -139,6 +166,11 @@ impl Rack {
     /// Configuration.
     pub fn config(&self) -> &RackSimConfig {
         &self.cfg
+    }
+
+    /// Name of the scenario driving this rack's cores.
+    pub fn scenario_name(&self) -> &str {
+        &self.scenario_name
     }
 
     /// Current simulation time.
@@ -192,6 +224,23 @@ impl Rack {
         self.fabric.borrow().link_report()
     }
 
+    /// Write the per-directed-link report to `w` in the given `format` —
+    /// machine-readable output for hotspot and congestion studies.
+    pub fn write_link_report(&self, w: &mut dyn Write, format: LinkReportFormat) -> io::Result<()> {
+        let links = self.link_report();
+        let body = match format {
+            LinkReportFormat::Csv => link_report_csv(&links),
+            LinkReportFormat::Json => link_report_json(&links),
+        };
+        w.write_all(body.as_bytes())
+    }
+
+    /// Mean RRPP service latency of each node, in node-id order — skewed
+    /// scenarios show queueing on the hot node here.
+    pub fn rrpp_mean_latencies(&self) -> Vec<f64> {
+        self.chips.iter().map(Chip::rrpp_mean_latency).collect()
+    }
+
     /// Largest per-link peak bandwidth seen so far, GB/s.
     pub fn peak_link_gbps(&self) -> f64 {
         self.fabric.borrow().peak_link_gbps()
@@ -209,17 +258,20 @@ mod tests {
 
     #[test]
     fn traffic_patterns_stay_in_range_and_avoid_self() {
-        let t = Torus3D::new(2, 2, 2);
-        for p in [
-            TrafficPattern::Neighbor,
-            TrafficPattern::Uniform,
-            TrafficPattern::Opposite,
-        ] {
-            for node in 0..t.nodes() {
-                for core in 0..64 {
-                    let d = p.target(t, node, core);
-                    assert!(d < t.nodes());
-                    assert_ne!(d, node, "{p:?} node {node} core {core} targets itself");
+        // Even and odd dimensions: the Opposite antipode must never
+        // self-target on a 3x3x3 rack either (regression for odd rings).
+        for t in [Torus3D::new(2, 2, 2), Torus3D::new(3, 3, 3)] {
+            for p in [
+                TrafficPattern::Neighbor,
+                TrafficPattern::Uniform,
+                TrafficPattern::Opposite,
+            ] {
+                for node in 0..t.nodes() {
+                    for core in 0..64 {
+                        let d = p.target(t, node, core);
+                        assert!(d < t.nodes());
+                        assert_ne!(d, node, "{p:?} node {node} core {core} targets itself");
+                    }
                 }
             }
         }
@@ -230,5 +282,47 @@ mod tests {
         let t = Torus3D::new(4, 4, 2);
         let d = TrafficPattern::Opposite.target(t, 0, 0);
         assert_eq!(t.hops(0, d), t.max_hops());
+    }
+
+    /// Regression: on odd torus dimensions (3x3x3) every node's Opposite
+    /// target must still be at the full network diameter.
+    #[test]
+    fn opposite_is_lee_maximal_on_odd_dimensions() {
+        let t = Torus3D::new(3, 3, 3);
+        for node in 0..t.nodes() {
+            let d = TrafficPattern::Opposite.target(t, node, 0);
+            assert_eq!(
+                t.hops(node, d),
+                t.max_hops(),
+                "node {node}: target {d} is not Lee-maximal"
+            );
+        }
+    }
+
+    #[test]
+    fn link_report_serializes_to_csv_and_json() {
+        let cfg = RackSimConfig {
+            torus: Torus3D::new(2, 1, 1),
+            chip: ChipConfig {
+                active_cores: 1,
+                ..ChipConfig::default()
+            },
+            ..RackSimConfig::default()
+        };
+        let mut rack = Rack::new(cfg, Workload::SyncRead { size: 64 });
+        rack.run(3_000);
+        let mut csv = Vec::new();
+        rack.write_link_report(&mut csv, LinkReportFormat::Csv)
+            .expect("in-memory write");
+        let csv = String::from_utf8(csv).expect("utf8");
+        // Header plus one row per directed link (2 nodes x 6 directions).
+        assert_eq!(csv.lines().count(), 1 + 12);
+        assert!(csv.starts_with(LinkReport::CSV_HEADER));
+        let mut json = Vec::new();
+        rack.write_link_report(&mut json, LinkReportFormat::Json)
+            .expect("in-memory write");
+        let json = String::from_utf8(json).expect("utf8");
+        assert_eq!(json.matches("\"node\":").count(), 12);
+        assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
     }
 }

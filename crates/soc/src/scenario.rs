@@ -1,0 +1,874 @@
+//! The `Scenario` API: pluggable, deterministic per-core workload generation.
+//!
+//! The paper motivates its NI designs with *application* traffic — key-value
+//! GETs over 64–512B objects, bulk graph edge-list fetches (§2.1) — but the
+//! simulator originally only spoke a closed [`Workload`] enum per core and a
+//! closed [`TrafficPattern`] enum per rack. A [`Scenario`] opens that
+//! boundary: it is a seeded per-core *operation generator* whose
+//! [`next_op`](Scenario::next_op) is consulted by a [`Core`](crate::Core)
+//! whenever it is ready to issue, and whose [`Op`]s name everything the
+//! hardware needs — read/write, destination node, remote address, size, and
+//! sync/async issue discipline. The same trait object drives the single-chip
+//! bench path ([`Chip::with_scenario`](crate::Chip::with_scenario), behind
+//! the paper's rack emulator) and every node of a multi-node
+//! [`Rack`](crate::Rack) over a real [`TorusFabric`](ni_fabric::TorusFabric).
+//!
+//! Determinism contract: a generator must be a pure function of its
+//! parameters and the [`OpCtx`] it is given — per-core randomness comes only
+//! from [`OpCtx::seed`], which the chip derives from
+//! [`ChipConfig::seed`](crate::ChipConfig::seed). Same config, same op
+//! stream, bit for bit.
+//!
+//! Four built-ins ship behind the trait:
+//!
+//! * [`Synthetic`] — the paper's microbenchmarks: the old [`Workload`] enum
+//!   (sync/async read/write, NUMA loads) plus a [`TrafficPattern`]
+//!   destination assignment. [`Workload`]-taking constructors across the
+//!   crate are thin wrappers over this type.
+//! * [`ZipfHotspot`] — Zipf-skewed destinations and keys: most requests pile
+//!   onto one hot node, loading its RRPPs and incoming links far beyond the
+//!   uniform assumption.
+//! * [`KvStore`] — a memcached-like GET/PUT mix over 64–512B objects.
+//! * [`GraphShard`] — bulk edge-list fetches (KBs) from remote graph shards.
+
+use ni_engine::Cycle;
+use ni_fabric::Torus3D;
+use ni_mem::Addr;
+use ni_qp::RemoteOp;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::core_model::{Workload, REMOTE_BASE};
+use crate::rack::TrafficPattern;
+
+/// Everything a generator may condition on: the core's place in the rack,
+/// its private seed, and the issue progress so far.
+///
+/// The same struct serves both binding time ([`Scenario::for_core`], with
+/// `issued == 0`) and issue time ([`Scenario::next_op`], refreshed each
+/// call) — generators that bind lazily on first `next_op` see identical
+/// information either way.
+#[derive(Clone, Copy, Debug)]
+pub struct OpCtx {
+    /// This chip's node id in the rack.
+    pub node: u16,
+    /// Core index on the chip.
+    pub core: usize,
+    /// Total rack node count (2 behind the single-node emulator: self plus
+    /// the emulated remote end).
+    pub nodes: u32,
+    /// Rack geometry when running on a real multi-node fabric.
+    pub torus: Option<Torus3D>,
+    /// Per-core decorrelated seed (pure function of the chip seed and core
+    /// index) — the only entropy source a deterministic scenario may use.
+    pub seed: u64,
+    /// Operations this core has fetched from the scenario so far.
+    pub issued: u64,
+    /// Current simulation time.
+    pub now: Cycle,
+}
+
+impl OpCtx {
+    /// Binding-time context for one core (no ops issued, time zero).
+    pub fn bind(node: u16, core: usize, nodes: u32, torus: Option<Torus3D>, seed: u64) -> OpCtx {
+        OpCtx {
+            node,
+            core,
+            nodes,
+            torus,
+            seed,
+            issued: 0,
+            now: Cycle::ZERO,
+        }
+    }
+}
+
+/// One application-level operation, as a core issues it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Nothing this cycle; the core asks again next cycle.
+    Idle,
+    /// A one-sided remote operation through the queue pair.
+    Remote {
+        /// Read (fetch remote into the local buffer) or write (push local
+        /// memory to the remote node).
+        op: RemoteOp,
+        /// Destination node in the rack.
+        to: u16,
+        /// Remote virtual address.
+        addr: Addr,
+        /// Transfer length in bytes.
+        size: u64,
+        /// Synchronous (spin on the CQ until *this* op completes) vs
+        /// asynchronous (enqueue and move on, polling per
+        /// [`Scenario::poll_every`]).
+        sync: bool,
+    },
+    /// An idealized NUMA single-block remote load issued directly from the
+    /// core, bypassing the QP machinery (the Table 1 baseline).
+    Numa {
+        /// Destination node in the rack.
+        to: u16,
+        /// Remote address of the loaded block.
+        addr: Addr,
+    },
+}
+
+/// A deterministic, seeded per-core operation generator.
+///
+/// A `Scenario` value is used in two roles: as a *prototype* handed to
+/// [`Chip::with_scenario`](crate::Chip::with_scenario) /
+/// [`Rack::with_scenario`](crate::Rack::with_scenario), and as the per-core
+/// *generator* those constructors produce from it via [`for_core`]. Both
+/// roles share this one trait so custom scenarios stay a single type.
+///
+/// ```
+/// use ni_mem::Addr;
+/// use ni_qp::RemoteOp;
+/// use ni_soc::{Op, OpCtx, Scenario, REMOTE_BASE};
+///
+/// /// Every core ping-pongs 64B reads between its two ring neighbors.
+/// #[derive(Clone, Debug)]
+/// struct RingPingPong;
+///
+/// impl Scenario for RingPingPong {
+///     fn name(&self) -> &str {
+///         "ring-ping-pong"
+///     }
+///     fn for_core(&self, _ctx: &OpCtx) -> Box<dyn Scenario> {
+///         Box::new(self.clone())
+///     }
+///     fn next_op(&mut self, ctx: &OpCtx) -> Op {
+///         let hop = if ctx.issued % 2 == 0 { 1 } else { ctx.nodes - 1 };
+///         Op::Remote {
+///             op: RemoteOp::Read,
+///             to: ((u32::from(ctx.node) + hop) % ctx.nodes) as u16,
+///             addr: Addr(REMOTE_BASE + ctx.issued * 64),
+///             size: 64,
+///             sync: false,
+///         }
+///     }
+/// }
+/// ```
+///
+/// [`for_core`]: Scenario::for_core
+pub trait Scenario: std::fmt::Debug + Send {
+    /// Human-readable name (report tables, CSV columns).
+    fn name(&self) -> &str;
+
+    /// Build the generator for one core. Must be a pure function of the
+    /// prototype's parameters and `ctx` — two calls with equal inputs must
+    /// yield generators producing identical op streams.
+    fn for_core(&self, ctx: &OpCtx) -> Box<dyn Scenario>;
+
+    /// The next operation this core should issue. Called whenever the core
+    /// is ready (WQ has room, no synchronous op outstanding); returning
+    /// [`Op::Idle`] defers by one cycle.
+    fn next_op(&mut self, ctx: &OpCtx) -> Op;
+
+    /// Asynchronous issue discipline: poll the CQ after this many issues
+    /// even when the WQ still has room.
+    fn poll_every(&self) -> u32 {
+        4
+    }
+
+    /// Point subsequent ops at `node`, when this generator supports a fixed
+    /// destination ([`Synthetic`] does; randomized scenarios ignore it).
+    /// Backs [`Core::set_target`](crate::Core::set_target), the
+    /// pre-scenario retargeting API.
+    fn retarget(&mut self, node: u16) {
+        let _ = node;
+    }
+
+    /// The single destination node of this generator when every one of its
+    /// ops targets the same node (synthetic patterns); `None` for
+    /// randomized scenarios. Feeds [`Core::target`](crate::Core::target).
+    fn fixed_target(&self) -> Option<u16> {
+        None
+    }
+}
+
+/// Decorrelated per-core seed stream from a chip-level master seed (the
+/// chip's own seed is already decorrelated per node by the rack driver).
+pub fn core_seed(chip_seed: u64, core: usize) -> u64 {
+    chip_seed ^ (core as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// The four built-in scenarios at their default parameters, in a stable
+/// order (sweeps, determinism tests, CI smoke runs).
+pub fn builtin_scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(Synthetic::from_workload(Workload::AsyncRead {
+            size: 512,
+            poll_every: 4,
+        })),
+        Box::new(ZipfHotspot::default()),
+        Box::new(KvStore::default()),
+        Box::new(GraphShard::default()),
+    ]
+}
+
+// ---- Synthetic --------------------------------------------------------------
+
+/// The paper's microbenchmark traffic as a scenario: one fixed [`Workload`]
+/// per core, destinations assigned by a [`TrafficPattern`] (multi-node) or
+/// pointed at the emulated remote end (single-node).
+///
+/// This subsumes the pre-scenario `Workload`/`TrafficPattern` surface;
+/// [`Chip::new`](crate::Chip::new) and [`Rack::new`](crate::Rack::new) are
+/// thin wrappers over it.
+#[derive(Clone, Debug)]
+pub struct Synthetic {
+    workload: Workload,
+    pattern: TrafficPattern,
+    /// Bound destination; `None` until [`Scenario::for_core`] (or an
+    /// explicit [`with_dest`](Synthetic::with_dest)) fixes it.
+    dest: Option<u16>,
+    /// Remote address cursor (bytes past [`REMOTE_BASE`]).
+    cursor: u64,
+}
+
+impl Synthetic {
+    /// Wrap a workload with the default [`TrafficPattern::Uniform`]
+    /// destination assignment.
+    pub fn from_workload(workload: Workload) -> Synthetic {
+        Synthetic {
+            workload,
+            pattern: TrafficPattern::Uniform,
+            dest: None,
+            cursor: 0,
+        }
+    }
+
+    /// Use `pattern` to assign per-core destinations on a multi-node rack.
+    pub fn with_pattern(mut self, pattern: TrafficPattern) -> Synthetic {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Pin every op of this generator at `node`, overriding the pattern.
+    pub fn with_dest(mut self, node: u16) -> Synthetic {
+        self.dest = Some(node);
+        self
+    }
+
+    /// The wrapped workload.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    fn advance(&mut self, size: u64) -> Addr {
+        let a = REMOTE_BASE + self.cursor;
+        self.cursor += size.max(64).next_multiple_of(64);
+        Addr(a)
+    }
+}
+
+impl From<Workload> for Synthetic {
+    fn from(w: Workload) -> Synthetic {
+        Synthetic::from_workload(w)
+    }
+}
+
+impl Scenario for Synthetic {
+    fn name(&self) -> &str {
+        "synthetic"
+    }
+
+    fn for_core(&self, ctx: &OpCtx) -> Box<dyn Scenario> {
+        let dest = self.dest.or(Some(match ctx.torus {
+            // Multi-node rack: the pattern picks this core's destination.
+            Some(t) => self.pattern.target(t, u32::from(ctx.node), ctx.core) as u16,
+            // Single-node emulator: the (ignored) conventional remote end.
+            None => 1,
+        }));
+        Box::new(Synthetic {
+            dest,
+            cursor: 0,
+            ..self.clone()
+        })
+    }
+
+    fn next_op(&mut self, _ctx: &OpCtx) -> Op {
+        let to = self.dest.unwrap_or(1);
+        match self.workload {
+            Workload::Idle => Op::Idle,
+            Workload::SyncRead { size } => Op::Remote {
+                op: RemoteOp::Read,
+                to,
+                addr: self.advance(size),
+                size,
+                sync: true,
+            },
+            Workload::SyncWrite { size } => Op::Remote {
+                op: RemoteOp::Write,
+                to,
+                addr: self.advance(size),
+                size,
+                sync: true,
+            },
+            Workload::AsyncRead { size, .. } => Op::Remote {
+                op: RemoteOp::Read,
+                to,
+                addr: self.advance(size),
+                size,
+                sync: false,
+            },
+            Workload::AsyncWrite { size, .. } => Op::Remote {
+                op: RemoteOp::Write,
+                to,
+                addr: self.advance(size),
+                size,
+                sync: false,
+            },
+            Workload::NumaRead => Op::Numa {
+                to,
+                addr: self.advance(64),
+            },
+        }
+    }
+
+    fn poll_every(&self) -> u32 {
+        match self.workload {
+            Workload::AsyncRead { poll_every, .. } | Workload::AsyncWrite { poll_every, .. } => {
+                poll_every
+            }
+            _ => 4,
+        }
+    }
+
+    fn fixed_target(&self) -> Option<u16> {
+        self.dest
+    }
+
+    fn retarget(&mut self, node: u16) {
+        self.dest = Some(node);
+    }
+}
+
+// ---- Zipf sampling ----------------------------------------------------------
+
+/// Zipf(θ) sampler over ranks `0..n`: rank `r` is drawn with probability
+/// proportional to `1/(r+1)^θ`. Precomputed CDF, `O(log n)` per sample.
+/// θ = 0 degenerates to uniform; θ ≈ 1 is the classical web/KV skew; larger
+/// θ concentrates harder on rank 0.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Sampler over `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `theta` is negative.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(theta >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> u64 {
+        // 53 uniform mantissa bits in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (self.cdf.partition_point(|&c| c < u)).min(self.cdf.len() - 1) as u64
+    }
+}
+
+/// Uniform destination over every node but one's own (self when alone).
+fn uniform_other(rng: &mut SmallRng, node: u16, nodes: u32) -> u16 {
+    if nodes <= 1 {
+        return node;
+    }
+    let r = rng.gen_range(0..nodes - 1);
+    if r >= u32::from(node) {
+        (r + 1) as u16
+    } else {
+        r as u16
+    }
+}
+
+// ---- ZipfHotspot ------------------------------------------------------------
+
+/// Zipf-skewed destinations *and* keys: the ROADMAP's "skewed / hotspot
+/// traffic" scenario.
+///
+/// Destination rank `r` maps to node `(hot_node + r) mod N`, so every core
+/// on every node agrees on which node is hottest — rank 0 receives the
+/// Zipf(θ) head of the rack's whole request stream, queueing its RRPPs and
+/// saturating its incoming links while the uniform assumption would spread
+/// that load evenly. Keys are Zipf-skewed too, so the hot node's hot blocks
+/// contend in its LLC. Compare
+/// [`Rack::link_report`](crate::Rack::link_report) between this and
+/// [`Synthetic`] uniform traffic to see the per-link hotspot.
+#[derive(Clone, Debug)]
+pub struct ZipfHotspot {
+    /// Skew exponent for both destination and key draws.
+    pub theta: f64,
+    /// Transfer size in bytes.
+    pub size: u64,
+    /// Key-space size per node.
+    pub keys: u64,
+    /// Fraction of ops issued as remote writes (the rest read).
+    pub write_fraction: f64,
+    /// The rack-wide hottest node (rank 0 of the destination Zipf).
+    pub hot_node: u32,
+    /// Async poll cadence.
+    pub poll_every: u32,
+    state: Option<ZipfState>,
+}
+
+#[derive(Clone, Debug)]
+struct ZipfState {
+    rng: SmallRng,
+    node_zipf: Zipf,
+    key_zipf: Zipf,
+}
+
+impl Default for ZipfHotspot {
+    fn default() -> Self {
+        ZipfHotspot {
+            theta: 1.2,
+            size: 256,
+            keys: 4096,
+            write_fraction: 0.0,
+            hot_node: 0,
+            poll_every: 4,
+            state: None,
+        }
+    }
+}
+
+impl ZipfHotspot {
+    /// Set the skew exponent (0 = uniform; ~1 = classical KV skew).
+    pub fn with_theta(mut self, theta: f64) -> ZipfHotspot {
+        self.theta = theta.max(0.0);
+        self
+    }
+
+    /// Set the transfer size in bytes.
+    pub fn with_size(mut self, size: u64) -> ZipfHotspot {
+        self.size = size.max(1);
+        self
+    }
+
+    /// Set which node receives the Zipf head of the rack's traffic.
+    pub fn with_hot_node(mut self, node: u32) -> ZipfHotspot {
+        self.hot_node = node;
+        self
+    }
+
+    /// Set the fraction of ops issued as remote writes.
+    pub fn with_write_fraction(mut self, f: f64) -> ZipfHotspot {
+        self.write_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl Scenario for ZipfHotspot {
+    fn name(&self) -> &str {
+        "zipf-hotspot"
+    }
+
+    fn for_core(&self, _ctx: &OpCtx) -> Box<dyn Scenario> {
+        Box::new(ZipfHotspot {
+            state: None,
+            ..self.clone()
+        })
+    }
+
+    fn next_op(&mut self, ctx: &OpCtx) -> Op {
+        let nodes = ctx.nodes.max(1);
+        let (theta, keys) = (self.theta, self.keys.max(1));
+        let st = self.state.get_or_insert_with(|| ZipfState {
+            rng: SmallRng::seed_from_u64(ctx.seed),
+            node_zipf: Zipf::new(u64::from(nodes), theta),
+            key_zipf: Zipf::new(keys, theta),
+        });
+        let rank = st.node_zipf.sample(&mut st.rng) as u32;
+        let mut to = ((self.hot_node + rank) % nodes) as u16;
+        if to == ctx.node && nodes > 1 {
+            // Never self-target: the hot node bounces its own rank-0 draws
+            // to the next-hotter neighbor.
+            to = ((u32::from(to) + 1) % nodes) as u16;
+        }
+        let key = st.key_zipf.sample(&mut st.rng);
+        let stride = self.size.max(64).next_multiple_of(64);
+        let op = if self.write_fraction > 0.0 && st.rng.gen_range(0.0..1.0) < self.write_fraction {
+            RemoteOp::Write
+        } else {
+            RemoteOp::Read
+        };
+        Op::Remote {
+            op,
+            to,
+            addr: Addr(REMOTE_BASE + key * stride),
+            size: self.size,
+            sync: false,
+        }
+    }
+
+    fn poll_every(&self) -> u32 {
+        self.poll_every
+    }
+}
+
+// ---- KvStore ----------------------------------------------------------------
+
+/// A distributed key-value store (§2.1): GETs are one-sided remote reads of
+/// the value, PUTs one-sided remote writes, over a memcached-like object
+/// size mix (Atikoglu et al. [5]) and uniform key/shard placement.
+#[derive(Clone, Debug)]
+pub struct KvStore {
+    /// `(value bytes, weight)` object-size mix.
+    pub mix: [(u64, f64); 4],
+    /// Fraction of ops that are GETs (the rest PUT).
+    pub get_fraction: f64,
+    /// Keys per shard.
+    pub keys: u64,
+    /// Issue GETs synchronously (per-request latency mode) instead of
+    /// streaming them asynchronously (throughput mode).
+    pub sync: bool,
+    /// Async poll cadence.
+    pub poll_every: u32,
+    rng: Option<SmallRng>,
+}
+
+impl KvStore {
+    /// Largest value in the default mix; also the key stride in the remote
+    /// address space.
+    pub const MAX_VALUE_BYTES: u64 = 512;
+
+    /// Issue GETs synchronously (per-request latency mode).
+    pub fn synchronous(mut self) -> KvStore {
+        self.sync = true;
+        self
+    }
+
+    /// Set the GET fraction (the rest are PUTs).
+    pub fn with_get_fraction(mut self, f: f64) -> KvStore {
+        self.get_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the per-shard key-space size.
+    pub fn with_keys(mut self, keys: u64) -> KvStore {
+        self.keys = keys.max(1);
+        self
+    }
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        KvStore {
+            // Facebook's Memcached pools: most objects 64..512B, ~500B mean
+            // in the largest pools.
+            mix: [(64, 0.35), (128, 0.30), (256, 0.20), (512, 0.15)],
+            get_fraction: 0.95,
+            keys: 65_536,
+            sync: false,
+            poll_every: 4,
+            rng: None,
+        }
+    }
+}
+
+impl Scenario for KvStore {
+    fn name(&self) -> &str {
+        "kv-store"
+    }
+
+    fn for_core(&self, _ctx: &OpCtx) -> Box<dyn Scenario> {
+        Box::new(KvStore {
+            rng: None,
+            ..self.clone()
+        })
+    }
+
+    fn next_op(&mut self, ctx: &OpCtx) -> Op {
+        let rng = self
+            .rng
+            .get_or_insert_with(|| SmallRng::seed_from_u64(ctx.seed));
+        let to = uniform_other(rng, ctx.node, ctx.nodes);
+        let total: f64 = self.mix.iter().map(|&(_, w)| w).sum();
+        let mut pick = rng.gen_range(0.0..1.0) * total.max(f64::EPSILON);
+        let mut size = self.mix[self.mix.len() - 1].0;
+        for &(s, w) in &self.mix {
+            if pick < w {
+                size = s;
+                break;
+            }
+            pick -= w;
+        }
+        let key = rng.gen_range(0..self.keys.max(1));
+        let op = if rng.gen_range(0.0..1.0) < self.get_fraction {
+            RemoteOp::Read
+        } else {
+            RemoteOp::Write
+        };
+        Op::Remote {
+            op,
+            to,
+            addr: Addr(REMOTE_BASE + key * Self::MAX_VALUE_BYTES),
+            size,
+            sync: self.sync,
+        }
+    }
+
+    fn poll_every(&self) -> u32 {
+        self.poll_every
+    }
+}
+
+// ---- GraphShard -------------------------------------------------------------
+
+/// Graph analytics over a rack-partitioned graph (§1, §2.1): every
+/// out-of-shard vertex expansion is a bulk one-sided read of the neighbor
+/// list — kilobytes per op (Lim et al. [32]) — from a uniformly random
+/// remote shard. List sizes are log-uniform over
+/// `[min_list_bytes, max_list_bytes]` in power-of-two steps.
+#[derive(Clone, Debug)]
+pub struct GraphShard {
+    /// Smallest edge-list fetch in bytes.
+    pub min_list_bytes: u64,
+    /// Largest edge-list fetch in bytes.
+    pub max_list_bytes: u64,
+    /// Vertices per shard (remote address space: one max-size slot each).
+    pub vertices: u64,
+    /// Async poll cadence.
+    pub poll_every: u32,
+    rng: Option<SmallRng>,
+}
+
+impl Default for GraphShard {
+    fn default() -> Self {
+        GraphShard {
+            min_list_bytes: 2048,
+            max_list_bytes: 8192,
+            vertices: 4096,
+            poll_every: 4,
+            rng: None,
+        }
+    }
+}
+
+impl GraphShard {
+    /// Set the edge-list size range in bytes (`min..=max`, power-of-two
+    /// steps).
+    pub fn with_lists(mut self, min_bytes: u64, max_bytes: u64) -> GraphShard {
+        self.min_list_bytes = min_bytes.max(64);
+        self.max_list_bytes = max_bytes.max(self.min_list_bytes);
+        self
+    }
+}
+
+impl Scenario for GraphShard {
+    fn name(&self) -> &str {
+        "graph-shard"
+    }
+
+    fn for_core(&self, _ctx: &OpCtx) -> Box<dyn Scenario> {
+        Box::new(GraphShard {
+            rng: None,
+            ..self.clone()
+        })
+    }
+
+    fn next_op(&mut self, ctx: &OpCtx) -> Op {
+        let rng = self
+            .rng
+            .get_or_insert_with(|| SmallRng::seed_from_u64(ctx.seed));
+        let to = uniform_other(rng, ctx.node, ctx.nodes);
+        let min = self.min_list_bytes.max(64);
+        let max = self.max_list_bytes.max(min);
+        let steps = (max / min).max(1).ilog2();
+        let size = (min << rng.gen_range(0..=u64::from(steps))).min(max);
+        let vertex = rng.gen_range(0..self.vertices.max(1));
+        Op::Remote {
+            op: RemoteOp::Read,
+            to,
+            addr: Addr(REMOTE_BASE + vertex * max),
+            size,
+            sync: false,
+        }
+    }
+
+    fn poll_every(&self) -> u32 {
+        self.poll_every
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(node: u16, core: usize, nodes: u32, seed: u64) -> OpCtx {
+        OpCtx::bind(node, core, nodes, Some(Torus3D::new(2, 2, 2)), seed)
+    }
+
+    fn stream(s: &dyn Scenario, ctx: &OpCtx, n: usize) -> Vec<Op> {
+        let mut g = s.for_core(ctx);
+        let mut c = *ctx;
+        (0..n)
+            .map(|i| {
+                c.issued = i as u64;
+                g.next_op(&c)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builtin_generators_are_deterministic_per_core() {
+        let c = ctx(3, 5, 8, 0xdead_beef);
+        for s in builtin_scenarios() {
+            assert_eq!(
+                stream(s.as_ref(), &c, 256),
+                stream(s.as_ref(), &c, 256),
+                "{} must replay identically from the same ctx",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn builtin_generators_decorrelate_across_seeds() {
+        let a = ctx(3, 5, 8, 1);
+        let b = ctx(3, 5, 8, 2);
+        for s in builtin_scenarios() {
+            if s.name() == "synthetic" {
+                continue; // synthetic streams are seed-independent by design
+            }
+            assert_ne!(
+                stream(s.as_ref(), &a, 64),
+                stream(s.as_ref(), &b, 64),
+                "{} must vary with the seed",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ops_stay_on_the_rack_and_off_the_issuing_node() {
+        for s in builtin_scenarios() {
+            for node in 0..8u16 {
+                let c = ctx(node, 0, 8, 42);
+                for op in stream(s.as_ref(), &c, 200) {
+                    if let Op::Remote { to, size, .. } = op {
+                        assert!(u32::from(to) < 8, "{}: node {to} out of rack", s.name());
+                        assert_ne!(to, node, "{}: self-targeted op", s.name());
+                        assert!(size > 0, "{}: empty transfer", s.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_reproduces_the_workload_cursor() {
+        let c = ctx(0, 0, 8, 7);
+        let ops = stream(
+            &Synthetic::from_workload(Workload::SyncRead { size: 100 }),
+            &c,
+            3,
+        );
+        // 100B rounds to two 64B blocks: addresses step by 128.
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Remote { addr, sync, .. } => {
+                    assert_eq!(addr, Addr(REMOTE_BASE + 128 * i as u64));
+                    assert!(sync);
+                }
+                ref other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_retargets_through_the_trait() {
+        let c = ctx(0, 0, 8, 1);
+        let mut g = Synthetic::from_workload(Workload::SyncRead { size: 64 }).for_core(&c);
+        g.retarget(5);
+        assert_eq!(g.fixed_target(), Some(5));
+        match g.next_op(&c) {
+            Op::Remote { to, .. } => assert_eq!(to, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zipf_head_dominates_with_skew() {
+        let z = Zipf::new(64, 1.2);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut head = 0u32;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) == 0 {
+                head += 1;
+            }
+        }
+        // Rank 0 of Zipf(1.2) over 64 ranks carries ~28% of the mass.
+        assert!((2_000..4_500).contains(&head), "head draws: {head}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0u32; 4];
+        for _ in 0..8_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for c in counts {
+            assert!((1_700..2_300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_destinations_rack_wide() {
+        // Tally destinations drawn by one core on each of 8 nodes: the
+        // configured hot node must dominate even though it never targets
+        // itself.
+        let mut hits = [0u64; 8];
+        for node in 0..8u16 {
+            let c = ctx(node, 0, 8, 100 + u64::from(node));
+            for op in stream(&ZipfHotspot::default(), &c, 500) {
+                if let Op::Remote { to, .. } = op {
+                    hits[usize::from(to)] += 1;
+                }
+            }
+        }
+        let hot = hits[0];
+        let coldest = *hits.iter().min().expect("eight nodes");
+        assert!(hot > 3 * coldest.max(1), "hot node must dominate: {hits:?}");
+    }
+
+    #[test]
+    fn kv_mix_draws_only_configured_sizes() {
+        let c = ctx(1, 2, 8, 5);
+        for op in stream(&KvStore::default(), &c, 500) {
+            if let Op::Remote { size, .. } = op {
+                assert!([64, 128, 256, 512].contains(&size), "{size}");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_lists_stay_in_range_and_bulk() {
+        let c = ctx(1, 2, 8, 5);
+        for op in stream(&GraphShard::default(), &c, 500) {
+            if let Op::Remote { size, .. } = op {
+                assert!((2048..=8192).contains(&size), "{size}");
+                assert!(size.is_power_of_two());
+            }
+        }
+    }
+}

@@ -1,21 +1,20 @@
-//! Graph-processing scenario (§1/§2.1 of the paper).
+//! Graph-processing scenario (§1/§2.1 of the paper), driven by the
+//! first-class [`GraphShard`] `Scenario`.
 //!
 //! Graph analytics over a rack-partitioned graph is the paper's motivating
 //! bandwidth-bound workload: poor locality means a large fraction of edge
 //! lists live on other nodes, and that fraction grows with rack size. Each
 //! out-of-shard vertex expansion is a bulk one-sided read of the neighbor
-//! list (KBs, Lim et al. [32]).
-//!
-//! This example measures edge-traversal throughput for bulk fetches of
-//! 2KB/4KB/8KB edge lists on each NI design, and shows the NIper-tile
-//! collapse the paper predicts for large unrolls.
+//! list (2KB–8KB here, Lim et al. [32]). The same scenario object drives
+//! the single-chip design comparison and an eight-node rack.
 //!
 //! ```sh
 //! cargo run --release --example graph_shard
 //! ```
 
+use rackni::experiments::{run_scenario_point, Scale};
 use rackni::ni_rmc::NiPlacement;
-use rackni::ni_soc::{run_bandwidth, ChipConfig};
+use rackni::ni_soc::{run_chip_scenario, ChipConfig, GraphShard};
 use rackni::parallel::par_map;
 use rackni::report::{f1, Table};
 
@@ -23,45 +22,49 @@ use rackni::report::{f1, Table};
 const EDGE_BYTES: f64 = 8.0;
 
 fn main() {
-    println!("graph_shard: bulk edge-list fetches from remote shards\n");
+    println!("graph_shard: bulk 2KB..8KB edge-list fetches from remote shards\n");
+    let scale = Scale::from_env();
+    let chip_cycles = 4 * scale.rack_cycles();
     let designs = [NiPlacement::Edge, NiPlacement::PerTile, NiPlacement::Split];
-    let sizes = [2048u64, 4096, 8192];
 
-    let grid: Vec<(NiPlacement, u64)> = designs
-        .iter()
-        .flat_map(|&p| sizes.iter().map(move |&s| (p, s)))
-        .collect();
-    let runs = par_map(grid, |(p, s)| {
+    let runs = par_map(designs.to_vec(), move |p| {
         let cfg = ChipConfig {
             placement: p,
             ..ChipConfig::default()
         };
-        run_bandwidth(cfg, s, 50_000, 3)
+        run_chip_scenario(cfg, &GraphShard::default(), chip_cycles)
     });
 
-    let mut t = Table::new(&["design", "2KB GBps", "4KB GBps", "8KB GBps", "8KB edges/s"]);
-    let mut at8k = [0.0f64; 3];
-    for (di, &p) in designs.iter().enumerate() {
-        let mut cells = vec![p.name().to_string()];
-        for (si, _) in sizes.iter().enumerate() {
-            let r = &runs[di * sizes.len() + si];
-            cells.push(f1(r.app_gbps));
-            if si == sizes.len() - 1 {
-                at8k[di] = r.app_gbps;
-                // Traversed edges: fetched bytes (one direction) / edge size.
-                let edges = r.app_gbps / 2.0 * 1e9 / EDGE_BYTES;
-                cells.push(format!("{:.1}B", edges / 1e9));
-            }
-        }
-        t.row_owned(cells);
+    let mut t = Table::new(&["design", "GBps", "edges/s"]);
+    let mut gbps = [0.0f64; 3];
+    for (di, (p, r)) in designs.iter().zip(&runs).enumerate() {
+        gbps[di] = r.app_gbps;
+        // Traversed edges: fetched bytes (one direction) / edge size.
+        let edges = r.app_gbps / 2.0 * 1e9 / EDGE_BYTES;
+        t.row_owned(vec![
+            p.name().to_string(),
+            f1(r.app_gbps),
+            format!("{:.1}B", edges / 1e9),
+        ]);
     }
     println!(
         "aggregate fetch bandwidth (64 cores async):\n{}",
         t.render()
     );
     println!(
-        "NI_per-tile reaches {:.0}% of NI_edge at 8KB (paper: ~25%): unrolling at\n\
-         the source tile floods the NOC, so bulk transfers need an edge engine.",
-        100.0 * at8k[1] / at8k[0].max(1e-9)
+        "NI_per-tile reaches {:.0}% of NI_edge (paper: ~25% at 8KB): unrolling at\n\
+         the source tile floods the NOC, so bulk transfers need an edge engine.\n",
+        100.0 * gbps[1] / gbps[0].max(1e-9)
+    );
+
+    // Rack: the same scenario on the sweep's canonical 8-node rack, shards
+    // scattered across the torus.
+    let pt = run_scenario_point(&GraphShard::default(), scale.rack_cycles());
+    println!(
+        "8-node rack ({} scenario): {} fetches, {} GBps aggregate NI, {} fabric hops",
+        pt.name,
+        pt.completed_ops,
+        f1(pt.agg_ni_gbps),
+        pt.hops
     );
 }

@@ -1,24 +1,26 @@
-//! Distributed key-value store scenario (§2.1 of the paper).
+//! Distributed key-value store scenario (§2.1 of the paper), driven by the
+//! first-class [`KvStore`] `Scenario`.
 //!
 //! Most key-value stores operate on objects between 16 and 512 bytes
 //! (Atikoglu et al. [5]; Facebook's Memcached pools average ~500B). A GET
-//! against a remote shard is one one-sided remote read of the value. This
-//! example measures what each NI design means for such a store:
+//! against a remote shard is one one-sided remote read of the value, a PUT
+//! one one-sided write. The same scenario object drives both evaluation
+//! paths:
 //!
-//! * per-GET latency across the paper's object-size mix, and
-//! * aggregate GET throughput when all 64 cores serve requests.
+//! * single chip behind the paper's rack emulator — per-GET latency and
+//!   aggregate GET/PUT throughput per NI design, over the full object mix;
+//! * an eight-node 2x2x2 rack of fully simulated chips — rack-wide store
+//!   throughput with real cross-node traffic.
 //!
 //! ```sh
 //! cargo run --release --example kv_store
 //! ```
 
+use rackni::experiments::{run_scenario_point, Scale};
 use rackni::ni_rmc::NiPlacement;
-use rackni::ni_soc::{run_bandwidth, run_sync_latency, ChipConfig};
+use rackni::ni_soc::{run_chip_scenario, ChipConfig, KvStore};
 use rackni::parallel::par_map;
 use rackni::report::{f1, Table};
-
-/// A memcached-like object-size mix: (value bytes, weight).
-const MIX: [(u64, f64); 4] = [(64, 0.35), (128, 0.30), (256, 0.20), (512, 0.15)];
 
 fn cfg(p: NiPlacement) -> ChipConfig {
     ChipConfig {
@@ -28,58 +30,55 @@ fn cfg(p: NiPlacement) -> ChipConfig {
 }
 
 fn main() {
-    println!("kv_store: remote GETs over one-sided reads, object mix 64B..512B\n");
+    println!("kv_store: GET/PUT mix over one-sided ops, objects 64B..512B (95% GET)\n");
+    let scale = Scale::from_env();
+    let chip_cycles = 4 * scale.rack_cycles();
     let designs = [NiPlacement::Edge, NiPlacement::PerTile, NiPlacement::Split];
 
-    // Latency: unloaded GET per object size and the mix-weighted mean.
-    let grid: Vec<(NiPlacement, u64)> = designs
-        .iter()
-        .flat_map(|&p| MIX.iter().map(move |&(s, _)| (p, s)))
-        .collect();
-    let runs = par_map(grid.clone(), |(p, s)| run_sync_latency(cfg(p), s, 10));
-
-    let mut t = Table::new(&[
-        "design",
-        "64B",
-        "128B",
-        "256B",
-        "512B",
-        "mix mean (ns)",
-        "p99 @512B (ns)",
-    ]);
-    for (di, &p) in designs.iter().enumerate() {
-        let mut cells = vec![p.name().to_string()];
-        let mut weighted = 0.0;
-        let mut p99 = 0u64;
-        for (si, &(_, w)) in MIX.iter().enumerate() {
-            let r = &runs[di * MIX.len() + si];
-            cells.push(f1(r.mean_ns));
-            weighted += w * r.mean_ns;
-            p99 = r.p99_cycles;
-        }
-        cells.push(f1(weighted));
-        cells.push(f1(p99 as f64 * 0.5));
-        t.row_owned(cells);
-    }
-    println!("unloaded GET latency (ns):\n{}", t.render());
-
-    // Throughput: all cores issuing 128B GETs asynchronously.
-    let thr = par_map(designs.to_vec(), |p| {
-        let r = run_bandwidth(cfg(p), 128, 50_000, 3);
-        (p, r)
+    // Latency: one core issuing synchronous GET/PUTs over the object mix.
+    let lat_runs = par_map(designs.to_vec(), move |p| {
+        let scenario = KvStore::default().synchronous();
+        let mut c = cfg(p);
+        c.active_cores = 1;
+        run_chip_scenario(c, &scenario, chip_cycles)
     });
-    let mut t = Table::new(&["design", "GBps", "GETs/s (128B values)"]);
-    for (p, r) in thr {
-        // Application bandwidth counts both directions; a served GET moves
-        // the value once in each direction of the symmetric rack.
-        let gets_per_s = r.app_gbps * 1e9 / (2.0 * 128.0);
+    let mut t = Table::new(&["design", "ops", "mix mean (ns)", "p99 (ns)"]);
+    for (p, r) in designs.iter().zip(&lat_runs) {
+        t.row_owned(vec![
+            p.name().to_string(),
+            r.ops.to_string(),
+            f1(r.mean_sync_ns()),
+            f1(r.p99_sync_cycles as f64 * 0.5),
+        ]);
+    }
+    println!(
+        "unloaded request latency over the object mix:\n{}",
+        t.render()
+    );
+
+    // Throughput: all 64 cores streaming the async GET/PUT mix.
+    let thr_runs = par_map(designs.to_vec(), move |p| {
+        run_chip_scenario(cfg(p), &KvStore::default(), chip_cycles)
+    });
+    let mut t = Table::new(&["design", "GBps", "requests/s"]);
+    for (p, r) in designs.iter().zip(&thr_runs) {
         t.row_owned(vec![
             p.name().into(),
             f1(r.app_gbps),
-            format!("{:.1}M", gets_per_s / 1e6),
+            format!("{:.1}M", r.ops_per_sec() / 1e6),
         ]);
     }
-    println!("loaded GET throughput (64 cores async):\n{}", t.render());
-    println!("NI_split keeps per-tile GET latency while matching edge throughput —");
+    println!("loaded throughput (64 cores async):\n{}", t.render());
+
+    // Rack: the same scenario object on the sweep's canonical 8-node rack.
+    let pt = run_scenario_point(&KvStore::default(), scale.rack_cycles());
+    println!(
+        "8-node rack ({} scenario): {} requests served, {} GBps aggregate NI, peak link {} GBps",
+        pt.name,
+        pt.completed_ops,
+        f1(pt.agg_ni_gbps),
+        f1(pt.peak_link_gbps)
+    );
+    println!("\nNI_split keeps per-tile GET latency while matching edge throughput —");
     println!("for small objects, QP placement (not link speed) decides the tail.");
 }

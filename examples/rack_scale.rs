@@ -7,14 +7,18 @@
 //! cargo run --release --example rack_scale
 //! ```
 
+use rackni::experiments::{link_byte_skew, Scale};
 use rackni::ni_engine::Frequency;
 use rackni::ni_fabric::Torus3D;
-use rackni::ni_soc::{ChipConfig, Rack, RackSimConfig, TrafficPattern, Workload};
+use rackni::ni_soc::{
+    ChipConfig, LinkReportFormat, Rack, RackSimConfig, TrafficPattern, Workload, ZipfHotspot,
+};
 use rackni::report::{f1, Table};
 
 fn main() {
     let torus = Torus3D::new(2, 2, 2);
-    let cycles = 20_000u64;
+    // RACKNI_SCALE=quick keeps CI smoke runs short; full runs longer.
+    let cycles = Scale::from_env().rack_cycles().max(20_000);
     println!(
         "rackni rack_scale: {} nodes ({}x{}x{} torus), every node a full chip, {} cycles\n",
         torus.nodes(),
@@ -115,4 +119,46 @@ fn main() {
         rack.hops_traversed(),
         rack.peak_link_gbps()
     );
+
+    // Machine-readable per-link dump for offline congestion analysis.
+    let csv_path = std::path::Path::new("target").join("rack_scale_links.csv");
+    let mut csv = std::fs::File::create(&csv_path).expect("create link report");
+    rack.write_link_report(&mut csv, LinkReportFormat::Csv)
+        .expect("write link report");
+    println!("per-link report written to {}\n", csv_path.display());
+
+    // Hotspot study: the same rack under Zipf-skewed destinations — the
+    // first-class scenario the uniform TrafficPattern enum could not
+    // express. Most requests pile onto one hot node, so its incoming links
+    // run far above the mean while uniform traffic stays balanced.
+    let hot_cfg = RackSimConfig {
+        torus,
+        chip: ChipConfig {
+            active_cores: 4,
+            ..ChipConfig::default()
+        },
+        ..RackSimConfig::default()
+    };
+    let mut hot = Rack::with_scenario(hot_cfg, &ZipfHotspot::default());
+    hot.run(cycles);
+    let uniform_skew = link_byte_skew(&rack);
+    let hot_skew = link_byte_skew(&hot);
+    println!(
+        "link load skew (busiest link bytes / mean loaded link): uniform {uniform_skew:.2}x, \
+         zipf-hotspot {hot_skew:.2}x"
+    );
+    let rrpp = hot.rrpp_mean_latencies();
+    println!(
+        "zipf-hotspot RRPP mean service latency per node: {:?} cycles",
+        rrpp.iter().map(|l| l.round()).collect::<Vec<_>>()
+    );
+    assert!(
+        hot_skew > uniform_skew,
+        "zipf hotspot must load links more unevenly than uniform traffic"
+    );
+    let hot_csv = std::path::Path::new("target").join("rack_scale_links_hotspot.csv");
+    let mut f = std::fs::File::create(&hot_csv).expect("create hotspot report");
+    hot.write_link_report(&mut f, LinkReportFormat::Csv)
+        .expect("write hotspot report");
+    println!("hotspot per-link report written to {}", hot_csv.display());
 }
