@@ -1,0 +1,51 @@
+//! Rack-scale sweep: racks of growing torus dimensions (up to the paper's
+//! 512-node 8x8x8 at `RACKNI_SCALE=full`), every node a fully simulated
+//! chip ticked through the two-phase parallel driver, with simulator
+//! throughput (simulated cycles per wall-clock second) per point.
+
+use criterion::{criterion_group, Criterion};
+use ni_bench::{banner, criterion_config, scale};
+use rackni::experiments::rack_scale_render;
+use rackni::ni_fabric::Torus3D;
+use rackni::ni_soc::{ChipConfig, Rack, RackSimConfig, TrafficPattern, Workload};
+
+fn print_table() {
+    banner(
+        "Rack scale",
+        "multi-node torus racks, hop-by-hop fabric, parallel two-phase ticking",
+    );
+    println!("{}", rack_scale_render(scale()));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rack");
+    g.bench_function("two_phase_tick_2x2x2_500_cycles", |b| {
+        b.iter(|| {
+            let cfg = RackSimConfig {
+                torus: Torus3D::new(2, 2, 2),
+                chip: ChipConfig {
+                    active_cores: 2,
+                    ..ChipConfig::default()
+                },
+                traffic: TrafficPattern::Uniform,
+                ..RackSimConfig::default()
+            };
+            let mut rack = Rack::new(cfg, Workload::SyncRead { size: 64 });
+            rack.run(500);
+            rack.hops_traversed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,38 @@
+//! Scenario sweep: every built-in `Scenario` (synthetic async reads, Zipf
+//! hotspot, KV store, graph shard) on an 8-node rack of fully simulated
+//! chips, with per-link and per-RRPP skew against the paper's balanced
+//! assumption — the application-traffic axis the paper's closed
+//! microbenchmark set could not express.
+
+use criterion::{criterion_group, Criterion};
+use ni_bench::{banner, criterion_config, scale};
+use rackni::experiments::{run_scenario_point, scenario_sweep_render};
+use rackni::ni_soc::ZipfHotspot;
+
+fn print_table() {
+    banner(
+        "Scenario sweep",
+        "built-in application scenarios on an 8-node rack (throughput, link/RRPP skew)",
+    );
+    println!("{}", scenario_sweep_render(scale()));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenarios");
+    g.bench_function("zipf_hotspot_8node_2k_cycles", |b| {
+        b.iter(|| run_scenario_point(&ZipfHotspot::default(), 2_000))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -48,7 +48,11 @@ impl LlcArray {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(ways > 0, "need at least one way");
         LlcArray {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            // Way storage grows lazily on first touch: racks instantiate
+            // hundreds of banks and most sets are never filled, so eager
+            // per-set way allocation would dominate whole-rack construction
+            // time and memory.
+            sets: (0..sets).map(|_| Vec::new()).collect(),
             ways,
             index_mask: (sets - 1) as u64,
             clock: 0,

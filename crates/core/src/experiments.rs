@@ -498,74 +498,139 @@ pub struct RackScalePoint {
     pub mean_hops: f64,
     /// Cycles simulated.
     pub cycles: u64,
+    /// Wall-clock milliseconds `Rack::run` took for this point (excluding
+    /// rack construction).
+    pub wall_ms: f64,
+    /// Simulated cycles per wall-clock second — the simulator-throughput
+    /// number the perf trajectory tracks.
+    pub cycles_per_sec: f64,
+    /// Compute-phase worker threads the run used.
+    pub threads: usize,
 }
 
 fn rack_dims(scale: Scale) -> Vec<(u16, u16, u16)> {
     match scale {
         Scale::Quick => vec![(2, 1, 1), (2, 2, 1), (2, 2, 2)],
-        Scale::Full => vec![(2, 1, 1), (2, 2, 1), (2, 2, 2), (3, 3, 3)],
+        // The paper's rack is the 8x8x8 512-node torus (§1); the full sweep
+        // walks up to it.
+        Scale::Full => vec![(2, 2, 2), (3, 3, 3), (4, 4, 4), (8, 8, 8)],
+    }
+}
+
+/// Simulation horizon for one sweep point: the scale's rack horizon, except
+/// the 512-node full-scale point which is pinned to a 50k-cycle horizon
+/// (long enough for thousands of completed round trips, short enough to
+/// finish in minutes at interactive throughput).
+fn rack_point_cycles(scale: Scale, dims: (u16, u16, u16)) -> u64 {
+    let nodes = u64::from(dims.0) * u64::from(dims.1) * u64::from(dims.2);
+    if scale == Scale::Full && nodes >= 512 {
+        50_000
+    } else {
+        scale.rack_cycles()
     }
 }
 
 /// The sweep's canonical rack for one dims point, run for `cycles`. Both
 /// the summary rows and the per-link detail table come through here, so
 /// they always describe the same experiment.
-fn run_rack_point(dims: (u16, u16, u16), traffic: TrafficPattern, cycles: u64) -> Rack {
+///
+/// Chips use the paper's NIedge placement: it is the design the paper
+/// scales to the full rack, and its edge-resident frontends make a 512-node
+/// fully simulated sweep tractable (per-tile frontends cost ~4x the
+/// per-chip tick time for identical fabric behavior).
+/// Build (without running) the sweep's canonical rack for one dims point:
+/// NIedge chips, four requesting cores per node, 512B async reads. This is
+/// the single source of truth for the rack-throughput baseline — the
+/// `rack_scale` sweep, its render, and the `rack_bench` example (the
+/// `BENCH_rack.json` trajectory) all construct their racks here, so they
+/// always measure the same experiment. `threads` is the compute-phase
+/// worker count (0 = auto, 1 = serial).
+pub fn build_rack_point(dims: (u16, u16, u16), traffic: TrafficPattern, threads: usize) -> Rack {
     let cfg = RackSimConfig {
         torus: Torus3D::new(dims.0, dims.1, dims.2),
         chip: ChipConfig {
             // Four requesting cores per node keeps multi-rack sweeps
             // tractable while still loading every link class.
             active_cores: 4,
+            placement: NiPlacement::Edge,
             ..ChipConfig::default()
         },
         traffic,
+        threads,
         ..RackSimConfig::default()
     };
-    let mut rack = Rack::new(
+    Rack::new(
         cfg,
         Workload::AsyncRead {
             size: 512,
             poll_every: 4,
         },
-    );
+    )
+}
+
+fn run_rack_point(dims: (u16, u16, u16), traffic: TrafficPattern, cycles: u64) -> Rack {
+    let mut rack = build_rack_point(dims, traffic, 0);
     rack.run(cycles);
     rack
 }
 
-/// Multi-node rack-scale sweep: racks of growing torus dimensions, every
-/// node a fully simulated chip, traffic crossing the fabric hop-by-hop.
-/// This is the experiment the paper's single-node methodology (§5) cannot
-/// express — cross-node flows, per-link load, and scaling with rack size.
-pub fn rack_scale(scale: Scale, traffic: TrafficPattern) -> Vec<RackScalePoint> {
-    let cycles = scale.rack_cycles();
-    par_map(rack_dims(scale), move |(x, y, z)| {
-        let torus = Torus3D::new(x, y, z);
-        let rack = run_rack_point((x, y, z), traffic, cycles);
-        let freq = Frequency::GHZ2;
-        let fs = rack.fabric_stats();
-        // Packets that finished their journey (in-flight ones still hold
-        // un-attributed hops; negligible over a full run).
-        let packets = fs.incoming_generated.get() + fs.responded.get();
-        RackScalePoint {
-            dims: (x, y, z),
-            nodes: torus.nodes(),
-            completed_ops: rack.completed_ops(),
-            agg_ni_gbps: freq
-                .gbps_from_bytes_per_cycle(rack.app_payload_bytes() as f64 / cycles as f64),
-            peak_link_gbps: rack.peak_link_gbps(),
-            hops: rack.hops_traversed(),
-            mean_hops: if packets == 0 {
-                0.0
-            } else {
-                rack.hops_traversed() as f64 / packets as f64
-            },
-            cycles,
-        }
-    })
+fn measure_rack_point(
+    dims: (u16, u16, u16),
+    traffic: TrafficPattern,
+    cycles: u64,
+) -> RackScalePoint {
+    let torus = Torus3D::new(dims.0, dims.1, dims.2);
+    let mut rack = build_rack_point(dims, traffic, 0);
+    // Time only the run: cycles/sec is the simulator-throughput trajectory
+    // number and must not drift with construction cost.
+    let started = std::time::Instant::now();
+    rack.run(cycles);
+    let wall = started.elapsed();
+    let freq = Frequency::GHZ2;
+    let fs = rack.fabric_stats();
+    // Packets that finished their journey (in-flight ones still hold
+    // un-attributed hops; negligible over a full run).
+    let packets = fs.incoming_generated.get() + fs.responded.get();
+    RackScalePoint {
+        dims,
+        nodes: torus.nodes(),
+        completed_ops: rack.completed_ops(),
+        agg_ni_gbps: freq
+            .gbps_from_bytes_per_cycle(rack.app_payload_bytes() as f64 / cycles as f64),
+        peak_link_gbps: rack.peak_link_gbps(),
+        hops: rack.hops_traversed(),
+        mean_hops: if packets == 0 {
+            0.0
+        } else {
+            rack.hops_traversed() as f64 / packets as f64
+        },
+        cycles,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        cycles_per_sec: cycles as f64 / wall.as_secs_f64().max(1e-9),
+        threads: rack.worker_count(),
+    }
 }
 
-/// Render the rack-scale sweep plus the busiest links of the largest rack.
+/// Multi-node rack-scale sweep: racks of growing torus dimensions — up to
+/// the paper's 512-node 8x8x8 at [`Scale::Full`] — every node a fully
+/// simulated chip, traffic crossing the fabric hop-by-hop. This is the
+/// experiment the paper's single-node methodology (§5) cannot express —
+/// cross-node flows, per-link load, and scaling with rack size.
+///
+/// Points run *sequentially* (each rack parallelizes internally across the
+/// compute-phase worker threads), so the per-point wall-clock and
+/// cycles/sec numbers are honest single-experiment measurements rather
+/// than contended co-runs.
+pub fn rack_scale(scale: Scale, traffic: TrafficPattern) -> Vec<RackScalePoint> {
+    rack_dims(scale)
+        .into_iter()
+        .map(|dims| measure_rack_point(dims, traffic, rack_point_cycles(scale, dims)))
+        .collect()
+}
+
+/// Render the rack-scale sweep, plus a per-directed-link detail table for
+/// a canonical 2x2x2 rack (the link-level rerun is capped there so
+/// rendering stays cheap even when the sweep itself went to 512 nodes).
 pub fn rack_scale_render(scale: Scale) -> String {
     let pts = rack_scale(scale, TrafficPattern::Uniform);
     let mut t = Table::new(&[
@@ -576,6 +641,8 @@ pub fn rack_scale_render(scale: Scale) -> String {
         "peak link (GBps)",
         "hops",
         "mean hops/pkt",
+        "sim cycles/s",
+        "threads",
     ]);
     for p in &pts {
         t.row_owned(vec![
@@ -586,16 +653,23 @@ pub fn rack_scale_render(scale: Scale) -> String {
             f1(p.peak_link_gbps),
             p.hops.to_string(),
             f1(p.mean_hops),
+            f1(p.cycles_per_sec),
+            p.threads.to_string(),
         ]);
     }
     let mut out = t.render();
 
-    // Per-directed-link detail for the largest rack — the congestion-study
-    // raw material. Reruns the point through the same `run_rack_point`
-    // config as the summary rows (the sweep's racks are consumed by
-    // `par_map`; determinism makes the rerun bit-identical).
-    let (x, y, z) = *rack_dims(scale).last().expect("non-empty dims sweep");
-    let rack = run_rack_point((x, y, z), TrafficPattern::Uniform, scale.rack_cycles());
+    // Per-directed-link detail for the largest *quick-sized* rack — the
+    // congestion-study raw material. Rerun through the same
+    // `run_rack_point` config as the summary rows (determinism makes the
+    // rerun bit-identical); capped at 2x2x2 so rendering stays cheap even
+    // at full scale.
+    let (x, y, z) = (2, 2, 2);
+    let rack = run_rack_point(
+        (x, y, z),
+        TrafficPattern::Uniform,
+        rack_point_cycles(scale, (x, y, z)),
+    );
     let mut links = rack.link_report();
     links.sort_by(|a, b| b.peak_gbps.total_cmp(&a.peak_gbps));
     let mut lt = Table::new(&["link", "packets", "bytes", "busy cycles", "peak GBps"]);
@@ -638,20 +712,10 @@ pub struct ScenarioPoint {
     pub cycles: u64,
 }
 
-/// Busiest-link bytes over the mean bytes of all loaded links.
+/// Busiest-link bytes over the mean bytes of all loaded links (delegates to
+/// the fabric's allocation-free accumulator scan).
 pub fn link_byte_skew(rack: &Rack) -> f64 {
-    let loaded: Vec<u64> = rack
-        .link_report()
-        .iter()
-        .map(|l| l.bytes)
-        .filter(|&b| b > 0)
-        .collect();
-    if loaded.is_empty() {
-        return 1.0;
-    }
-    let max = *loaded.iter().max().expect("non-empty") as f64;
-    let mean = loaded.iter().sum::<u64>() as f64 / loaded.len() as f64;
-    max / mean.max(1.0)
+    rack.link_byte_skew()
 }
 
 fn rrpp_latency_skew(rack: &Rack) -> f64 {
@@ -676,6 +740,10 @@ pub fn run_scenario_point(scenario: &dyn Scenario, cycles: u64) -> ScenarioPoint
             active_cores: 4,
             ..ChipConfig::default()
         },
+        // The scenario sweep already saturates the host via `par_map` over
+        // points; nesting the rack's own worker pool inside it would
+        // oversubscribe every core and add barrier churn for nothing.
+        threads: 1,
         ..RackSimConfig::default()
     };
     let mut rack = Rack::with_scenario(cfg, scenario);

@@ -1,108 +1,12 @@
 //! Bounded parallel execution of independent simulations.
 //!
-//! Every experiment in this crate runs many *independent* chip simulations
-//! (one per design point, transfer size, or routing policy). Each simulation
-//! is single-threaded and deterministic; the sweeps farm them out across the
-//! host's cores with plain scoped threads, so no concurrency crate is needed
-//! and per-point results are bit-identical to a sequential run.
+//! The implementation lives in [`ni_engine::parallel`] so lower layers (the
+//! multi-node rack driver in `ni_soc`) can share it; this module re-exports
+//! it under the crate's historical path.
+//!
+//! ```
+//! let doubled = rackni::parallel::par_map(vec![1, 2, 3], |x| x * 2);
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Map `f` over `items` using up to [`std::thread::available_parallelism`]
-/// worker threads, preserving order.
-///
-/// Results are identical to `items.into_iter().map(f).collect()`; only
-/// wall-clock time changes. Used by every multi-point experiment sweep.
-///
-/// # Panics
-/// Propagates the first panic raised inside `f`.
-///
-/// ```
-/// let doubled = rackni::parallel::par_map(vec![1, 2, 3], |x| x * 2);
-/// assert_eq!(doubled, vec![2, 4, 6]);
-/// ```
-pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if workers <= 1 {
-        // Mirror the threaded path's panic surface so callers observe the
-        // same failure regardless of host parallelism.
-        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            items.into_iter().map(&f).collect::<Vec<R>>()
-        }));
-        return out.unwrap_or_else(|_| panic!("a scoped thread panicked"));
-    }
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("no poisoned slot")
-                    .take()
-                    .expect("each index claimed once");
-                let r = f(item);
-                *results[i].lock().expect("no poisoned result") = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("no poisoned result")
-                .expect("worker filled every slot")
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let out = par_map((0..100).collect::<Vec<u32>>(), |x| x * x);
-        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<u32>>());
-    }
-
-    #[test]
-    fn empty_input_yields_empty_output() {
-        let out: Vec<u8> = par_map(Vec::<u8>::new(), |x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn single_item_runs_inline() {
-        assert_eq!(par_map(vec![7], |x| x + 1), vec![8]);
-    }
-
-    #[test]
-    #[should_panic(expected = "scoped thread panicked")]
-    fn worker_panic_propagates() {
-        let _ = par_map(vec![1, 2, 3, 4], |x| {
-            if x == 3 {
-                panic!("boom");
-            }
-            x
-        });
-    }
-}
+pub use ni_engine::parallel::{default_threads, par_map, par_map_threads};

@@ -21,6 +21,7 @@
 //! ```
 
 pub mod clock;
+pub mod parallel;
 pub mod queue;
 pub mod stats;
 

@@ -14,11 +14,11 @@
 //!   packets travel hop-by-hop over the 3D torus between fully simulated
 //!   chips, with per-directed-link occupancy and finite link bandwidth.
 //!
-//! [`SharedFabric`] lets many chips of one simulated rack hand their traffic
-//! to the same backend instance.
-
-use std::cell::RefCell;
-use std::rc::Rc;
+//! Multi-node racks do not share a backend instance across chips: each chip
+//! owns a buffered [`FabricPort`](crate::FabricPort) and the rack driver
+//! exchanges the port buffers with one [`TorusFabric`](crate::TorusFabric)
+//! between compute phases, which is what lets chips tick on separate host
+//! threads.
 
 use ni_engine::{Counter, Cycle};
 
@@ -49,8 +49,11 @@ pub trait Fabric {
     /// `resp.dst_node`.
     fn inject_resp(&mut self, now: Cycle, from: u16, resp: RemoteResp);
 
-    /// Advance internal transport state to `now`. Must be idempotent within
-    /// a cycle: every chip sharing the fabric calls it each tick.
+    /// Advance internal transport state to `now`. The driving loop calls
+    /// this exactly once per cycle per fabric instance (a chip ticks the
+    /// fabric it owns; a rack driver ticks the shared transport itself and
+    /// hands each chip a buffered [`FabricPort`](crate::FabricPort) whose
+    /// `tick` is a no-op).
     fn tick(&mut self, now: Cycle);
 
     /// Next response due at `node` by `now`, if any.
@@ -110,61 +113,6 @@ impl Fabric for RackEmulator {
     }
 }
 
-/// A cloneable handle letting multiple chips share one fabric backend.
-///
-/// The simulator is single-threaded and synchronous (chips are ticked in
-/// lock step by a rack driver), so `Rc<RefCell<_>>` is sufficient: the
-/// fabric never re-enters a chip, and each delegated call holds the borrow
-/// only for its own duration.
-pub struct SharedFabric<F: Fabric + ?Sized>(Rc<RefCell<F>>);
-
-impl<F: Fabric + ?Sized> SharedFabric<F> {
-    /// Wrap a shared backend.
-    pub fn new(inner: Rc<RefCell<F>>) -> SharedFabric<F> {
-        SharedFabric(inner)
-    }
-}
-
-impl<F: Fabric + ?Sized> Clone for SharedFabric<F> {
-    fn clone(&self) -> Self {
-        SharedFabric(Rc::clone(&self.0))
-    }
-}
-
-impl<F: Fabric + ?Sized> Fabric for SharedFabric<F> {
-    fn inject(&mut self, now: Cycle, from: u16, req: RemoteReq) {
-        self.0.borrow_mut().inject(now, from, req);
-    }
-
-    fn inject_resp(&mut self, now: Cycle, from: u16, resp: RemoteResp) {
-        self.0.borrow_mut().inject_resp(now, from, resp);
-    }
-
-    fn tick(&mut self, now: Cycle) {
-        self.0.borrow_mut().tick(now);
-    }
-
-    fn pop_response(&mut self, now: Cycle, node: u16) -> Option<RemoteResp> {
-        self.0.borrow_mut().pop_response(now, node)
-    }
-
-    fn pop_incoming(&mut self, now: Cycle, node: u16) -> Option<RemoteReq> {
-        self.0.borrow_mut().pop_incoming(now, node)
-    }
-
-    fn record_rrpp_latency(&mut self, node: u16, cycles: u64) {
-        self.0.borrow_mut().record_rrpp_latency(node, cycles);
-    }
-
-    fn stats(&self) -> FabricStats {
-        self.0.borrow().stats()
-    }
-
-    fn is_idle(&self) -> bool {
-        self.0.borrow().is_idle()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,16 +149,9 @@ mod tests {
     }
 
     #[test]
-    fn shared_handles_hit_the_same_backend() {
-        let inner = Rc::new(RefCell::new(RackEmulator::new(RackConfig {
-            mirror_incoming: false,
-            ..RackConfig::default()
-        })));
-        let mut a = SharedFabric::new(Rc::<RefCell<RackEmulator>>::clone(&inner));
-        let mut b = a.clone();
-        a.inject(Cycle(0), 0, req(1));
-        b.inject(Cycle(0), 0, req(2));
-        assert_eq!(a.stats().sent.get(), 2);
-        assert_eq!(b.stats().sent.get(), 2);
+    fn boxed_fabrics_are_send() {
+        fn assert_send<T: Send>(_t: &T) {}
+        let f: Box<dyn Fabric + Send> = Box::new(RackEmulator::new(RackConfig::default()));
+        assert_send(&f);
     }
 }

@@ -17,13 +17,20 @@
 //!   hop-by-hop between fully simulated chips over the 3D torus
 //!   ([`torus::Torus3D`]), with per-directed-link occupancy counters and
 //!   finite link bandwidth.
+//!
+//! Multi-node racks couple chips to the shared [`TorusFabric`] through
+//! buffered per-node [`port::FabricPort`] endpoints, letting every chip of a
+//! lock-step rack tick on its own host thread while the driver merges the
+//! port buffers deterministically between cycles.
 
 pub mod fabric;
+pub mod port;
 pub mod rack;
 pub mod torus;
 pub mod torus_fabric;
 
-pub use fabric::{Fabric, FabricStats, SharedFabric};
+pub use fabric::{Fabric, FabricStats};
+pub use port::FabricPort;
 pub use rack::{RackConfig, RackEmulator, RemoteReq, RemoteResp};
 pub use torus::{Dir, Torus3D};
 pub use torus_fabric::{

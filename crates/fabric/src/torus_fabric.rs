@@ -159,8 +159,6 @@ pub struct TorusFabric {
     responses: Vec<VecDeque<RemoteResp>>,
     /// Directed links, indexed `node * 6 + dir.index()`.
     links: Vec<Link>,
-    /// Cycle up to which [`Fabric::tick`] has already run (idempotence).
-    ticked_to: Option<Cycle>,
     stats: FabricStats,
     /// Total link traversals (= hops) completed, across all packets.
     hops_traversed: Counter,
@@ -188,7 +186,6 @@ impl TorusFabric {
                     load: LinkLoad::new(cfg.stats_window),
                 })
                 .collect(),
-            ticked_to: None,
             stats: FabricStats::default(),
             hops_traversed: Counter::default(),
         }
@@ -208,6 +205,16 @@ impl TorusFabric {
     /// never carried a packet included.
     pub fn link_report(&self) -> Vec<LinkReport> {
         let mut out = Vec::with_capacity(self.links.len());
+        self.link_report_into(&mut out);
+        out
+    }
+
+    /// As [`link_report`](TorusFabric::link_report), reusing `out`'s
+    /// allocation — for callers sampling the report inside loops (periodic
+    /// congestion monitors, per-window sweeps).
+    pub fn link_report_into(&self, out: &mut Vec<LinkReport>) {
+        out.clear();
+        out.reserve(self.links.len());
         for node in 0..self.cfg.torus.nodes() {
             for d in Dir::ALL {
                 let l = &self.links[node as usize * 6 + d.index()];
@@ -221,7 +228,6 @@ impl TorusFabric {
                 });
             }
         }
-        out
     }
 
     /// Largest per-link peak bandwidth in GB/s (0 when idle).
@@ -232,14 +238,53 @@ impl TorusFabric {
             .fold(0.0, f64::max)
     }
 
+    /// Per-link load imbalance: the busiest link's total bytes over the
+    /// mean of all loaded links (1.0 when balanced or idle). Computed
+    /// straight off the link accumulators — no report allocation — so it is
+    /// safe to sample every cycle.
+    pub fn link_byte_skew(&self) -> f64 {
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        let mut loaded = 0u64;
+        for l in &self.links {
+            let b = l.load.total_bytes();
+            if b > 0 {
+                max = max.max(b);
+                sum += b;
+                loaded += 1;
+            }
+        }
+        if loaded == 0 {
+            return 1.0;
+        }
+        max as f64 / (sum as f64 / loaded as f64).max(1.0)
+    }
+
+    /// Bounds-check a node id at the injection boundary. This stays a hard
+    /// assert: it runs once per packet (never per hop/forward), and an
+    /// out-of-range destination admitted in release would bounce on the
+    /// torus forever instead of failing loudly — custom scenarios are an
+    /// advertised extension point and can hand us any id.
+    #[inline]
     fn validate_node(&self, node: u16) -> u32 {
-        let n = u32::from(node);
         assert!(
-            n < self.cfg.torus.nodes(),
+            u32::from(node) < self.cfg.torus.nodes(),
             "node {node} outside the {:?} torus",
             self.cfg.torus.dims()
         );
-        n
+        u32::from(node)
+    }
+
+    /// Debug-only variant for the per-cycle pop paths, where an invalid id
+    /// would fault on the queue index immediately anyway.
+    #[inline]
+    fn debug_validate_node(&self, node: u16) -> u32 {
+        debug_assert!(
+            u32::from(node) < self.cfg.torus.nodes(),
+            "node {node} outside the {:?} torus",
+            self.cfg.torus.dims()
+        );
+        u32::from(node)
     }
 
     /// Send `pkt` across its next link out of `from`, honoring the link's
@@ -297,10 +342,9 @@ impl Fabric for TorusFabric {
     }
 
     fn tick(&mut self, now: Cycle) {
-        if self.ticked_to == Some(now) {
-            return;
-        }
-        self.ticked_to = Some(now);
+        // Naturally idempotent within a cycle: everything `forward` pushes
+        // (relay hops included) arrives strictly after `now`, so a second
+        // call at the same cycle pops nothing. No guard state needed.
         while let Some(t) = self.wires.pop_ready(now) {
             if u32::from(t.pkt.dest()) == t.at_node {
                 self.deliver(t.at_node, t.pkt);
@@ -311,12 +355,12 @@ impl Fabric for TorusFabric {
     }
 
     fn pop_response(&mut self, _now: Cycle, node: u16) -> Option<RemoteResp> {
-        let n = self.validate_node(node) as usize;
+        let n = self.debug_validate_node(node) as usize;
         self.responses[n].pop_front()
     }
 
     fn pop_incoming(&mut self, _now: Cycle, node: u16) -> Option<RemoteReq> {
-        let n = self.validate_node(node) as usize;
+        let n = self.debug_validate_node(node) as usize;
         self.incoming[n].pop_front()
     }
 
@@ -444,7 +488,7 @@ mod tests {
     }
 
     #[test]
-    fn tick_is_idempotent_within_a_cycle() {
+    fn tick_is_naturally_idempotent_within_a_cycle() {
         let mut f = fabric(2, 1, 1);
         f.inject(Cycle(0), 0, req(1, 1));
         f.tick(Cycle(72));
@@ -454,6 +498,45 @@ mod tests {
         assert!(f.pop_incoming(Cycle(72), 1).is_none());
     }
 
+    #[test]
+    fn link_report_into_reuses_the_buffer() {
+        let mut f = fabric(2, 1, 1);
+        f.inject(Cycle(0), 0, req(1, 1));
+        run_until_idle(&mut f, Cycle(0), 100_000);
+        let mut buf = Vec::new();
+        f.link_report_into(&mut buf);
+        assert_eq!(buf.len(), 12);
+        let cap = buf.capacity();
+        f.link_report_into(&mut buf);
+        assert_eq!(buf.len(), 12);
+        assert_eq!(buf.capacity(), cap, "second fill must not reallocate");
+        assert_eq!(
+            buf.iter().map(|l| l.packets).sum::<u64>(),
+            f.hops_traversed()
+        );
+    }
+
+    #[test]
+    fn link_byte_skew_matches_the_report() {
+        let mut f = fabric(2, 2, 1);
+        f.inject(Cycle(0), 0, req(1, 1));
+        f.inject(Cycle(0), 0, req(2, 1));
+        f.inject(Cycle(0), 2, req(3, 3));
+        run_until_idle(&mut f, Cycle(0), 100_000);
+        let loaded: Vec<u64> = f
+            .link_report()
+            .iter()
+            .map(|l| l.bytes)
+            .filter(|&b| b > 0)
+            .collect();
+        let max = *loaded.iter().max().expect("traffic flowed") as f64;
+        let mean = loaded.iter().sum::<u64>() as f64 / loaded.len() as f64;
+        assert!((f.link_byte_skew() - max / mean).abs() < 1e-12);
+    }
+
+    /// The injection boundary must reject out-of-range destinations in
+    /// every build profile: a bad id admitted here would relay on the torus
+    /// forever instead of failing loudly.
     #[test]
     #[should_panic(expected = "outside")]
     fn out_of_range_targets_are_rejected() {

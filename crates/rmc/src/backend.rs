@@ -129,6 +129,19 @@ impl NiBackend {
         &self.stats
     }
 
+    /// True when the backend holds no in-flight work anywhere in its
+    /// pipeline: no ITT entries, nothing waiting for a slot, no pending
+    /// local reads, and empty event/egress queues. Ticking a quiescent
+    /// backend is a no-op, so a quiesced chip may skip it.
+    pub fn is_quiescent(&self) -> bool {
+        self.itt.is_empty()
+            && self.waiting.is_empty()
+            && self.active.is_empty()
+            && self.pending_local_reads.is_empty()
+            && self.events.is_empty()
+            && self.egress.is_empty()
+    }
+
     /// Transfer tag for `(backend, slot)`.
     fn tid(&self, slot: u32) -> u64 {
         (u64::from(self.id) << 32) | u64::from(slot)

@@ -107,6 +107,21 @@ impl NiFrontend {
         self.cq_queue.push_back((qp, wq_id));
     }
 
+    /// True when the frontend holds no in-flight work: no outstanding WQ
+    /// poll or CQ store, no queued notifications, and nothing pending in
+    /// its event or egress queues. A quiescent frontend would only ever
+    /// re-issue its idle WQ poll loop, so a quiesced chip may safely skip
+    /// ticking it (see the chip driver's fast path).
+    pub fn is_quiescent(&self) -> bool {
+        self.cq_queue.is_empty()
+            && self.polls.is_empty()
+            && self.storing_cq.is_none()
+            && !self.cq_busy
+            && self.events.is_empty()
+            && self.egress.is_empty()
+            && self.retry.is_none()
+    }
+
     /// Drive the frontend one cycle. Needs the shared QP table and the
     /// cache complex hosting the NI cache.
     pub fn tick(&mut self, now: Cycle, qps: &mut [QueuePair], cache: &mut CacheComplex) {

@@ -154,6 +154,19 @@ impl Rrpp {
         self.outstanding + self.queue.len()
     }
 
+    /// True when the pipeline is empty end to end: no queued or started
+    /// requests, no outstanding local accesses, and no undelivered egress
+    /// or latency samples. Ticking a quiescent RRPP is a no-op, so a
+    /// quiesced chip may skip it.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+            && self.pending.is_empty()
+            && self.outstanding == 0
+            && self.started.is_empty()
+            && self.egress.is_empty()
+            && self.samples.is_empty()
+    }
+
     /// True when a local access for `block` is outstanding (used by the
     /// chip to route NcData/NcWAck deliveries at shared NI blocks).
     pub fn has_pending(&self, block: BlockAddr) -> bool {

@@ -61,6 +61,12 @@ impl NocImpl {
             NocImpl::NocOut(n) => n,
         }
     }
+    fn as_ref_dyn(&self) -> &dyn Interconnect<ChipMsg> {
+        match self {
+            NocImpl::Mesh(m) => m,
+            NocImpl::NocOut(n) => n,
+        }
+    }
     fn stats(&self) -> &NocStats {
         match self {
             NocImpl::Mesh(m) => m.stats(),
@@ -115,9 +121,11 @@ pub struct Chip {
     /// This chip's node id in the rack.
     node_id: u16,
     /// The rack fabric behind the network router: the rate-matching
-    /// emulator for single-node runs, or a shared handle onto a real
-    /// multi-node transport (see [`ni_fabric::Fabric`]).
-    fabric: Box<dyn Fabric>,
+    /// emulator for single-node runs, or a buffered
+    /// [`ni_fabric::FabricPort`] the multi-node rack driver exchanges with
+    /// the real transport between cycles. `Send` so whole chips can tick on
+    /// worker threads.
+    fabric: Box<dyn Fabric + Send>,
     /// Collected latency tomography.
     pub traces: TraceTable,
     latch: DelayLine<Latch>,
@@ -130,7 +138,17 @@ pub struct Chip {
     backlog: BTreeMap<NocNode, VecDeque<Packet<ChipMsg>>>,
     /// Total packets across all backlog queues.
     backlog_len: usize,
+    /// Every NOC endpoint with possible deliveries, precomputed once so the
+    /// per-cycle drain never allocates.
+    drain_nodes: Vec<NocNode>,
 }
+
+// The whole node must stay `Send`: the rack driver farms chips out across
+// worker threads. This fails to compile if any component regresses.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Chip>()
+};
 
 impl Chip {
     /// Build a node behind the paper's rate-matching rack emulator: every
@@ -155,7 +173,11 @@ impl Chip {
 
     /// Build a node whose network router hands traffic to `fabric` — the
     /// pre-scenario multi-node entry point, kept as a thin wrapper.
-    pub fn with_fabric(cfg: ChipConfig, workload: Workload, fabric: Box<dyn Fabric>) -> Chip {
+    pub fn with_fabric(
+        cfg: ChipConfig,
+        workload: Workload,
+        fabric: Box<dyn Fabric + Send>,
+    ) -> Chip {
         Chip::with_scenario_on(cfg, &Synthetic::from_workload(workload), fabric, 2, None)
     }
 
@@ -166,7 +188,7 @@ impl Chip {
     pub fn with_scenario_on(
         cfg: ChipConfig,
         scenario: &dyn Scenario,
-        fabric: Box<dyn Fabric>,
+        fabric: Box<dyn Fabric + Send>,
         nodes: u32,
         torus: Option<Torus3D>,
     ) -> Chip {
@@ -338,6 +360,21 @@ impl Chip {
             .map(|r| Rrpp::new(NocNode::NiBlock(r as u8), cfg.rmc, home, n_banks))
             .collect();
 
+        // Every endpoint the per-cycle NOC drain must visit, computed once.
+        let mut drain_nodes: Vec<NocNode> = Vec::with_capacity(96);
+        for i in 0..n {
+            drain_nodes.push(tile_node(i));
+        }
+        for r in 0..n_edge as u8 {
+            drain_nodes.push(NocNode::NiBlock(r));
+            drain_nodes.push(NocNode::Mc(r));
+        }
+        if cfg.topology == Topology::NocOut {
+            for c in 0..cfg.nocout.columns {
+                drain_nodes.push(NocNode::Llc(c));
+            }
+        }
+
         Chip {
             cfg,
             now: Cycle::ZERO,
@@ -363,6 +400,7 @@ impl Chip {
             latch: DelayLine::new(),
             backlog: BTreeMap::new(),
             backlog_len: 0,
+            drain_nodes,
         }
     }
 
@@ -381,8 +419,10 @@ impl Chip {
         self.node_id
     }
 
-    /// Traffic counters of the rack fabric behind the network router. For a
-    /// multi-node rack these are fabric-wide (shared by all chips).
+    /// Traffic counters of the fabric endpoint behind the network router.
+    /// Single-node chips see the emulator's totals; rack-driven chips see
+    /// their own port's view (rack-wide totals come from
+    /// [`Rack::fabric_stats`](crate::Rack::fabric_stats)).
     pub fn fabric_stats(&self) -> FabricStats {
         self.fabric.stats()
     }
@@ -461,13 +501,45 @@ impl Chip {
         }
     }
 
+    /// True when ticking this chip cannot change any observable state: all
+    /// cores are permanently idle ([`Core::is_quiescent`]), every pipeline
+    /// (frontends, backends, RRPPs, caches, directories, memory) is
+    /// drained, and nothing is in flight on the NOC or the internal
+    /// latches. A quiescent chip's only residual activity would be the NI
+    /// frontends' self-absorbing WQ poll loop, which can produce no
+    /// operations, no fabric traffic, and no completions — so the rack
+    /// driver's fast path skips such chips wholesale (provided their fabric
+    /// endpoint is also idle).
+    pub fn is_quiescent(&self) -> bool {
+        self.backlog_len == 0
+            && self.latch.is_empty()
+            && self.cores.iter().all(Core::is_quiescent)
+            && self.mc_pending.is_empty()
+            && self.noc.as_ref_dyn().is_idle()
+            && self.frontends.iter().all(NiFrontend::is_quiescent)
+            && self.backends.iter().all(NiBackend::is_quiescent)
+            && self.rrpps.iter().all(Rrpp::is_quiescent)
+            && self.complexes.iter().all(CacheComplex::is_quiescent)
+            && self.dirs.iter().all(DirectoryBank::is_quiescent)
+            && self.mcs.iter().all(|m| m.inflight() == 0)
+    }
+
     /// Advance the node by one cycle.
     pub fn tick(&mut self) {
         let now = self.now;
-        // Advance the fabric first so this cycle's arrivals are visible;
-        // idempotent per cycle, so lock-stepped chips sharing one fabric
-        // advance it exactly once.
+        // Advance the fabric first so this cycle's arrivals are visible.
+        // For a chip-owned fabric (emulator, direct TorusFabric) this is
+        // the once-per-cycle advance; a rack-driven chip holds a buffered
+        // port whose tick is a no-op (the driver ticks the shared fabric).
         self.fabric.tick(now);
+        // Quiesced-chip fast path: nothing to do and nothing arriving —
+        // just let time pass. Recomputed every cycle (cheap: the scan exits
+        // at the first active component) so external mutation through
+        // `cores`/`chip_mut` can never be masked by a stale cache.
+        if self.fabric.is_idle() && self.is_quiescent() {
+            self.now += 1;
+            return;
+        }
         self.retry_backlog(now);
         self.pump_fabric(now);
         self.pump_latch(now);
@@ -769,21 +841,10 @@ impl Chip {
     }
 
     fn drain_noc(&mut self, now: Cycle) {
-        // Collect every endpoint that may have deliveries.
-        let mut nodes: Vec<NocNode> = Vec::with_capacity(96);
-        for i in 0..self.cfg.n_cores() {
-            nodes.push(self.tile_node(i));
-        }
-        for r in 0..self.cfg.n_edge() as u8 {
-            nodes.push(NocNode::NiBlock(r));
-            nodes.push(NocNode::Mc(r));
-        }
-        if self.cfg.topology == Topology::NocOut {
-            for c in 0..self.cfg.nocout.columns {
-                nodes.push(NocNode::Llc(c));
-            }
-        }
-        for node in nodes {
+        // Visit every endpoint that may have deliveries (list precomputed
+        // at construction: this runs every cycle).
+        for i in 0..self.drain_nodes.len() {
+            let node = self.drain_nodes[i];
             while let Some(pkt) = self.noc.as_dyn().eject(node) {
                 self.dispatch_packet(now, pkt);
             }

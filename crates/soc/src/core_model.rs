@@ -292,6 +292,21 @@ impl Core {
         &self.latency_hist
     }
 
+    /// True when this core will never act again without external input: no
+    /// phase in progress, no scheduled events, no outstanding completions,
+    /// no undrained outputs, and a generator that promises permanent
+    /// idleness ([`Scenario::is_done`]). Backs the chip's quiesced-skip
+    /// fast path; `false` is always the safe answer.
+    pub fn is_quiescent(&self) -> bool {
+        self.phase == Phase::Idle
+            && self.inflight == 0
+            && self.events.is_empty()
+            && self.numa_out.is_none()
+            && self.pending_second_store.is_none()
+            && self.traces.is_empty()
+            && self.scenario.is_done()
+    }
+
     fn tag(&mut self) -> u64 {
         self.seq += 1;
         self.seq

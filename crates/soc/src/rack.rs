@@ -1,5 +1,5 @@
 //! Multi-node rack simulation: N fully simulated chips in lock step over a
-//! real [`TorusFabric`].
+//! real [`TorusFabric`], ticked in parallel across host threads.
 //!
 //! This is the driver the paper's methodology could not afford (§5 simulates
 //! one node and emulates the rest): every node of the rack is a complete
@@ -9,18 +9,43 @@
 //! A's RGP unrolls onto the fabric, node B's RRPP services against node B's
 //! memory, and the response rides the torus back to node A's RCP.
 //!
+//! # Two-phase lock step
+//!
+//! Chips never touch the shared fabric directly. Each owns a buffered
+//! [`FabricPort`] (outbox/inbox pair), and every rack cycle runs two phases:
+//!
+//! 1. **Compute** — all chips tick independently against their ports.
+//!    [`Rack::run`] farms this across worker threads (chunked, one barrier
+//!    pair per cycle); [`Rack::tick`] is the inline single-cycle form.
+//! 2. **Exchange** — the driver merges every outbox into the [`TorusFabric`]
+//!    in node-id order, advances the fabric exactly once at the start of
+//!    the next cycle, and distributes arrivals back into per-chip inboxes.
+//!
+//! Chips share no state during compute and the exchange order is fixed, so
+//! a run is **bit-identical at any thread count** — the serial path, one
+//! worker, and N workers produce the same [`FabricStats`], completed-op
+//! counts, and latency distributions for the same seed. Quiesced chips
+//! (permanently idle cores, drained pipelines, idle port) are skipped by
+//! [`Chip::tick`]'s fast path, so huge racks with sparse activity stay
+//! cheap.
+//!
+//! Worker count: [`RackSimConfig::threads`] (0 = the `RACKNI_THREADS`
+//! environment variable, else [`std::thread::available_parallelism`]).
+//!
 //! Workloads come from a [`Scenario`]: [`Rack::with_scenario`] hands every
 //! active core of every node its own seeded generator. The pre-scenario
 //! [`Rack::new`]`(cfg, workload)` constructor survives as a thin wrapper
 //! over [`Synthetic`] with the config's [`TrafficPattern`].
 
-use std::cell::RefCell;
 use std::io::{self, Write};
-use std::rc::Rc;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
 
+use ni_engine::parallel::{default_threads, par_map_threads};
 use ni_engine::Cycle;
 use ni_fabric::{
-    link_report_csv, link_report_json, Fabric, LinkReport, SharedFabric, Torus3D, TorusFabric,
+    link_report_csv, link_report_json, Fabric, FabricPort, LinkReport, Torus3D, TorusFabric,
     TorusFabricConfig,
 };
 
@@ -88,6 +113,12 @@ pub struct RackSimConfig {
     /// Destination assignment used by the [`Workload`]-based [`Rack::new`]
     /// constructor; scenario-driven racks pick destinations per op instead.
     pub traffic: TrafficPattern,
+    /// Worker threads for the compute phase of [`Rack::run`] (and for chip
+    /// construction). `0` resolves at run time via
+    /// [`default_threads`] (the `RACKNI_THREADS` environment variable,
+    /// else the host's available parallelism); `1` forces the serial path.
+    /// Results are bit-identical at every setting.
+    pub threads: usize,
 }
 
 impl Default for RackSimConfig {
@@ -100,6 +131,19 @@ impl Default for RackSimConfig {
             link_bytes_per_cycle: fabric.link_bytes_per_cycle,
             stats_window: fabric.stats_window,
             traffic: TrafficPattern::Uniform,
+            threads: 0,
+        }
+    }
+}
+
+impl RackSimConfig {
+    /// The resolved compute-phase worker count: `threads`, or
+    /// [`default_threads`] when zero.
+    pub fn worker_threads(&self) -> usize {
+        if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
         }
     }
 }
@@ -108,7 +152,11 @@ impl Default for RackSimConfig {
 pub struct Rack {
     cfg: RackSimConfig,
     chips: Vec<Chip>,
-    fabric: Rc<RefCell<TorusFabric>>,
+    /// The shared transport. Owned directly — chips reach it only through
+    /// their buffered ports, during the exchange phase.
+    fabric: TorusFabric,
+    /// Rack-side handles onto each chip's port, in node-id order.
+    ports: Vec<FabricPort>,
     scenario_name: String,
     now: Cycle,
 }
@@ -124,40 +172,49 @@ impl Rack {
 
     /// Build a rack of `cfg.torus.nodes()` chips, every active core of every
     /// node driven by its own generator from `scenario` (see
-    /// [`Scenario::for_core`]).
+    /// [`Scenario::for_core`]). Chip construction is farmed across the
+    /// configured worker threads (chips are independent, so the result is
+    /// identical to building them sequentially).
     pub fn with_scenario(cfg: RackSimConfig, scenario: &dyn Scenario) -> Rack {
-        let fabric = Rc::new(RefCell::new(TorusFabric::new(TorusFabricConfig {
+        let fabric = TorusFabric::new(TorusFabricConfig {
             torus: cfg.torus,
             hop_cycles: cfg.hop_cycles,
             link_bytes_per_cycle: cfg.link_bytes_per_cycle,
             stats_window: cfg.stats_window,
-        })));
+        });
         let nodes = cfg.torus.nodes();
         assert!(nodes <= u32::from(u16::MAX), "node ids are u16 on the wire");
-        let mut chips = Vec::with_capacity(nodes as usize);
-        for node in 0..nodes {
-            let chip_cfg = ChipConfig {
-                node_id: node as u16,
-                // Distinct, reproducible per-node streams from one master
-                // seed (splitmix-style odd multiplier keeps them decorrelated).
-                seed: cfg
-                    .chip
-                    .seed
-                    .wrapping_add(u64::from(node).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
-                ..cfg.chip
-            };
-            chips.push(Chip::with_scenario_on(
-                chip_cfg,
-                scenario,
-                Box::new(SharedFabric::new(Rc::clone(&fabric))),
-                nodes,
-                Some(cfg.torus),
-            ));
-        }
+        let ports: Vec<FabricPort> = (0..nodes).map(|n| FabricPort::new(n as u16)).collect();
+        let port_refs: Vec<FabricPort> = ports.clone();
+        let chips = par_map_threads(
+            (0..nodes).collect(),
+            cfg.worker_threads(),
+            move |node: u32| {
+                let chip_cfg = ChipConfig {
+                    node_id: node as u16,
+                    // Distinct, reproducible per-node streams from one
+                    // master seed (splitmix-style odd multiplier keeps them
+                    // decorrelated).
+                    seed: cfg
+                        .chip
+                        .seed
+                        .wrapping_add(u64::from(node).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                    ..cfg.chip
+                };
+                Chip::with_scenario_on(
+                    chip_cfg,
+                    scenario,
+                    Box::new(port_refs[node as usize].clone()),
+                    nodes,
+                    Some(cfg.torus),
+                )
+            },
+        );
         Rack {
             cfg,
             chips,
             fabric,
+            ports,
             scenario_name: scenario.name().to_string(),
             now: Cycle::ZERO,
         }
@@ -171,6 +228,14 @@ impl Rack {
     /// Name of the scenario driving this rack's cores.
     pub fn scenario_name(&self) -> &str {
         &self.scenario_name
+    }
+
+    /// Compute-phase workers [`Rack::run`] will actually use: the
+    /// configured [`RackSimConfig::worker_threads`] clamped to the chip
+    /// count (a 8-chip rack never runs more than 8 workers). Report this —
+    /// not the raw config — in throughput trajectories.
+    pub fn worker_count(&self) -> usize {
+        self.cfg.worker_threads().min(self.chips.len()).max(1)
     }
 
     /// Current simulation time.
@@ -188,18 +253,135 @@ impl Rack {
         &mut self.chips[node as usize]
     }
 
-    /// Advance every chip (and the shared fabric, exactly once) by a cycle.
+    /// Exchange-phase prologue for cycle `now`: advance the shared fabric
+    /// exactly once, then distribute its freshly delivered arrivals into
+    /// the per-chip port inboxes in node-id order.
+    fn fabric_advance_and_distribute(fabric: &mut TorusFabric, ports: &[FabricPort], now: Cycle) {
+        fabric.tick(now);
+        for port in ports {
+            port.collect_arrivals(now, fabric);
+        }
+    }
+
+    /// Exchange-phase epilogue for cycle `now`: merge every chip's outbox
+    /// into the shared fabric in node-id order (FIFO within a node), which
+    /// reproduces the injection order of a serial run exactly.
+    fn fabric_merge_outboxes(fabric: &mut TorusFabric, ports: &[FabricPort], now: Cycle) {
+        for port in ports {
+            port.flush_outbox(now, fabric);
+        }
+    }
+
+    /// Advance the whole rack by one cycle — the inline (serial) form of
+    /// the two-phase loop: advance the fabric exactly once and distribute
+    /// arrivals, tick every chip against its port, merge outboxes in
+    /// node-id order. [`Rack::run`] executes the identical schedule with
+    /// the chip ticks farmed across worker threads.
     pub fn tick(&mut self) {
+        let now = self.now;
+        Self::fabric_advance_and_distribute(&mut self.fabric, &self.ports, now);
         for chip in &mut self.chips {
             chip.tick();
         }
+        Self::fabric_merge_outboxes(&mut self.fabric, &self.ports, now);
         self.now += 1;
     }
 
-    /// Run for `cycles`.
+    /// Run for `cycles`, ticking chips in parallel across the configured
+    /// worker threads (see [`RackSimConfig::threads`]).
+    ///
+    /// The thread pool lives for the whole call: workers are spawned once,
+    /// own static chip chunks, and synchronize on one barrier pair per
+    /// cycle while the driver thread performs the exchange phase. Results
+    /// are bit-identical to calling [`Rack::tick`] `cycles` times.
+    ///
+    /// # Panics
+    /// Propagates the first panic raised inside any chip's tick.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.tick();
+        let workers = self.worker_count();
+        if cycles == 0 {
+            return;
+        }
+        if workers <= 1 {
+            for _ in 0..cycles {
+                self.tick();
+            }
+            return;
+        }
+        // Split borrows: workers own disjoint chip chunks for the whole
+        // run; the driver keeps the fabric and the port handles.
+        let Rack {
+            chips,
+            fabric,
+            ports,
+            now,
+            ..
+        } = self;
+        let chunk_len = chips.len().div_ceil(workers);
+        // Ceil-divided chunks can come out fewer than `workers` (e.g. 5
+        // chips over 4 workers yield 3 chunks of <=2): the barrier must be
+        // sized to the threads that actually exist or everyone deadlocks.
+        let chunks: Vec<&mut [Chip]> = chips.chunks_mut(chunk_len).collect();
+        // Two rendezvous per cycle: one releasing the compute phase, one
+        // closing it. A panicking participant — worker *or* driver — keeps
+        // honoring the barrier protocol for the remaining cycles (skipping
+        // its work) so no thread is ever left waiting, and re-raises its
+        // payload once every barrier pair has been served.
+        let barrier = Barrier::new(chunks.len() + 1);
+        let poisoned = AtomicBool::new(false);
+        let mut driver_payload = None;
+        std::thread::scope(|s| {
+            for chunk in chunks {
+                s.spawn(|| {
+                    let mut payload = None;
+                    for _ in 0..cycles {
+                        barrier.wait();
+                        if payload.is_none() && !poisoned.load(Ordering::Acquire) {
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                for chip in chunk.iter_mut() {
+                                    chip.tick();
+                                }
+                            }));
+                            if let Err(p) = r {
+                                poisoned.store(true, Ordering::Release);
+                                payload = Some(p);
+                            }
+                        }
+                        barrier.wait();
+                    }
+                    if let Some(p) = payload {
+                        resume_unwind(p);
+                    }
+                });
+            }
+            // Driver loop. Exchange-phase panics (e.g. a hard assert on an
+            // out-of-range destination inside the fabric merge) must not
+            // unwind past the barrier protocol: workers would block on a
+            // rendezvous the driver never reaches and the scope join would
+            // deadlock. Trap them, finish the barrier schedule, re-raise
+            // after the scope.
+            let trap = |driver_payload: &mut Option<_>, f: &mut dyn FnMut()| {
+                if driver_payload.is_none() && !poisoned.load(Ordering::Acquire) {
+                    if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+                        poisoned.store(true, Ordering::Release);
+                        *driver_payload = Some(p);
+                    }
+                }
+            };
+            for _ in 0..cycles {
+                trap(&mut driver_payload, &mut || {
+                    Self::fabric_advance_and_distribute(fabric, ports, *now);
+                });
+                barrier.wait(); // open the compute phase
+                barrier.wait(); // close the compute phase
+                trap(&mut driver_payload, &mut || {
+                    Self::fabric_merge_outboxes(fabric, ports, *now);
+                    *now += 1;
+                });
+            }
+        });
+        if let Some(p) = driver_payload {
+            resume_unwind(p);
         }
     }
 
@@ -216,12 +398,24 @@ impl Rack {
 
     /// Fabric-wide traffic counters.
     pub fn fabric_stats(&self) -> ni_fabric::FabricStats {
-        self.fabric.borrow().stats()
+        self.fabric.stats()
     }
 
     /// Per-directed-link traffic report of the shared fabric.
     pub fn link_report(&self) -> Vec<LinkReport> {
-        self.fabric.borrow().link_report()
+        self.fabric.link_report()
+    }
+
+    /// As [`link_report`](Rack::link_report), reusing `out`'s allocation —
+    /// for periodic sampling inside measurement loops.
+    pub fn link_report_into(&self, out: &mut Vec<LinkReport>) {
+        self.fabric.link_report_into(out);
+    }
+
+    /// Per-link load imbalance: busiest link's total bytes over the mean of
+    /// all loaded links (1.0 when balanced or idle); allocation-free.
+    pub fn link_byte_skew(&self) -> f64 {
+        self.fabric.link_byte_skew()
     }
 
     /// Write the per-directed-link report to `w` in the given `format` —
@@ -243,12 +437,12 @@ impl Rack {
 
     /// Largest per-link peak bandwidth seen so far, GB/s.
     pub fn peak_link_gbps(&self) -> f64 {
-        self.fabric.borrow().peak_link_gbps()
+        self.fabric.peak_link_gbps()
     }
 
     /// Total torus link traversals completed.
     pub fn hops_traversed(&self) -> u64 {
-        self.fabric.borrow().hops_traversed()
+        self.fabric.hops_traversed()
     }
 }
 
@@ -297,6 +491,130 @@ mod tests {
                 "node {node}: target {d} is not Lee-maximal"
             );
         }
+    }
+
+    /// Regression: when ceil-divided chip chunks come out fewer than the
+    /// requested workers (5 chips over 4 threads yield 3 chunks), the
+    /// per-cycle barrier must be sized to the real thread count — this
+    /// config used to deadlock. Also asserts the uneven split stays
+    /// bit-identical to the serial path.
+    #[test]
+    fn uneven_chip_chunks_neither_deadlock_nor_diverge() {
+        let build = |threads: usize| {
+            let cfg = RackSimConfig {
+                torus: Torus3D::new(5, 1, 1),
+                chip: ChipConfig {
+                    active_cores: 1,
+                    ..ChipConfig::default()
+                },
+                traffic: TrafficPattern::Neighbor,
+                threads,
+                ..RackSimConfig::default()
+            };
+            Rack::new(cfg, Workload::SyncRead { size: 64 })
+        };
+        let mut serial = build(1);
+        serial.run(1_200);
+        let mut uneven = build(4);
+        uneven.run(1_200);
+        assert!(serial.completed_ops() > 0, "reference run must do work");
+        assert_eq!(uneven.completed_ops(), serial.completed_ops());
+        assert_eq!(uneven.hops_traversed(), serial.hops_traversed());
+        assert_eq!(
+            uneven.fabric_stats().sent.get(),
+            serial.fabric_stats().sent.get()
+        );
+    }
+
+    /// A panic on the *driver* thread during the exchange phase (here: the
+    /// fabric's hard assert on an out-of-range destination firing inside
+    /// the outbox merge) must propagate out of the threaded `Rack::run`
+    /// instead of leaving the workers parked on a barrier the driver never
+    /// reaches. Runs under a watchdog so a regression fails instead of
+    /// hanging the suite.
+    #[test]
+    fn driver_phase_panic_propagates_instead_of_deadlocking() {
+        use crate::core_model::REMOTE_BASE;
+        use crate::scenario::{Op, OpCtx};
+        use ni_mem::Addr;
+        use ni_qp::RemoteOp;
+
+        #[derive(Debug)]
+        struct BadDest;
+        impl Scenario for BadDest {
+            fn name(&self) -> &str {
+                "bad-dest"
+            }
+            fn for_core(&self, _ctx: &OpCtx) -> Box<dyn Scenario> {
+                Box::new(BadDest)
+            }
+            fn next_op(&mut self, _ctx: &OpCtx) -> Op {
+                // Destination far outside the 4-node torus: the injection
+                // boundary's hard assert fires on the driver thread.
+                Op::Remote {
+                    op: RemoteOp::Read,
+                    to: 999,
+                    addr: Addr(REMOTE_BASE),
+                    size: 64,
+                    sync: true,
+                }
+            }
+        }
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let cfg = RackSimConfig {
+                torus: Torus3D::new(4, 1, 1),
+                chip: ChipConfig {
+                    active_cores: 1,
+                    ..ChipConfig::default()
+                },
+                threads: 2,
+                ..RackSimConfig::default()
+            };
+            let mut rack = Rack::with_scenario(cfg, &BadDest);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rack.run(500)));
+            let _ = tx.send(r.is_err());
+        });
+        match rx.recv_timeout(std::time::Duration::from_secs(60)) {
+            Ok(panicked) => assert!(panicked, "driver panic must surface to the caller"),
+            Err(_) => panic!("threaded run deadlocked on a driver-phase panic"),
+        }
+    }
+
+    /// A panic inside one chip's compute phase must propagate out of the
+    /// threaded `Rack::run` instead of deadlocking the barrier protocol.
+    #[test]
+    fn worker_panic_propagates_out_of_the_threaded_run() {
+        let cfg = RackSimConfig {
+            torus: Torus3D::new(4, 1, 1),
+            chip: ChipConfig {
+                active_cores: 1,
+                ..ChipConfig::default()
+            },
+            traffic: TrafficPattern::Neighbor,
+            threads: 2,
+            ..RackSimConfig::default()
+        };
+        let mut rack = Rack::new(cfg, Workload::SyncRead { size: 64 });
+        // Arm node 3 with a generator that panics on first issue, so the
+        // explosion happens inside a worker's compute phase.
+        #[derive(Debug)]
+        struct Bomb;
+        impl Scenario for Bomb {
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn for_core(&self, _ctx: &crate::scenario::OpCtx) -> Box<dyn Scenario> {
+                Box::new(Bomb)
+            }
+            fn next_op(&mut self, _ctx: &crate::scenario::OpCtx) -> crate::scenario::Op {
+                panic!("bomb scenario detonated");
+            }
+        }
+        rack.chip_mut(3).cores[0].reset_scenario(Box::new(Bomb));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rack.run(50)));
+        assert!(r.is_err(), "worker panic must surface to the caller");
     }
 
     #[test]

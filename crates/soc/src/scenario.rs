@@ -152,7 +152,7 @@ pub enum Op {
 /// ```
 ///
 /// [`for_core`]: Scenario::for_core
-pub trait Scenario: std::fmt::Debug + Send {
+pub trait Scenario: std::fmt::Debug + Send + Sync {
     /// Human-readable name (report tables, CSV columns).
     fn name(&self) -> &str;
 
@@ -185,6 +185,15 @@ pub trait Scenario: std::fmt::Debug + Send {
     /// randomized scenarios. Feeds [`Core::target`](crate::Core::target).
     fn fixed_target(&self) -> Option<u16> {
         None
+    }
+
+    /// True when this generator will return [`Op::Idle`] on every future
+    /// [`next_op`](Scenario::next_op) call regardless of context — a
+    /// *permanent* idle promise, not a temporary stall. Rack drivers use it
+    /// to skip ticking fully quiesced chips; returning `false` (the
+    /// default) is always safe and merely forgoes the fast path.
+    fn is_done(&self) -> bool {
+        false
     }
 }
 
@@ -343,6 +352,12 @@ impl Scenario for Synthetic {
 
     fn retarget(&mut self, node: u16) {
         self.dest = Some(node);
+    }
+
+    fn is_done(&self) -> bool {
+        // An Idle workload never issues anything: the permanent-idle
+        // promise that lets rack drivers skip fully quiesced chips.
+        matches!(self.workload, Workload::Idle)
     }
 }
 

@@ -127,6 +127,70 @@ fn numa_workload_crosses_the_torus() {
     assert!(lat >= 140.0, "NUMA latency {lat} beats the wire floor");
 }
 
+/// The two-phase parallel tick is bit-identical to the serial path: the
+/// same seeded 3x3x3 scenario run (a) serially via `Rack::tick`, (b) through
+/// `Rack::run` pinned to one worker, and (c) through `Rack::run` with four
+/// workers must produce byte-equal `FabricStats`, completed-op counts,
+/// per-node RRPP mean latencies, hop counts, and payload bytes.
+#[test]
+fn parallel_rack_is_bit_identical_to_serial_at_any_thread_count() {
+    #[derive(Debug, PartialEq)]
+    struct Fingerprint {
+        sent: u64,
+        responded: u64,
+        incoming: u64,
+        completed_ops: u64,
+        payload_bytes: u64,
+        hops: u64,
+        rrpp_means: Vec<f64>,
+        per_node_ops: Vec<u64>,
+    }
+    let fingerprint = |rack: &Rack| {
+        let fs = rack.fabric_stats();
+        Fingerprint {
+            sent: fs.sent.get(),
+            responded: fs.responded.get(),
+            incoming: fs.incoming_generated.get(),
+            completed_ops: rack.completed_ops(),
+            payload_bytes: rack.app_payload_bytes(),
+            hops: rack.hops_traversed(),
+            rrpp_means: rack.rrpp_mean_latencies(),
+            per_node_ops: rack.chips().iter().map(|c| c.completed_ops()).collect(),
+        }
+    };
+    let cycles = 1_500u64;
+    let build = |threads: usize| {
+        let mut cfg = rack_cfg(Torus3D::new(3, 3, 3), 2, TrafficPattern::Uniform);
+        cfg.chip.seed = 0xd15c0;
+        cfg.threads = threads;
+        Rack::new(
+            cfg,
+            Workload::AsyncRead {
+                size: 256,
+                poll_every: 4,
+            },
+        )
+    };
+
+    let mut serial = build(1);
+    for _ in 0..cycles {
+        serial.tick();
+    }
+    let want = fingerprint(&serial);
+    assert!(want.completed_ops > 0, "reference run must do real work");
+    assert!(want.hops > 0, "reference run must cross the fabric");
+
+    for threads in [1usize, 4] {
+        let mut rack = build(threads);
+        rack.run(cycles);
+        assert_eq!(
+            fingerprint(&rack),
+            want,
+            "{threads}-thread run diverged from the serial reference"
+        );
+    }
+}
+
 /// Reproducibility: a rack run is a pure function of its config (seed
 /// included), and the emulator path reproduces from `ChipConfig::seed`
 /// alone.
