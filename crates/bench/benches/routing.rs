@@ -1,0 +1,51 @@
+//! Torus routing-policy sweep: dimension-order vs congestion-aware
+//! minimal-adaptive vs seeded random-minimal routing
+//! (`ni_fabric::RoutingPolicy`) on a 64-node 4x4x4 rack, across uniform,
+//! antipodal, and Zipf-hotspot traffic — job completion time, remote-read
+//! tail latency, and per-link byte skew per cell. The evaluated-design-axis
+//! follow-up to the `rack_scale` congestion data.
+
+use criterion::{criterion_group, Criterion};
+use ni_bench::{banner, criterion_config, scale};
+use rackni::experiments::{routing_sweep_render, run_routing_point};
+use rackni::ni_fabric::RoutingKind;
+use rackni::ni_soc::ZipfHotspot;
+
+fn print_table() {
+    banner(
+        "Routing sweep",
+        "torus routing policies (DOR / minimal-adaptive / random-minimal) on a 4x4x4 rack",
+    );
+    println!("{}", routing_sweep_render(scale()));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    for routing in RoutingKind::ALL {
+        g.bench_function(format!("zipf_3x3x1_{}", routing.name()), |b| {
+            b.iter(|| {
+                run_routing_point(
+                    (3, 3, 1),
+                    "zipf",
+                    Box::<ZipfHotspot>::default(),
+                    routing,
+                    8,
+                    60_000,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

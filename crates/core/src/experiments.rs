@@ -7,13 +7,13 @@
 //! methodology.
 
 use ni_engine::Frequency;
-use ni_fabric::Torus3D;
+use ni_fabric::{RoutingKind, Torus3D};
 use ni_noc::RoutingPolicy;
 use ni_rmc::NiPlacement;
 use ni_soc::bench::{run_bandwidth, run_sync_latency, stage_breakdown, StageBreakdown};
 use ni_soc::{
-    builtin_scenarios, ChipConfig, Rack, RackSimConfig, Scenario, Topology, TrafficPattern,
-    Workload,
+    builtin_scenarios, Capped, ChipConfig, Rack, RackSimConfig, Scenario, Synthetic, Topology,
+    TrafficPattern, Workload, ZipfHotspot,
 };
 
 use crate::paper;
@@ -793,6 +793,186 @@ pub fn scenario_sweep_render(scale: Scale) -> String {
             f1(p.peak_link_gbps),
             format!("{:.2}x", p.link_skew),
             format!("{:.2}x", p.rrpp_skew),
+            p.hops.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// One cell of the torus routing-policy sweep: a traffic scenario run to
+/// completion on one rack under one [`RoutingKind`].
+#[derive(Clone, Debug)]
+pub struct RoutingPoint {
+    /// Traffic scenario label (`"uniform"`, `"opposite"`, `"zipf"`).
+    pub scenario: &'static str,
+    /// Torus routing policy.
+    pub routing: RoutingKind,
+    /// Torus dimensions.
+    pub dims: (u16, u16, u16),
+    /// Operations the capped job was expected to complete.
+    pub expected_ops: u64,
+    /// Operations actually completed (can fall short if the horizon hit).
+    pub completed_ops: u64,
+    /// Cycles until every capped op completed — the job-completion-time
+    /// metric (= the horizon when the run timed out).
+    pub completion_cycles: u64,
+    /// Median end-to-end remote-read latency in cycles (sync + async).
+    pub p50_read_cycles: u64,
+    /// 99th-percentile end-to-end remote-read latency in cycles.
+    pub p99_read_cycles: u64,
+    /// Busiest link's total bytes over the mean of all loaded links.
+    pub link_skew: f64,
+    /// Total torus link traversals.
+    pub hops: u64,
+}
+
+/// A labeled scenario constructor: grid cells build their own prototypes
+/// because scenarios are not `Clone`.
+type ScenarioFactory = fn() -> Box<dyn Scenario>;
+
+/// The sweep's traffic axis: uniformly spread asynchronous reads, the
+/// antipodal bisection stressor, and the Zipf hotspot — the three points
+/// span balanced, adversarial-but-symmetric, and skewed load.
+fn routing_scenarios() -> Vec<(&'static str, ScenarioFactory)> {
+    fn reads() -> Workload {
+        Workload::AsyncRead {
+            size: 512,
+            poll_every: 4,
+        }
+    }
+    vec![
+        ("uniform", || {
+            Box::new(Synthetic::from_workload(reads()).with_pattern(TrafficPattern::Uniform))
+        }),
+        ("opposite", || {
+            Box::new(Synthetic::from_workload(reads()).with_pattern(TrafficPattern::Opposite))
+        }),
+        ("zipf", || Box::<ZipfHotspot>::default()),
+    ]
+}
+
+/// Per-core op budget of one routing point at this scale.
+fn routing_ops_per_core(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 8,
+        Scale::Full => 40,
+    }
+}
+
+/// Run one cell of the routing grid: `scenario` capped at `ops_per_core`
+/// ops per core on a `dims` rack routed by `routing`, until the job
+/// completes (or `horizon` cycles pass).
+pub fn run_routing_point(
+    dims: (u16, u16, u16),
+    scenario_label: &'static str,
+    scenario: Box<dyn Scenario>,
+    routing: RoutingKind,
+    ops_per_core: u64,
+    horizon: u64,
+) -> RoutingPoint {
+    let active_cores = 2;
+    let cfg = RackSimConfig {
+        torus: Torus3D::new(dims.0, dims.1, dims.2),
+        chip: ChipConfig {
+            active_cores,
+            ..ChipConfig::default()
+        },
+        routing,
+        // Grid points already saturate the host via `par_map`; nesting the
+        // rack's worker pool inside would oversubscribe it.
+        threads: 1,
+        ..RackSimConfig::default()
+    };
+    let expected_ops = u64::from(cfg.torus.nodes()) * active_cores as u64 * ops_per_core;
+    let capped = Capped::new(scenario, ops_per_core);
+    let mut rack = Rack::with_scenario(cfg, &capped);
+    // Step in 200-cycle slices so the completion cycle is tight without
+    // checking every cycle.
+    const SLICE: u64 = 200;
+    while rack.completed_ops() < expected_ops && rack.now().0 < horizon {
+        rack.run(SLICE.min(horizon - rack.now().0));
+    }
+    let hist = rack.read_latency_histogram();
+    RoutingPoint {
+        scenario: scenario_label,
+        routing,
+        dims,
+        expected_ops,
+        completed_ops: rack.completed_ops(),
+        completion_cycles: rack.now().0,
+        p50_read_cycles: hist.percentile(0.50),
+        p99_read_cycles: hist.percentile(0.99),
+        link_skew: rack.link_byte_skew(),
+        hops: rack.hops_traversed(),
+    }
+}
+
+/// The routing-policy grid at arbitrary torus dimensions:
+/// `{uniform, opposite, zipf}` x [`RoutingKind::ALL`], each cell a capped
+/// job run to completion. Exposed separately from [`routing_sweep`] so
+/// tests can use small racks.
+pub fn routing_sweep_at(scale: Scale, dims: (u16, u16, u16)) -> Vec<RoutingPoint> {
+    let ops = routing_ops_per_core(scale);
+    let horizon = scale.rack_cycles() * 4;
+    let grid: Vec<(&'static str, ScenarioFactory, RoutingKind)> = routing_scenarios()
+        .into_iter()
+        .flat_map(|(label, make)| RoutingKind::ALL.into_iter().map(move |r| (label, make, r)))
+        .collect();
+    par_map(grid, move |(label, make, routing)| {
+        run_routing_point(dims, label, make(), routing, ops, horizon)
+    })
+}
+
+/// The paper-facing routing sweep (ROADMAP's "adaptive routing under
+/// congestion"): dimension-order vs minimal-adaptive vs random-minimal
+/// torus routing on a 4x4x4 64-node rack, across balanced, antipodal, and
+/// Zipf-skewed traffic. Reports job completion time, the remote-read tail,
+/// and per-link byte skew — the axis where congestion-aware routing should
+/// buy tail latency and balance without costing the deterministic
+/// baseline anything at zero load.
+pub fn routing_sweep(scale: Scale) -> Vec<RoutingPoint> {
+    routing_sweep_at(scale, (4, 4, 4))
+}
+
+/// Render the routing sweep, grouped by scenario, with the DOR-relative
+/// skew and p99 deltas that make the comparison legible.
+pub fn routing_sweep_render(scale: Scale) -> String {
+    routing_points_render(&routing_sweep(scale))
+}
+
+/// Render any routing-sweep grid (see [`routing_sweep_render`]).
+pub fn routing_points_render(pts: &[RoutingPoint]) -> String {
+    let mut t = Table::new(&[
+        "scenario",
+        "routing",
+        "ops",
+        "completion (cycles)",
+        "p50 read",
+        "p99 read",
+        "link skew",
+        "vs DOR skew",
+        "hops",
+    ]);
+    for p in pts {
+        let dor_skew = pts
+            .iter()
+            .find(|q| q.scenario == p.scenario && q.routing == RoutingKind::DimensionOrder)
+            .map(|q| q.link_skew);
+        let rel = match dor_skew {
+            Some(d) if d > 0.0 && p.routing != RoutingKind::DimensionOrder => {
+                format!("{:+.1}%", (p.link_skew / d - 1.0) * 100.0)
+            }
+            _ => "-".into(),
+        };
+        t.row_owned(vec![
+            p.scenario.into(),
+            p.routing.name().into(),
+            format!("{}/{}", p.completed_ops, p.expected_ops),
+            p.completion_cycles.to_string(),
+            p.p50_read_cycles.to_string(),
+            p.p99_read_cycles.to_string(),
+            format!("{:.2}x", p.link_skew),
+            rel,
             p.hops.to_string(),
         ]);
     }

@@ -1,13 +1,13 @@
 //! The chip ↔ rack boundary as a trait.
 //!
 //! A simulated node used to be hardwired to the rate-matching
-//! [`RackEmulator`](crate::RackEmulator): every outgoing request went
+//! [`RackEmulator`]: every outgoing request went
 //! straight into the emulator and every arrival came straight out of it.
 //! [`Fabric`] makes that boundary pluggable. A chip *injects* outgoing
 //! requests and responses, *ticks* the fabric once per cycle, and *drains*
 //! arrivals addressed to its node id. Two interchangeable backends exist:
 //!
-//! * [`RackEmulator`](crate::RackEmulator) — the paper's single-node
+//! * [`RackEmulator`] — the paper's single-node
 //!   methodology (§5): remote ends answered after `2 × hops × 35ns` plus a
 //!   measured-RRPP estimate, with mirrored incoming traffic.
 //! * [`TorusFabric`](crate::TorusFabric) — a real multi-node transport:

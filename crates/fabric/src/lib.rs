@@ -22,17 +22,28 @@
 //! buffered per-node [`port::FabricPort`] endpoints, letting every chip of a
 //! lock-step rack tick on its own host thread while the driver merges the
 //! port buffers deterministically between cycles.
+//!
+//! Path selection on the torus is itself pluggable: the transport consults
+//! a [`routing::RoutingPolicy`] on every hop, with deterministic dimension
+//! order, congestion-aware minimal-adaptive, and seeded random-minimal
+//! built-ins (see [`mod@routing`]).
+
+#![warn(missing_docs)]
 
 pub mod fabric;
 pub mod port;
 pub mod rack;
+pub mod routing;
 pub mod torus;
 pub mod torus_fabric;
 
 pub use fabric::{Fabric, FabricStats};
 pub use port::FabricPort;
 pub use rack::{RackConfig, RackEmulator, RemoteReq, RemoteResp};
-pub use torus::{Dir, Torus3D};
+pub use routing::{
+    DimensionOrder, LinkView, MinimalAdaptive, RandomMinimal, RoutingKind, RoutingPolicy,
+};
+pub use torus::{Dir, ProductiveDirs, Torus3D};
 pub use torus_fabric::{
     link_report_csv, link_report_json, LinkReport, TorusFabric, TorusFabricConfig,
 };

@@ -1,0 +1,370 @@
+//! Pluggable routing policies for the torus transport.
+//!
+//! [`TorusFabric`](crate::TorusFabric) used to hard-code deterministic
+//! dimension-order routing ([`Torus3D::next_hop`]); this module makes the
+//! per-hop decision an open trait, [`RoutingPolicy`], so congestion-aware
+//! variants can be evaluated against the status quo without touching the
+//! transport. Three built-ins ship with the crate:
+//!
+//! * [`DimensionOrder`] — the extracted status quo: resolve x, then y, then
+//!   z, breaking exact antipode ties toward the positive ring. Bit-identical
+//!   to the pre-trait fabric.
+//! * [`MinimalAdaptive`] — congestion-aware minimal routing: among all
+//!   *productive* directions (those on some minimal path), take the one
+//!   whose directed link has the smallest serialization backlog right now,
+//!   falling back to dimension order on ties. Under zero load it degenerates
+//!   to [`DimensionOrder`] exactly; under congestion it spreads a flow over
+//!   every minimal path.
+//! * [`RandomMinimal`] — a seeded oblivious baseline: pick uniformly among
+//!   the productive directions.
+//!
+//! Every policy must be **minimal**: each hop strictly reduces the Lee
+//! distance to the destination, so a packet is delivered after exactly
+//! [`Torus3D::hops`]`(src, dest)` traversals — delivery and
+//! livelock-freedom hold structurally, with no escape-path bookkeeping. The
+//! fabric enforces the contract with a debug assertion on every hop.
+//! Deadlock is not a concern in this transport model: links are infinitely
+//! buffered delay/serialization stations rather than credit-limited VCs, so
+//! forward progress never depends on buffer cycles.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::torus::{Dir, ProductiveDirs, Torus3D};
+
+/// A per-hop congestion snapshot: the serialization backlog, in cycles, of
+/// the six directed links leaving the node a packet currently sits at.
+///
+/// This is the cheap view [`TorusFabric`](crate::TorusFabric) hands its
+/// [`RoutingPolicy`] on every hop — six copied counters, no allocation. The
+/// backlog of a link is how many cycles a packet accepted *now* would wait
+/// before starting to serialize (0 on an idle link).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkView {
+    backlog: [u64; 6],
+}
+
+impl LinkView {
+    /// A view with the given per-direction backlogs, indexed by
+    /// [`Dir::index`].
+    pub fn new(backlog: [u64; 6]) -> LinkView {
+        LinkView { backlog }
+    }
+
+    /// An all-idle view (every backlog zero) — what a policy sees on an
+    /// unloaded fabric.
+    pub fn idle() -> LinkView {
+        LinkView::default()
+    }
+
+    /// Serialization backlog, in cycles, of the directed link leaving in
+    /// direction `d`.
+    pub fn backlog(&self, d: Dir) -> u64 {
+        self.backlog[d.index()]
+    }
+}
+
+/// A per-hop routing decision procedure over the 3D torus.
+///
+/// The fabric consults the policy once per link traversal: given the node a
+/// packet sits at, its destination, and a [`LinkView`] of the local links'
+/// backlogs, the policy names the outgoing direction. Policies may keep
+/// seeded internal state (e.g. [`RandomMinimal`]'s RNG) — the fabric calls
+/// them in a deterministic order, so a run remains a pure function of its
+/// configuration.
+///
+/// # Contract
+///
+/// * Return `None` if and only if `from == dest`.
+/// * The returned direction must be *productive*: the neighbor in that
+///   direction must be strictly closer (in [`Torus3D::hops`]) to `dest`
+///   than `from` is. This keeps every route minimal and delivery bounded by
+///   the Lee distance; the fabric debug-asserts it on every hop.
+pub trait RoutingPolicy: fmt::Debug + Send {
+    /// Short stable name for report tables (`"dor"`, `"adaptive"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Choose the next-hop direction for a packet at `from` headed to
+    /// `dest`, given the backlogs of `from`'s six outgoing links.
+    fn route(&mut self, torus: &Torus3D, from: u32, dest: u32, links: &LinkView) -> Option<Dir>;
+
+    /// Whether [`route`](RoutingPolicy::route) reads its [`LinkView`].
+    /// Congestion-blind policies override this to `false` so the fabric
+    /// skips building the snapshot on their (per-link-traversal) hot path;
+    /// they then receive [`LinkView::idle`]. Defaults to `true` so a custom
+    /// congestion-aware policy can never silently see an empty view.
+    fn uses_link_view(&self) -> bool {
+        true
+    }
+}
+
+/// Deterministic dimension-order routing — the extracted status quo.
+///
+/// Resolves the x offset first, then y, then z, breaking exact antipode
+/// ties toward the positive ring direction; ignores congestion entirely.
+/// Delegates to [`Torus3D::next_hop`], so a [`TorusFabric`] built with this
+/// policy is bit-identical to the pre-[`RoutingPolicy`] fabric.
+///
+/// [`TorusFabric`]: crate::TorusFabric
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DimensionOrder;
+
+impl RoutingPolicy for DimensionOrder {
+    fn name(&self) -> &'static str {
+        "dor"
+    }
+
+    fn route(&mut self, torus: &Torus3D, from: u32, dest: u32, _links: &LinkView) -> Option<Dir> {
+        torus.next_hop(from, dest)
+    }
+
+    fn uses_link_view(&self) -> bool {
+        false
+    }
+}
+
+/// Congestion-aware minimal-adaptive routing.
+///
+/// Considers every productive direction ([`Torus3D::productive_dirs`]) and
+/// takes the one with the smallest [`LinkView::backlog`]; ties resolve to
+/// the earliest productive direction in dimension order — which is exactly
+/// the [`DimensionOrder`] choice, so the dimension-order *escape rule* is
+/// built into the tie-break: an unloaded fabric routes identically to DOR,
+/// and any congestion-driven deviation still rides a minimal path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinimalAdaptive;
+
+impl RoutingPolicy for MinimalAdaptive {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn route(&mut self, torus: &Torus3D, from: u32, dest: u32, links: &LinkView) -> Option<Dir> {
+        let mut best: Option<(Dir, u64)> = None;
+        for &d in torus.productive_dirs(from, dest).as_slice() {
+            let b = links.backlog(d);
+            // Strictly-less keeps the first (dimension-order) minimum.
+            if best.is_none_or(|(_, bb)| b < bb) {
+                best = Some((d, b));
+            }
+        }
+        best.map(|(d, _)| d)
+    }
+}
+
+/// Seeded oblivious baseline: a uniformly random productive direction.
+///
+/// Congestion-blind like [`DimensionOrder`] but path-diverse like
+/// [`MinimalAdaptive`] — separating how much of adaptive routing's gain
+/// comes from *reacting* to load versus merely *spreading* over minimal
+/// paths. Deterministic for a given seed and packet order.
+#[derive(Clone, Debug)]
+pub struct RandomMinimal {
+    rng: SmallRng,
+}
+
+impl RandomMinimal {
+    /// A policy drawing directions from the given seed.
+    pub fn seeded(seed: u64) -> RandomMinimal {
+        RandomMinimal {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RoutingPolicy for RandomMinimal {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn route(&mut self, torus: &Torus3D, from: u32, dest: u32, _links: &LinkView) -> Option<Dir> {
+        let p: ProductiveDirs = torus.productive_dirs(from, dest);
+        let dirs = p.as_slice();
+        match dirs.len() {
+            0 => None,
+            1 => Some(dirs[0]),
+            n => Some(dirs[self.rng.gen_range(0..n as u32) as usize]),
+        }
+    }
+
+    fn uses_link_view(&self) -> bool {
+        false
+    }
+}
+
+/// Config-friendly name of a built-in [`RoutingPolicy`] (the open trait
+/// stays available through
+/// [`TorusFabric::with_policy`](crate::TorusFabric::with_policy)).
+///
+/// `Copy`, so it can live in the plain-data
+/// [`TorusFabricConfig`](crate::TorusFabricConfig) and rack configs and be
+/// swept over in experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RoutingKind {
+    /// [`DimensionOrder`].
+    #[default]
+    DimensionOrder,
+    /// [`MinimalAdaptive`].
+    MinimalAdaptive,
+    /// [`RandomMinimal`] drawing from the given seed.
+    RandomMinimal {
+        /// RNG seed of the policy instance.
+        seed: u64,
+    },
+}
+
+impl RoutingKind {
+    /// The three built-in policies at canonical parameters, in the stable
+    /// order experiment sweeps use.
+    pub const ALL: [RoutingKind; 3] = [
+        RoutingKind::DimensionOrder,
+        RoutingKind::MinimalAdaptive,
+        RoutingKind::RandomMinimal { seed: 0x5eed },
+    ];
+
+    /// Instantiate the policy.
+    pub fn build(self) -> Box<dyn RoutingPolicy> {
+        match self {
+            RoutingKind::DimensionOrder => Box::new(DimensionOrder),
+            RoutingKind::MinimalAdaptive => Box::new(MinimalAdaptive),
+            RoutingKind::RandomMinimal { seed } => Box::new(RandomMinimal::seeded(seed)),
+        }
+    }
+
+    /// The policy's short stable name (`"dor"`, `"adaptive"`, `"random"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingKind::DimensionOrder => "dor",
+            RoutingKind::MinimalAdaptive => "adaptive",
+            RoutingKind::RandomMinimal { .. } => "random",
+        }
+    }
+}
+
+impl fmt::Display for RoutingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route_all(p: &mut dyn RoutingPolicy, t: &Torus3D, links: &LinkView) -> Vec<Option<Dir>> {
+        let mut out = Vec::new();
+        for from in 0..t.nodes() {
+            for dest in 0..t.nodes() {
+                out.push(p.route(t, from, dest, links));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn dimension_order_matches_next_hop_everywhere() {
+        for t in [Torus3D::new(3, 3, 3), Torus3D::new(4, 2, 1)] {
+            let mut p = DimensionOrder;
+            for from in 0..t.nodes() {
+                for dest in 0..t.nodes() {
+                    assert_eq!(
+                        p.route(&t, from, dest, &LinkView::idle()),
+                        t.next_hop(from, dest)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_degenerates_to_dor_on_an_idle_fabric() {
+        let t = Torus3D::new(4, 4, 4);
+        let idle = LinkView::idle();
+        assert_eq!(
+            route_all(&mut MinimalAdaptive, &t, &idle),
+            route_all(&mut DimensionOrder, &t, &idle),
+            "zero-load adaptive must be the dimension-order escape path"
+        );
+    }
+
+    #[test]
+    fn adaptive_dodges_a_congested_link() {
+        let t = Torus3D::new(4, 4, 1);
+        // From (0,0) to (1,1): +x and +y are the only productive dirs. Pile
+        // backlog on +x; the adaptive policy must take +y, DOR stays on +x.
+        let (from, dest) = (t.id((0, 0, 0)), t.id((1, 1, 0)));
+        let mut backlog = [0u64; 6];
+        backlog[Dir::XPlus.index()] = 100;
+        let view = LinkView::new(backlog);
+        assert_eq!(
+            MinimalAdaptive.route(&t, from, dest, &view),
+            Some(Dir::YPlus)
+        );
+        assert_eq!(
+            DimensionOrder.route(&t, from, dest, &view),
+            Some(Dir::XPlus)
+        );
+    }
+
+    #[test]
+    fn adaptive_never_takes_an_unproductive_dir() {
+        let t = Torus3D::new(4, 3, 2);
+        // Saturate every link: the policy must still pick a productive dir.
+        let view = LinkView::new([7, 3, 9, 1, 4, 2]);
+        for from in 0..t.nodes() {
+            for dest in 0..t.nodes() {
+                match MinimalAdaptive.route(&t, from, dest, &view) {
+                    None => assert_eq!(from, dest),
+                    Some(d) => {
+                        let next = t.neighbor(from, d);
+                        assert!(
+                            t.hops(next, dest) < t.hops(from, dest),
+                            "{from}->{dest} via {d} is unproductive"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_minimal_is_seed_deterministic_and_productive() {
+        let t = Torus3D::new(3, 3, 3);
+        let idle = LinkView::idle();
+        let a = route_all(&mut RandomMinimal::seeded(9), &t, &idle);
+        let b = route_all(&mut RandomMinimal::seeded(9), &t, &idle);
+        assert_eq!(a, b, "same seed must replay the same choices");
+        for (i, d) in a.iter().enumerate() {
+            let (from, dest) = (i as u32 / t.nodes(), i as u32 % t.nodes());
+            match d {
+                None => assert_eq!(from, dest),
+                Some(d) => assert!(t.hops(t.neighbor(from, *d), dest) < t.hops(from, dest)),
+            }
+        }
+    }
+
+    #[test]
+    fn random_minimal_actually_diversifies() {
+        let t = Torus3D::new(4, 4, 4);
+        // A diagonal pair with several productive dims: over many draws the
+        // policy must use more than one first hop.
+        let (from, dest) = (t.id((0, 0, 0)), t.id((2, 2, 2)));
+        let mut p = RandomMinimal::seeded(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            seen.insert(p.route(&t, from, dest, &LinkView::idle()).unwrap());
+        }
+        assert!(seen.len() > 1, "only ever chose {seen:?}");
+    }
+
+    #[test]
+    fn kind_builds_matching_names() {
+        for k in RoutingKind::ALL {
+            assert_eq!(k.build().name(), k.name());
+        }
+        assert_eq!(RoutingKind::default(), RoutingKind::DimensionOrder);
+        assert_eq!(RoutingKind::MinimalAdaptive.to_string(), "adaptive");
+    }
+}

@@ -179,6 +179,43 @@ impl Torus3D {
             .or_else(|| choose(a.2, b.2, dz, Dir::ZPlus, Dir::ZMinus))
     }
 
+    /// Every *productive* direction out of `from` toward `to`: the
+    /// directions whose next hop strictly reduces the Lee distance, i.e.
+    /// the first hops of all minimal paths. Listed in dimension order (x,
+    /// y, z), positive ring first on exact antipode ties, so the first
+    /// entry is always the [`next_hop`](Torus3D::next_hop) dimension-order
+    /// choice. Empty iff `from == to`.
+    pub fn productive_dirs(&self, from: u32, to: u32) -> ProductiveDirs {
+        let (dx, dy, dz) = self.dims;
+        let a = self.coords(from);
+        let b = self.coords(to);
+        let mut out = ProductiveDirs {
+            dirs: [Dir::XPlus; 6],
+            len: 0,
+        };
+        let mut push = |d: Dir| {
+            out.dirs[out.len as usize] = d;
+            out.len += 1;
+        };
+        let mut dim = |av: u16, bv: u16, dim: u16, plus: Dir, minus: Dir| {
+            if av == bv {
+                return;
+            }
+            let up = (u32::from(bv) + u32::from(dim) - u32::from(av)) % u32::from(dim);
+            let down = u32::from(dim) - up;
+            if up <= down {
+                push(plus);
+            }
+            if down <= up {
+                push(minus);
+            }
+        };
+        dim(a.0, b.0, dx, Dir::XPlus, Dir::XMinus);
+        dim(a.1, b.1, dy, Dir::YPlus, Dir::YMinus);
+        dim(a.2, b.2, dz, Dir::ZPlus, Dir::ZMinus);
+        out
+    }
+
     /// A Lee-distance antipode of `id`: a node at maximal minimal-hop
     /// distance, i.e. exactly [`max_hops`](Torus3D::max_hops) away.
     ///
@@ -209,6 +246,34 @@ impl Torus3D {
             total as f64 / f64::from(d * d)
         };
         mean_ring(self.dims.0) + mean_ring(self.dims.1) + mean_ring(self.dims.2)
+    }
+}
+
+/// The set of productive (minimal-path) first-hop directions between two
+/// torus nodes, as returned by [`Torus3D::productive_dirs`]. At most two
+/// per dimension (exact antipode), at most six total; fixed-size, so
+/// building one allocates nothing.
+#[derive(Clone, Copy, Debug)]
+pub struct ProductiveDirs {
+    dirs: [Dir; 6],
+    len: u8,
+}
+
+impl ProductiveDirs {
+    /// The productive directions, dimension order, positive ring first on
+    /// ties.
+    pub fn as_slice(&self) -> &[Dir] {
+        &self.dirs[..self.len as usize]
+    }
+
+    /// Number of productive directions (0 iff source equals destination).
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// True when source equals destination (nowhere productive to go).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 
@@ -279,6 +344,55 @@ mod tests {
         for id in 0..t.nodes() {
             assert_eq!(t.antipode(t.antipode(id)), id);
         }
+    }
+
+    /// `productive_dirs` must agree with the hop metric: a direction is
+    /// listed iff stepping along it strictly reduces the distance, and the
+    /// first listed direction is the dimension-order `next_hop` choice.
+    #[test]
+    fn productive_dirs_are_exactly_the_distance_reducing_ones() {
+        for t in [
+            Torus3D::new(3, 3, 3),
+            Torus3D::new(4, 4, 2),
+            Torus3D::new(2, 1, 5),
+        ] {
+            for from in 0..t.nodes() {
+                for to in 0..t.nodes() {
+                    let p = t.productive_dirs(from, to);
+                    assert_eq!(p.is_empty(), from == to);
+                    assert_eq!(p.as_slice().first().copied(), t.next_hop(from, to));
+                    for d in Dir::ALL {
+                        let closer = t.hops(t.neighbor(from, d), to) < t.hops(from, to);
+                        assert_eq!(
+                            p.as_slice().contains(&d),
+                            closer,
+                            "{:?}: {from}->{to} dir {d}",
+                            t.dims()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// On even rings the exact antipode has both directions of a dimension
+    /// productive — 6 on the 4x4x4 antipodal pair, positive rings first.
+    #[test]
+    fn antipodal_pairs_have_both_ring_directions() {
+        let t = Torus3D::new(4, 4, 4);
+        let p = t.productive_dirs(0, t.antipode(0));
+        assert_eq!(p.len(), 6);
+        assert_eq!(
+            p.as_slice(),
+            [
+                Dir::XPlus,
+                Dir::XMinus,
+                Dir::YPlus,
+                Dir::YMinus,
+                Dir::ZPlus,
+                Dir::ZMinus
+            ]
+        );
     }
 
     proptest! {

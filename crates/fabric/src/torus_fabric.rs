@@ -2,14 +2,23 @@
 //!
 //! Where the rate-matching emulator *answers* a node's traffic,
 //! [`TorusFabric`] *carries* it: every request and response is forwarded
-//! hop-by-hop along a minimal (Lee-distance) path chosen by
-//! [`Torus3D::next_hop`], paying per-hop wire latency plus serialization on
-//! each directed link. Links have finite bandwidth: a packet occupies its
-//! link for `ceil(bytes / link_bytes_per_cycle)` cycles and later packets
-//! queue behind it, so congestion emerges rather than being modeled by a
-//! rate estimate. Every directed link keeps an occupancy/bandwidth
-//! accumulator ([`LinkLoad`]) from which per-link peak GB/s reports are
-//! drawn.
+//! hop-by-hop along a minimal (Lee-distance) path, paying per-hop wire
+//! latency plus serialization on each directed link. Links have finite
+//! bandwidth: a packet occupies its link for
+//! `ceil(bytes / link_bytes_per_cycle)` cycles and later packets queue
+//! behind it, so congestion emerges rather than being modeled by a rate
+//! estimate. Every directed link keeps an occupancy/bandwidth accumulator
+//! ([`LinkLoad`]) from which per-link peak GB/s reports are drawn.
+//!
+//! *Which* minimal path a packet takes is decided per hop by a pluggable
+//! [`RoutingPolicy`]: deterministic dimension order
+//! ([`DimensionOrder`](crate::routing::DimensionOrder), the default),
+//! congestion-aware minimal-adaptive routing steered by each node's
+//! [`LinkView`] of its links' backlogs
+//! ([`MinimalAdaptive`](crate::routing::MinimalAdaptive)), a seeded random
+//! oblivious baseline ([`RandomMinimal`](crate::routing::RandomMinimal)),
+//! or any external implementation handed to
+//! [`TorusFabric::with_policy`].
 //!
 //! The fabric implements [`Fabric`], making it a drop-in replacement for
 //! the emulator behind any chip's network router.
@@ -20,6 +29,7 @@ use ni_engine::{Counter, Cycle, DelayLine, Frequency, LinkLoad};
 
 use crate::fabric::{Fabric, FabricStats};
 use crate::rack::{RemoteReq, RemoteResp};
+use crate::routing::{LinkView, RoutingKind, RoutingPolicy};
 use crate::torus::{Dir, Torus3D};
 
 /// Transport configuration.
@@ -35,6 +45,10 @@ pub struct TorusFabricConfig {
     pub link_bytes_per_cycle: u64,
     /// Window length in cycles for per-link peak-bandwidth tracking.
     pub stats_window: u64,
+    /// Built-in routing policy ([`RoutingKind::DimensionOrder`] by
+    /// default); custom [`RoutingPolicy`] implementations go through
+    /// [`TorusFabric::with_policy`] instead.
+    pub routing: RoutingKind,
 }
 
 impl Default for TorusFabricConfig {
@@ -44,6 +58,7 @@ impl Default for TorusFabricConfig {
             hop_cycles: 70,
             link_bytes_per_cycle: 16,
             stats_window: 10_000,
+            routing: RoutingKind::DimensionOrder,
         }
     }
 }
@@ -159,17 +174,30 @@ pub struct TorusFabric {
     responses: Vec<VecDeque<RemoteResp>>,
     /// Directed links, indexed `node * 6 + dir.index()`.
     links: Vec<Link>,
+    /// Per-hop routing decision procedure (see [`RoutingPolicy`]).
+    policy: Box<dyn RoutingPolicy>,
     stats: FabricStats,
     /// Total link traversals (= hops) completed, across all packets.
     hops_traversed: Counter,
 }
 
 impl TorusFabric {
-    /// Build an idle fabric over `cfg.torus`.
+    /// Build an idle fabric over `cfg.torus`, routing with the built-in
+    /// policy named by `cfg.routing`.
     ///
     /// # Panics
     /// Panics if `link_bytes_per_cycle` or `stats_window` is zero.
     pub fn new(cfg: TorusFabricConfig) -> TorusFabric {
+        let policy = cfg.routing.build();
+        TorusFabric::with_policy(cfg, policy)
+    }
+
+    /// As [`new`](TorusFabric::new) with an arbitrary [`RoutingPolicy`] —
+    /// the open extension point (`cfg.routing` is ignored).
+    ///
+    /// # Panics
+    /// Panics if `link_bytes_per_cycle` or `stats_window` is zero.
+    pub fn with_policy(cfg: TorusFabricConfig, policy: Box<dyn RoutingPolicy>) -> TorusFabric {
         assert!(
             cfg.link_bytes_per_cycle > 0,
             "links need non-zero bandwidth"
@@ -186,6 +214,7 @@ impl TorusFabric {
                     load: LinkLoad::new(cfg.stats_window),
                 })
                 .collect(),
+            policy,
             stats: FabricStats::default(),
             hops_traversed: Counter::default(),
         }
@@ -194,6 +223,24 @@ impl TorusFabric {
     /// Configuration.
     pub fn config(&self) -> &TorusFabricConfig {
         &self.cfg
+    }
+
+    /// Short name of the routing policy in use (`"dor"`, `"adaptive"`, ...).
+    pub fn routing_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The [`LinkView`] a packet at `node` would be routed with at `now`:
+    /// the serialization backlogs of the node's six outgoing links. Public
+    /// for congestion monitors and policy tests; `forward` builds the same
+    /// view on every hop.
+    pub fn link_view(&self, node: u32, now: Cycle) -> LinkView {
+        let base = node as usize * 6;
+        let mut backlog = [0u64; 6];
+        for (i, b) in backlog.iter_mut().enumerate() {
+            *b = self.links[base + i].busy_until.saturating_since(now);
+        }
+        LinkView::new(backlog)
     }
 
     /// Total link traversals completed so far (one per packet per link).
@@ -287,17 +334,44 @@ impl TorusFabric {
         u32::from(node)
     }
 
-    /// Send `pkt` across its next link out of `from`, honoring the link's
-    /// serialization backlog, and schedule its arrival at the neighbor.
+    /// Send `pkt` across its next link out of `from` — the direction chosen
+    /// by the routing policy from a fresh [`LinkView`] — honoring the
+    /// link's serialization backlog, and schedule its arrival at the
+    /// neighbor.
     fn forward(&mut self, now: Cycle, from: u32, pkt: TorusPkt) {
         let dest = u32::from(pkt.dest());
-        let Some(dir) = self.cfg.torus.next_hop(from, dest) else {
+        // Congestion-blind policies skip the six-counter snapshot on this
+        // per-link-traversal hot path (see RoutingPolicy::uses_link_view).
+        let view = if self.policy.uses_link_view() {
+            self.link_view(from, now)
+        } else {
+            LinkView::idle()
+        };
+        let Some(dir) = self.policy.route(&self.cfg.torus, from, dest, &view) else {
+            // Hard assert (rare path, O(1)): a custom policy returning None
+            // off-destination would otherwise self-requeue this packet
+            // every cycle — a silent livelock in release builds.
+            assert!(
+                from == dest,
+                "policy {} returned None at {from} toward {dest}",
+                self.policy.name()
+            );
             // Already home (self-addressed traffic): deliver next cycle
             // without touching any link.
             self.wires
                 .push_after(now, 1, Transit { at_node: from, pkt });
             return;
         };
+        // Minimality contract: every hop must strictly close on the
+        // destination, which is what bounds delivery at the Lee distance.
+        debug_assert!(
+            self.cfg
+                .torus
+                .hops(self.cfg.torus.neighbor(from, dir), dest)
+                < self.cfg.torus.hops(from, dest),
+            "policy {} picked unproductive {dir} at {from} toward {dest}",
+            self.policy.name()
+        );
         let bytes = pkt.wire_bytes();
         let ser = bytes.div_ceil(self.cfg.link_bytes_per_cycle);
         let link = &mut self.links[from as usize * 6 + dir.index()];

@@ -137,7 +137,7 @@ proptest! {
 
 // ---- TorusFabric: hop-by-hop transport properties --------------------------
 
-use ni_fabric::{Fabric, TorusFabric, TorusFabricConfig};
+use ni_fabric::{Fabric, RoutingKind, TorusFabric, TorusFabricConfig};
 
 fn torus_fabric(t: Torus3D) -> TorusFabric {
     TorusFabric::new(TorusFabricConfig {
@@ -221,6 +221,99 @@ proptest! {
         // Read requests are 32B; each hop adds its serialization delay.
         let ser = 32u64.div_ceil(cfg.link_bytes_per_cycle);
         prop_assert_eq!(arrival, hops * (cfg.hop_cycles + ser));
+    }
+
+    /// Delivery / livelock-freedom of the adaptive policies: because every
+    /// built-in [`RoutingPolicy`](ni_fabric::RoutingPolicy) is *minimal*
+    /// (each hop strictly reduces Lee distance — the escape bound over the
+    /// minimal distance is zero by construction, enforced per hop by the
+    /// fabric's productivity assertion), every packet must be delivered in
+    /// exactly `hops(src, dest)` traversals, for random torus dimensions
+    /// and random batches injected at the same cycle so serialization
+    /// backlogs actually build and steer `MinimalAdaptive` off the
+    /// dimension-order path.
+    #[test]
+    fn adaptive_and_random_routing_always_deliver_in_minimal_hops(
+        t in torus(),
+        pairs in prop::collection::vec((0u32..10_000, 0u32..10_000), 1..40),
+        seed in 0u64..1_000,
+    ) {
+        for routing in [
+            RoutingKind::MinimalAdaptive,
+            RoutingKind::RandomMinimal { seed },
+        ] {
+            let mut f = TorusFabric::new(TorusFabricConfig {
+                torus: t,
+                routing,
+                ..TorusFabricConfig::default()
+            });
+            let mut expected_hops = 0u64;
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                let (a, b) = (a % t.nodes(), b % t.nodes());
+                expected_hops += u64::from(t.hops(a, b));
+                f.inject(Cycle(0), a as u16, fabric_req(i as u64, b as u16));
+            }
+            let mut now = Cycle(0);
+            let mut delivered = 0usize;
+            while delivered < pairs.len() {
+                f.tick(now);
+                for n in 0..t.nodes() {
+                    while f.pop_incoming(now, n as u16).is_some() {
+                        delivered += 1;
+                    }
+                }
+                now += 1;
+                prop_assert!(
+                    now.0 < 1_000_000,
+                    "{routing:?} never drained: {delivered}/{}",
+                    pairs.len()
+                );
+            }
+            prop_assert_eq!(
+                f.hops_traversed(),
+                expected_hops,
+                "{:?}: route length != Lee distance (escape bound is 0)",
+                routing
+            );
+            prop_assert!(f.is_idle());
+        }
+    }
+
+    /// A seeded `RandomMinimal` fabric is a pure function of its config:
+    /// identical injections give bit-identical per-link traffic, and a
+    /// different seed is allowed to (and on multi-path batches will)
+    /// spread bytes differently.
+    #[test]
+    fn random_minimal_fabric_is_seed_deterministic(
+        t in torus(),
+        pairs in prop::collection::vec((0u32..10_000, 0u32..10_000), 1..20),
+        seed in 0u64..1_000,
+    ) {
+        let run = |seed: u64| {
+            let mut f = TorusFabric::new(TorusFabricConfig {
+                torus: t,
+                routing: RoutingKind::RandomMinimal { seed },
+                ..TorusFabricConfig::default()
+            });
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                let (a, b) = (a % t.nodes(), b % t.nodes());
+                f.inject(Cycle(0), a as u16, fabric_req(i as u64, b as u16));
+            }
+            let mut now = Cycle(0);
+            while !f.is_idle() {
+                f.tick(now);
+                for n in 0..t.nodes() {
+                    while f.pop_incoming(now, n as u16).is_some() {}
+                }
+                now += 1;
+                if now.0 >= 1_000_000 { break; }
+            }
+            f.link_report()
+                .iter()
+                .map(|l| (l.packets, l.bytes))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed), "same seed must replay identically");
     }
 
     /// Responses reach exactly the node named in `dst_node`.

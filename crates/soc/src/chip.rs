@@ -483,6 +483,17 @@ impl Chip {
         self.cores.iter().map(|c| c.stats.completed).sum()
     }
 
+    /// Chip-wide distribution of end-to-end remote-read latencies, merged
+    /// over all cores (see [`Core::read_latency_histogram`] — covers sync,
+    /// async, and NUMA reads alike).
+    pub fn read_latency_histogram(&self) -> ni_engine::Histogram {
+        let mut h = ni_engine::Histogram::new();
+        for c in &self.cores {
+            h.merge(c.read_latency_histogram());
+        }
+        h
+    }
+
     /// Mean zero-load RRPP service latency measured so far.
     pub fn rrpp_mean_latency(&self) -> f64 {
         let mut sum = 0.0;

@@ -163,6 +163,14 @@ pub struct Core {
     pub stats: CoreStats,
     /// Full latency distribution of synchronous operations.
     latency_hist: Histogram,
+    /// Issue timestamps of in-flight QP ops (`wq_id`, issue cycle, kind),
+    /// bounded by the WQ depth. Feeds the per-op read-latency distribution,
+    /// which unlike `latency_hist` also covers asynchronous reads.
+    issue_times: Vec<(u64, Cycle, RemoteOp)>,
+    /// End-to-end latency of every completed remote read, sync or async
+    /// (plus NUMA loads) — the tail-latency view congestion studies need,
+    /// since bandwidth-bound workloads issue asynchronously.
+    read_latency_hist: Histogram,
 }
 
 impl Core {
@@ -203,6 +211,8 @@ impl Core {
             last_poll_at_issue: u64::MAX,
             stats: CoreStats::default(),
             latency_hist: Histogram::new(),
+            issue_times: Vec::new(),
+            read_latency_hist: Histogram::new(),
         }
     }
 
@@ -284,12 +294,23 @@ impl Core {
         let lat = now.saturating_since(self.iter_start);
         self.stats.latency.record(lat);
         self.latency_hist.record(lat);
+        self.read_latency_hist.record(lat);
         self.phase = Phase::Idle;
     }
 
     /// Distribution of synchronous end-to-end latencies (for tail studies).
     pub fn latency_histogram(&self) -> &Histogram {
         &self.latency_hist
+    }
+
+    /// Distribution of end-to-end remote-*read* latencies over every
+    /// completed read — synchronous, asynchronous (issue to CQ reap), and
+    /// NUMA loads alike. [`latency_histogram`](Core::latency_histogram)
+    /// only sees synchronous ops, which leaves bandwidth-bound (async)
+    /// runs without a tail; this one is what routing/congestion studies
+    /// report p99 from.
+    pub fn read_latency_histogram(&self) -> &Histogram {
+        &self.read_latency_hist
     }
 
     /// True when this core will never act again without external input: no
@@ -447,6 +468,7 @@ impl Core {
         self.issued += 1;
         self.inflight += 1;
         self.iter_start = now;
+        self.issue_times.push((id, now, op));
         self.traces.push(TraceEvent {
             qp: self.qp_id,
             wq_id: id,
@@ -526,6 +548,17 @@ impl Core {
                         let c = qp.app_reap().expect("token promised a completion");
                         self.stats.completed += 1;
                         self.inflight = self.inflight.saturating_sub(1);
+                        if let Some(i) = self
+                            .issue_times
+                            .iter()
+                            .position(|&(id, _, _)| id == c.wq_id)
+                        {
+                            let (_, issued_at, op) = self.issue_times.swap_remove(i);
+                            if op == RemoteOp::Read {
+                                self.read_latency_hist
+                                    .record(now.saturating_since(issued_at));
+                            }
+                        }
                         self.traces.push(TraceEvent {
                             qp: self.qp_id,
                             wq_id: c.wq_id,

@@ -40,8 +40,9 @@ pub use bench::{
 pub use chip::{Chip, ChipMsg};
 pub use config::{ChipConfig, Topology};
 pub use core_model::{Core, CoreStats, Workload, REMOTE_BASE};
+pub use ni_fabric::RoutingKind;
 pub use rack::{LinkReportFormat, Rack, RackSimConfig, TrafficPattern};
 pub use scenario::{
-    builtin_scenarios, core_seed, GraphShard, KvStore, Op, OpCtx, Scenario, Synthetic, Zipf,
-    ZipfHotspot,
+    builtin_scenarios, core_seed, Capped, GraphShard, KvStore, Op, OpCtx, Scenario, Synthetic,
+    Zipf, ZipfHotspot,
 };

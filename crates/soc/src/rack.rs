@@ -23,7 +23,7 @@
 //!
 //! Chips share no state during compute and the exchange order is fixed, so
 //! a run is **bit-identical at any thread count** — the serial path, one
-//! worker, and N workers produce the same [`FabricStats`], completed-op
+//! worker, and N workers produce the same [`FabricStats`](ni_fabric::FabricStats), completed-op
 //! counts, and latency distributions for the same seed. Quiesced chips
 //! (permanently idle cores, drained pipelines, idle port) are skipped by
 //! [`Chip::tick`]'s fast path, so huge racks with sparse activity stay
@@ -45,8 +45,8 @@ use std::sync::Barrier;
 use ni_engine::parallel::{default_threads, par_map_threads};
 use ni_engine::Cycle;
 use ni_fabric::{
-    link_report_csv, link_report_json, Fabric, FabricPort, LinkReport, Torus3D, TorusFabric,
-    TorusFabricConfig,
+    link_report_csv, link_report_json, Fabric, FabricPort, LinkReport, RoutingKind, Torus3D,
+    TorusFabric, TorusFabricConfig,
 };
 
 use crate::chip::Chip;
@@ -110,6 +110,13 @@ pub struct RackSimConfig {
     pub link_bytes_per_cycle: u64,
     /// Window length for per-link peak-bandwidth tracking, in cycles.
     pub stats_window: u64,
+    /// Torus routing policy ([`RoutingKind::DimensionOrder`] by default):
+    /// deterministic dimension order, congestion-aware minimal-adaptive, or
+    /// the seeded random-minimal baseline. Custom
+    /// [`RoutingPolicy`](ni_fabric::RoutingPolicy) implementations plug in
+    /// at the fabric layer via
+    /// [`TorusFabric::with_policy`](ni_fabric::TorusFabric::with_policy).
+    pub routing: RoutingKind,
     /// Destination assignment used by the [`Workload`]-based [`Rack::new`]
     /// constructor; scenario-driven racks pick destinations per op instead.
     pub traffic: TrafficPattern,
@@ -130,6 +137,7 @@ impl Default for RackSimConfig {
             hop_cycles: fabric.hop_cycles,
             link_bytes_per_cycle: fabric.link_bytes_per_cycle,
             stats_window: fabric.stats_window,
+            routing: fabric.routing,
             traffic: TrafficPattern::Uniform,
             threads: 0,
         }
@@ -181,6 +189,7 @@ impl Rack {
             hop_cycles: cfg.hop_cycles,
             link_bytes_per_cycle: cfg.link_bytes_per_cycle,
             stats_window: cfg.stats_window,
+            routing: cfg.routing,
         });
         let nodes = cfg.torus.nodes();
         assert!(nodes <= u32::from(u16::MAX), "node ids are u16 on the wire");
@@ -228,6 +237,12 @@ impl Rack {
     /// Name of the scenario driving this rack's cores.
     pub fn scenario_name(&self) -> &str {
         &self.scenario_name
+    }
+
+    /// Short name of the torus routing policy in use (`"dor"`,
+    /// `"adaptive"`, `"random"`).
+    pub fn routing_name(&self) -> &'static str {
+        self.fabric.routing_name()
     }
 
     /// Compute-phase workers [`Rack::run`] will actually use: the
@@ -433,6 +448,18 @@ impl Rack {
     /// scenarios show queueing on the hot node here.
     pub fn rrpp_mean_latencies(&self) -> Vec<f64> {
         self.chips.iter().map(Chip::rrpp_mean_latency).collect()
+    }
+
+    /// Rack-wide distribution of end-to-end remote-read latencies (sync,
+    /// async, and NUMA reads), merged over every core of every node in
+    /// node-id order — `p99` of this is the tail metric the routing and
+    /// congestion sweeps report.
+    pub fn read_latency_histogram(&self) -> ni_engine::Histogram {
+        let mut h = ni_engine::Histogram::new();
+        for chip in &self.chips {
+            h.merge(&chip.read_latency_histogram());
+        }
+        h
     }
 
     /// Largest per-link peak bandwidth seen so far, GB/s.

@@ -217,6 +217,88 @@ pub fn builtin_scenarios() -> Vec<Box<dyn Scenario>> {
     ]
 }
 
+// ---- Capped -----------------------------------------------------------------
+
+/// Caps any inner scenario at a fixed number of operations per core, then
+/// promises permanent idleness ([`Scenario::is_done`]).
+///
+/// This turns an open-loop generator into a *finite job*, which is what
+/// completion-time experiments need: run the rack until
+/// `nodes x cores x ops_per_core` operations have completed and report the
+/// cycle count (see `rackni::experiments::routing_sweep`). Because the cap
+/// trips [`is_done`](Scenario::is_done), fully drained chips take the
+/// rack's quiesced fast path once their cores finish.
+#[derive(Debug)]
+pub struct Capped {
+    inner: Box<dyn Scenario>,
+    ops_per_core: u64,
+    issued: u64,
+    name: String,
+}
+
+impl Capped {
+    /// Cap `inner` at `ops_per_core` operations per core (0 = immediately
+    /// idle).
+    pub fn new(inner: Box<dyn Scenario>, ops_per_core: u64) -> Capped {
+        let name = format!("{}-capped", inner.name());
+        Capped {
+            inner,
+            ops_per_core,
+            issued: 0,
+            name,
+        }
+    }
+
+    /// The per-core operation budget.
+    pub fn ops_per_core(&self) -> u64 {
+        self.ops_per_core
+    }
+}
+
+impl Scenario for Capped {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn for_core(&self, ctx: &OpCtx) -> Box<dyn Scenario> {
+        Box::new(Capped {
+            inner: self.inner.for_core(ctx),
+            ops_per_core: self.ops_per_core,
+            issued: 0,
+            name: self.name.clone(),
+        })
+    }
+
+    fn next_op(&mut self, ctx: &OpCtx) -> Op {
+        if self.issued >= self.ops_per_core {
+            return Op::Idle;
+        }
+        let op = self.inner.next_op(ctx);
+        // Only count real operations against the budget: an inner Idle
+        // (e.g. a phase gap) must not burn it down.
+        if op != Op::Idle {
+            self.issued += 1;
+        }
+        op
+    }
+
+    fn poll_every(&self) -> u32 {
+        self.inner.poll_every()
+    }
+
+    fn retarget(&mut self, node: u16) {
+        self.inner.retarget(node);
+    }
+
+    fn fixed_target(&self) -> Option<u16> {
+        self.inner.fixed_target()
+    }
+
+    fn is_done(&self) -> bool {
+        self.issued >= self.ops_per_core || self.inner.is_done()
+    }
+}
+
 // ---- Synthetic --------------------------------------------------------------
 
 /// The paper's microbenchmark traffic as a scenario: one fixed [`Workload`]
@@ -542,7 +624,7 @@ impl Scenario for ZipfHotspot {
 
 /// A distributed key-value store (§2.1): GETs are one-sided remote reads of
 /// the value, PUTs one-sided remote writes, over a memcached-like object
-/// size mix (Atikoglu et al. [5]) and uniform key/shard placement.
+/// size mix (Atikoglu et al. \[5\]) and uniform key/shard placement.
 #[derive(Clone, Debug)]
 pub struct KvStore {
     /// `(value bytes, weight)` object-size mix.
@@ -649,7 +731,7 @@ impl Scenario for KvStore {
 
 /// Graph analytics over a rack-partitioned graph (§1, §2.1): every
 /// out-of-shard vertex expansion is a bulk one-sided read of the neighbor
-/// list — kilobytes per op (Lim et al. [32]) — from a uniformly random
+/// list — kilobytes per op (Lim et al. \[32\]) — from a uniformly random
 /// remote shard. List sizes are log-uniform over
 /// `[min_list_bytes, max_list_bytes]` in power-of-two steps.
 #[derive(Clone, Debug)]
@@ -818,6 +900,49 @@ mod tests {
             Op::Remote { to, .. } => assert_eq!(to, 5),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn capped_issues_exactly_the_budget_then_promises_idleness() {
+        let c = ctx(0, 0, 8, 3);
+        let proto = Capped::new(
+            Box::new(Synthetic::from_workload(Workload::AsyncRead {
+                size: 128,
+                poll_every: 2,
+            })),
+            4,
+        );
+        assert_eq!(proto.name(), "synthetic-capped");
+        assert_eq!(proto.poll_every(), 2, "cadence must delegate to inner");
+        let mut g = proto.for_core(&c);
+        assert!(!g.is_done());
+        let mut real = 0;
+        let mut cx = c;
+        for i in 0..20u64 {
+            cx.issued = i;
+            if g.next_op(&cx) != Op::Idle {
+                real += 1;
+            }
+        }
+        assert_eq!(real, 4, "exactly the budget issues");
+        assert!(g.is_done(), "spent generator must promise permanent idle");
+        // A fresh generator from the same prototype has its own budget.
+        assert!(!proto.for_core(&c).is_done());
+    }
+
+    #[test]
+    fn capped_propagates_inner_idles_and_doneness() {
+        let c = ctx(0, 0, 8, 3);
+        let mut g = Capped::new(Box::new(Synthetic::from_workload(Workload::Idle)), 4).for_core(&c);
+        let mut cx = c;
+        for i in 0..10u64 {
+            cx.issued = i;
+            // Inner idles pass through without burning the budget...
+            assert_eq!(g.next_op(&cx), Op::Idle);
+        }
+        // ...and a permanently idle inner makes the wrapper done even with
+        // budget left.
+        assert!(g.is_done());
     }
 
     #[test]
