@@ -7,7 +7,7 @@
 //! methodology.
 
 use ni_engine::Frequency;
-use ni_fabric::{RoutingKind, Torus3D};
+use ni_fabric::{Dir, FaultPlan, RoutingKind, Torus3D};
 use ni_noc::RoutingPolicy;
 use ni_rmc::NiPlacement;
 use ni_soc::bench::{run_bandwidth, run_sync_latency, stage_breakdown, StageBreakdown};
@@ -974,6 +974,299 @@ pub fn routing_points_render(pts: &[RoutingPoint]) -> String {
             format!("{:.2}x", p.link_skew),
             rel,
             p.hops.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Which element of the torus one failure-sweep cell kills mid-run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultCase {
+    /// Healthy fabric — the baseline every degraded cell is read against.
+    None,
+    /// Kill the undirected link between the Zipf hot node (node 0) and its
+    /// `+x` neighbor: the busiest kill a single link can be under hotspot
+    /// traffic, and a routable-around fault (the torus stays connected).
+    LinkKill,
+    /// Kill node 0 (the Zipf hot node) outright: its traffic — sourced,
+    /// relayed, and addressed — is erased, so every op targeting it can
+    /// only finish through the ITT's error completion.
+    NodeKill,
+}
+
+impl FaultCase {
+    /// The three cases in sweep order.
+    pub const ALL: [FaultCase; 3] = [FaultCase::None, FaultCase::LinkKill, FaultCase::NodeKill];
+
+    /// Stable label for tables and JSON (`"none"`, `"link-kill"`,
+    /// `"node-kill"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultCase::None => "none",
+            FaultCase::LinkKill => "link-kill",
+            FaultCase::NodeKill => "node-kill",
+        }
+    }
+
+    /// The canonical [`FaultPlan`] of this case on `torus`, firing at
+    /// `at_cycle`. The link kill targets node 0's first real neighbor in
+    /// dimension order (`+x` on any torus wider than one in x; degenerate
+    /// 1-wide dimensions are skipped rather than producing a self-link).
+    ///
+    /// # Panics
+    /// Panics for [`FaultCase::LinkKill`] on a 1×1×1 "torus", which has no
+    /// link to kill.
+    pub fn plan(self, torus: Torus3D, at_cycle: u64) -> FaultPlan {
+        match self {
+            FaultCase::None => FaultPlan::new(),
+            FaultCase::LinkKill => {
+                let neighbor = Dir::ALL
+                    .iter()
+                    .map(|&d| torus.neighbor(0, d))
+                    .find(|&n| n != 0)
+                    .expect("a link kill needs a torus with at least one link");
+                FaultPlan::new().link_down(0, neighbor, at_cycle)
+            }
+            FaultCase::NodeKill => FaultPlan::new().node_down(0, at_cycle),
+        }
+    }
+}
+
+/// One cell of the failure sweep: a capped job on one rack under one
+/// routing policy with one mid-run fault.
+#[derive(Clone, Debug)]
+pub struct FailurePoint {
+    /// Traffic scenario label (`"uniform"`, `"zipf"`).
+    pub scenario: &'static str,
+    /// Injected fault.
+    pub fault: FaultCase,
+    /// Torus routing policy.
+    pub routing: RoutingKind,
+    /// Torus dimensions.
+    pub dims: (u16, u16, u16),
+    /// Cycle the fault fired at (meaningless for [`FaultCase::None`]).
+    pub kill_at: u64,
+    /// Operations the capped job was expected to complete.
+    pub expected_ops: u64,
+    /// Operations that completed — successfully *or* with an error CQ
+    /// status. `< expected_ops` means the run hit the horizon with work
+    /// still wedged (the DOR-under-link-kill signature when the ITT
+    /// watchdog is generous).
+    pub completed_ops: u64,
+    /// Operations that completed with an error CQ status — the op-level
+    /// blast radius.
+    pub failed_ops: u64,
+    /// Cycles until every capped op completed (= the horizon on timeout).
+    pub completion_cycles: u64,
+    /// True when every expected op completed within the horizon.
+    pub completed_all: bool,
+    /// Median end-to-end latency of *successful* remote reads, cycles.
+    pub p50_read_cycles: u64,
+    /// 99th-percentile latency of successful remote reads, cycles.
+    pub p99_read_cycles: u64,
+    /// Busiest link's total bytes over the mean of all loaded links.
+    pub link_skew: f64,
+    /// ITT watchdog expiries rack-wide.
+    pub itt_timeouts: u64,
+    /// ITT re-sends rack-wide.
+    pub itt_retries: u64,
+    /// Packets erased by the dead node (fabric-level blast radius).
+    pub packets_dropped: u64,
+    /// Forward attempts parked at a dead link (stall pressure).
+    pub dead_link_stalls: u64,
+    /// Non-minimal escape hops `fault-adaptive` actually spent.
+    pub escape_hops: u64,
+}
+
+/// Failure-sweep knobs at one [`Scale`]: per-core op budget, fault firing
+/// cycle, ITT watchdog, and run horizon.
+#[derive(Clone, Copy, Debug)]
+pub struct FailureParams {
+    /// Ops per active core of the capped job.
+    pub ops_per_core: u64,
+    /// Cycle the fault fires (mid-run: after warmup, before the healthy
+    /// job would complete).
+    pub kill_at: u64,
+    /// [`RmcConfig::itt_timeout`](ni_rmc::RmcConfig::itt_timeout) for
+    /// every node — comfortably above the worst healthy round trip so
+    /// only genuinely erased traffic trips it.
+    pub itt_timeout: u64,
+    /// Retry budget per transfer before the error completion.
+    pub itt_retries: u32,
+    /// Hard cycle cap per cell.
+    pub horizon: u64,
+}
+
+impl FailureParams {
+    /// The sweep's canonical parameters at `scale`.
+    pub fn at(scale: Scale) -> FailureParams {
+        match scale {
+            Scale::Quick => FailureParams {
+                ops_per_core: 8,
+                kill_at: 800,
+                itt_timeout: 4_000,
+                itt_retries: 1,
+                horizon: 60_000,
+            },
+            Scale::Full => FailureParams {
+                ops_per_core: 24,
+                kill_at: 2_500,
+                itt_timeout: 8_000,
+                itt_retries: 1,
+                horizon: 240_000,
+            },
+        }
+    }
+}
+
+/// The failure sweep's traffic axis: balanced asynchronous reads and the
+/// Zipf hotspot (whose hot node is exactly what the canonical faults hit).
+fn failure_scenarios() -> Vec<(&'static str, ScenarioFactory)> {
+    vec![
+        ("uniform", || {
+            Box::new(
+                Synthetic::from_workload(Workload::AsyncRead {
+                    size: 512,
+                    poll_every: 4,
+                })
+                .with_pattern(TrafficPattern::Uniform),
+            )
+        }),
+        ("zipf", || Box::<ZipfHotspot>::default()),
+    ]
+}
+
+/// Run one cell of the failure grid: `scenario` capped at
+/// `params.ops_per_core` ops per core on a `dims` rack routed by
+/// `routing`, with `fault`'s canonical kill firing at `params.kill_at`,
+/// until the job completes or `params.horizon` passes.
+pub fn run_failure_point(
+    dims: (u16, u16, u16),
+    scenario_label: &'static str,
+    scenario: Box<dyn Scenario>,
+    routing: RoutingKind,
+    fault: FaultCase,
+    params: FailureParams,
+) -> FailurePoint {
+    let active_cores = 2;
+    let torus = Torus3D::new(dims.0, dims.1, dims.2);
+    let mut chip = ChipConfig {
+        active_cores,
+        ..ChipConfig::default()
+    };
+    // The ITT watchdog is the recovery story for erased traffic; without
+    // it a node kill would wedge every op targeting the corpse.
+    chip.rmc.itt_timeout = params.itt_timeout;
+    chip.rmc.itt_retries = params.itt_retries;
+    let cfg = RackSimConfig {
+        torus,
+        chip,
+        routing,
+        faults: fault.plan(torus, params.kill_at),
+        // Grid cells already saturate the host via `par_map`; nesting the
+        // rack's worker pool inside would oversubscribe it.
+        threads: 1,
+        ..RackSimConfig::default()
+    };
+    let expected_ops = u64::from(torus.nodes()) * active_cores as u64 * params.ops_per_core;
+    let capped = Capped::new(scenario, params.ops_per_core);
+    let mut rack = Rack::with_scenario(cfg, &capped);
+    const SLICE: u64 = 200;
+    while rack.completed_ops() < expected_ops && rack.now().0 < params.horizon {
+        rack.run(SLICE.min(params.horizon - rack.now().0));
+    }
+    let hist = rack.read_latency_histogram();
+    let be = rack.backend_stats();
+    let fs = rack.fault_stats();
+    FailurePoint {
+        scenario: scenario_label,
+        fault,
+        routing,
+        dims,
+        kill_at: params.kill_at,
+        expected_ops,
+        completed_ops: rack.completed_ops(),
+        failed_ops: rack.failed_ops(),
+        completion_cycles: rack.now().0,
+        completed_all: rack.completed_ops() >= expected_ops,
+        p50_read_cycles: hist.percentile(0.50),
+        p99_read_cycles: hist.percentile(0.99),
+        link_skew: rack.link_byte_skew(),
+        itt_timeouts: be.itt_timeouts.get(),
+        itt_retries: be.itt_retries.get(),
+        packets_dropped: fs.packets_dropped.get(),
+        dead_link_stalls: fs.dead_link_stalls.get(),
+        escape_hops: fs.escape_hops.get(),
+    }
+}
+
+/// The failure grid at arbitrary torus dimensions:
+/// `{uniform, zipf}` × `{none, link-kill, node-kill}` ×
+/// `{dor, fault-adaptive}`, each cell a capped job run to completion (or
+/// the horizon). Exposed separately from [`failure_sweep`] so tests can
+/// use small racks.
+pub fn failure_sweep_at(scale: Scale, dims: (u16, u16, u16)) -> Vec<FailurePoint> {
+    let params = FailureParams::at(scale);
+    let routings = [RoutingKind::DimensionOrder, RoutingKind::FaultAdaptive];
+    let grid: Vec<(&'static str, ScenarioFactory, FaultCase, RoutingKind)> = failure_scenarios()
+        .into_iter()
+        .flat_map(|(label, make)| {
+            FaultCase::ALL
+                .into_iter()
+                .flat_map(move |f| routings.into_iter().map(move |r| (label, make, f, r)))
+        })
+        .collect();
+    par_map(grid, move |(label, make, fault, routing)| {
+        run_failure_point(dims, label, make(), routing, fault, params)
+    })
+}
+
+/// The paper-facing failure sweep (ROADMAP's "failure injection"): kill a
+/// link or a node of a 4x4x4 64-node rack mid-run and measure the blast
+/// radius — job completion, failed-op count, the surviving reads' tail,
+/// and link skew — under health-blind dimension-order routing versus
+/// [`FaultAdaptive`](ni_fabric::FaultAdaptive). The claims the CI-run
+/// `examples/failure_study.rs` asserts come from exactly this grid.
+pub fn failure_sweep(scale: Scale) -> Vec<FailurePoint> {
+    failure_sweep_at(scale, (4, 4, 4))
+}
+
+/// Render the failure sweep grouped by scenario and fault.
+pub fn failure_points_render(pts: &[FailurePoint]) -> String {
+    let mut t = Table::new(&[
+        "scenario",
+        "fault",
+        "routing",
+        "ops",
+        "failed",
+        "completion (cycles)",
+        "p50 ok-read",
+        "p99 ok-read",
+        "timeouts",
+        "retries",
+        "dropped",
+        "stalls",
+        "escapes",
+    ]);
+    for p in pts {
+        t.row_owned(vec![
+            p.scenario.into(),
+            p.fault.label().into(),
+            p.routing.name().into(),
+            format!("{}/{}", p.completed_ops, p.expected_ops),
+            p.failed_ops.to_string(),
+            if p.completed_all {
+                p.completion_cycles.to_string()
+            } else {
+                format!(">{} (horizon)", p.completion_cycles)
+            },
+            p.p50_read_cycles.to_string(),
+            p.p99_read_cycles.to_string(),
+            p.itt_timeouts.to_string(),
+            p.itt_retries.to_string(),
+            p.packets_dropped.to_string(),
+            p.dead_link_stalls.to_string(),
+            p.escape_hops.to_string(),
         ]);
     }
     t.render()

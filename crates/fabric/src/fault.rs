@@ -1,0 +1,238 @@
+//! Deterministic fault injection for the torus fabric.
+//!
+//! A [`FaultPlan`] is a schedule of link and node failures (and optional
+//! repairs) that a [`TorusFabric`](crate::TorusFabric) applies at fixed
+//! cycles: a dead link stops accepting and serializing flits in both
+//! directions (packets routed at it park and retry), and a dead node drops
+//! every packet it sources, holds in flight, or is addressed by, while its
+//! incident links read as down to its neighbors. The plan is plain data — building one performs no
+//! I/O and draws no randomness — so a faulted run remains a pure function
+//! of its configuration, bit-identical at any thread count. For randomized
+//! studies, [`FaultPlan::random_link_kills`] derives a schedule from an
+//! explicit seed, keeping the determinism contract.
+//!
+//! What the layers above do about a fault is their business: routing
+//! policies see link health through
+//! [`LinkView`](crate::routing::LinkView) (see
+//! [`FaultAdaptive`](crate::routing::FaultAdaptive)), and requesters
+//! recover dropped traffic through the RMC backend's ITT timeout/retry
+//! machinery.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::torus::{Dir, Torus3D};
+
+/// One scheduled fault (or repair) event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Kill the undirected link between neighbor nodes `a` and `b`: both
+    /// directed links stop accepting packets at `at_cycle`.
+    LinkDown {
+        /// One endpoint node id.
+        a: u32,
+        /// The other endpoint node id (must be a torus neighbor of `a`).
+        b: u32,
+        /// Cycle the link dies.
+        at_cycle: u64,
+    },
+    /// Repair the undirected link between `a` and `b`.
+    LinkUp {
+        /// One endpoint node id.
+        a: u32,
+        /// The other endpoint node id (must be a torus neighbor of `a`).
+        b: u32,
+        /// Cycle the link comes back.
+        at_cycle: u64,
+    },
+    /// Kill node `node`: from `at_cycle` on, packets it would source,
+    /// relay, or consume are dropped, and its incident links read as down
+    /// in every neighbor's [`LinkView`](crate::routing::LinkView).
+    NodeDown {
+        /// The node that dies.
+        node: u32,
+        /// Cycle it dies.
+        at_cycle: u64,
+    },
+    /// Repair node `node`.
+    NodeUp {
+        /// The node that comes back.
+        node: u32,
+        /// Cycle it comes back.
+        at_cycle: u64,
+    },
+}
+
+impl FaultEvent {
+    /// The cycle this event fires at.
+    pub fn at_cycle(&self) -> u64 {
+        match *self {
+            FaultEvent::LinkDown { at_cycle, .. }
+            | FaultEvent::LinkUp { at_cycle, .. }
+            | FaultEvent::NodeDown { at_cycle, .. }
+            | FaultEvent::NodeUp { at_cycle, .. } => at_cycle,
+        }
+    }
+}
+
+/// A deterministic schedule of [`FaultEvent`]s, threaded through
+/// [`TorusFabricConfig::faults`](crate::TorusFabricConfig) (and
+/// `RackSimConfig::faults` at the rack layer) the same way the routing
+/// policy is.
+///
+/// ```
+/// use ni_fabric::FaultPlan;
+/// // Kill the 0↔1 link at cycle 1000, the whole of node 5 at 2000, and
+/// // repair the link at 8000.
+/// let plan = FaultPlan::new()
+///     .link_down(0, 1, 1_000)
+///     .node_down(5, 2_000)
+///     .link_up(0, 1, 8_000);
+/// assert_eq!(plan.events().len(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (a healthy fabric).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, in insertion order. The fabric applies them
+    /// sorted by cycle (stable, so same-cycle events fire in insertion
+    /// order).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Schedule an arbitrary event.
+    pub fn with(mut self, event: FaultEvent) -> FaultPlan {
+        self.events.push(event);
+        self
+    }
+
+    /// Kill the undirected link between neighbors `a` and `b` at `at_cycle`.
+    pub fn link_down(self, a: u32, b: u32, at_cycle: u64) -> FaultPlan {
+        self.with(FaultEvent::LinkDown { a, b, at_cycle })
+    }
+
+    /// Repair the undirected link between `a` and `b` at `at_cycle`.
+    pub fn link_up(self, a: u32, b: u32, at_cycle: u64) -> FaultPlan {
+        self.with(FaultEvent::LinkUp { a, b, at_cycle })
+    }
+
+    /// Kill `node` at `at_cycle`.
+    pub fn node_down(self, node: u32, at_cycle: u64) -> FaultPlan {
+        self.with(FaultEvent::NodeDown { node, at_cycle })
+    }
+
+    /// Repair `node` at `at_cycle`.
+    pub fn node_up(self, node: u32, at_cycle: u64) -> FaultPlan {
+        self.with(FaultEvent::NodeUp { node, at_cycle })
+    }
+
+    /// A seeded schedule of `count` distinct random link kills, all firing
+    /// at `at_cycle`: a pure function of `(torus, seed, count, at_cycle)`,
+    /// so randomized blast-radius studies stay reproducible.
+    ///
+    /// # Panics
+    /// Panics when `count` distinct links cannot be scheduled (more kills
+    /// requested than the torus plausibly has links) — a short plan
+    /// returned silently would make a study report fewer faults than it
+    /// configured.
+    pub fn random_link_kills(torus: Torus3D, seed: u64, count: usize, at_cycle: u64) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let mut chosen: Vec<(u32, u32)> = Vec::with_capacity(count);
+        // Bounded rejection sampling: duplicates are rare for count <<
+        // links, and the loop bound keeps a tiny torus from spinning.
+        let mut attempts = 0usize;
+        while chosen.len() < count && attempts < count * 64 + 64 {
+            attempts += 1;
+            let a = rng.gen_range(0..torus.nodes());
+            let d = Dir::ALL[rng.gen_range(0..6u32) as usize];
+            let b = torus.neighbor(a, d);
+            if a == b {
+                continue; // degenerate 1-wide ring: a "link" back to itself
+            }
+            let key = (a.min(b), a.max(b));
+            if chosen.contains(&key) {
+                continue;
+            }
+            chosen.push(key);
+            plan = plan.link_down(key.0, key.1, at_cycle);
+        }
+        assert!(
+            chosen.len() == count,
+            "only {} of {count} distinct link kills fit the {:?} torus",
+            chosen.len(),
+            torus.dims()
+        );
+        plan
+    }
+
+    /// The events sorted by firing cycle (stable: same-cycle events keep
+    /// insertion order). Used by the fabric at construction.
+    pub(crate) fn sorted_events(&self) -> Vec<FaultEvent> {
+        let mut ev = self.events.clone();
+        ev.sort_by_key(FaultEvent::at_cycle);
+        ev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_records_events_in_order() {
+        let p = FaultPlan::new()
+            .link_down(0, 1, 10)
+            .node_down(3, 5)
+            .link_up(0, 1, 20);
+        assert!(!p.is_empty());
+        assert_eq!(p.events().len(), 3);
+        let sorted = p.sorted_events();
+        assert_eq!(
+            sorted[0],
+            FaultEvent::NodeDown {
+                node: 3,
+                at_cycle: 5
+            }
+        );
+        assert_eq!(sorted[2].at_cycle(), 20);
+    }
+
+    #[test]
+    fn random_link_kills_are_seed_deterministic_and_distinct() {
+        let t = Torus3D::new(4, 4, 4);
+        let a = FaultPlan::random_link_kills(t, 7, 5, 100);
+        let b = FaultPlan::random_link_kills(t, 7, 5, 100);
+        assert_eq!(a, b, "same seed must reproduce the same plan");
+        assert_eq!(a.events().len(), 5);
+        let mut pairs: Vec<(u32, u32)> = a
+            .events()
+            .iter()
+            .map(|e| match *e {
+                FaultEvent::LinkDown { a, b, .. } => (a, b),
+                ref other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        for &(x, y) in &pairs {
+            assert!(t.hops(x, y) == 1, "{x}<->{y} is not a torus link");
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 5, "kills must hit distinct links");
+        let c = FaultPlan::random_link_kills(t, 8, 5, 100);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+}

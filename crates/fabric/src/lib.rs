@@ -25,12 +25,18 @@
 //!
 //! Path selection on the torus is itself pluggable: the transport consults
 //! a [`routing::RoutingPolicy`] on every hop, with deterministic dimension
-//! order, congestion-aware minimal-adaptive, and seeded random-minimal
-//! built-ins (see [`mod@routing`]).
+//! order, congestion-aware minimal-adaptive, failure-aware adaptive, and
+//! seeded random-minimal built-ins (see [`mod@routing`]).
+//!
+//! The transport also models failure: a deterministic [`fault::FaultPlan`]
+//! schedules link/node kills (and repairs) that the [`TorusFabric`] applies
+//! mid-run, with link health exposed to routing through
+//! [`routing::LinkView`] (see [`mod@fault`]).
 
 #![warn(missing_docs)]
 
 pub mod fabric;
+pub mod fault;
 pub mod port;
 pub mod rack;
 pub mod routing;
@@ -38,12 +44,14 @@ pub mod torus;
 pub mod torus_fabric;
 
 pub use fabric::{Fabric, FabricStats};
+pub use fault::{FaultEvent, FaultPlan};
 pub use port::FabricPort;
 pub use rack::{RackConfig, RackEmulator, RemoteReq, RemoteResp};
 pub use routing::{
-    DimensionOrder, LinkView, MinimalAdaptive, RandomMinimal, RoutingKind, RoutingPolicy,
+    DimensionOrder, FaultAdaptive, LinkView, MinimalAdaptive, RandomMinimal, RoutingKind,
+    RoutingPolicy, ESCAPE_HOP_BUDGET,
 };
 pub use torus::{Dir, ProductiveDirs, Torus3D};
 pub use torus_fabric::{
-    link_report_csv, link_report_json, LinkReport, TorusFabric, TorusFabricConfig,
+    link_report_csv, link_report_json, FaultStats, LinkReport, TorusFabric, TorusFabricConfig,
 };

@@ -18,11 +18,21 @@
 //! * [`RandomMinimal`] — a seeded oblivious baseline: pick uniformly among
 //!   the productive directions.
 //!
-//! Every policy must be **minimal**: each hop strictly reduces the Lee
-//! distance to the destination, so a packet is delivered after exactly
+//! A fourth built-in exists for degraded fabrics:
+//!
+//! * [`FaultAdaptive`] — [`MinimalAdaptive`] over the *live* productive
+//!   links (the [`LinkView`] also carries per-direction health), plus a
+//!   bounded non-minimal *escape hop* when no productive live link exists —
+//!   the one policy allowed to break the all-minimal invariant, and only
+//!   under a per-packet budget the fabric enforces.
+//!
+//! Every other policy must be **minimal**: each hop strictly reduces the
+//! Lee distance to the destination, so a packet is delivered after exactly
 //! [`Torus3D::hops`]`(src, dest)` traversals — delivery and
 //! livelock-freedom hold structurally, with no escape-path bookkeeping. The
-//! fabric enforces the contract with a debug assertion on every hop.
+//! fabric enforces the contract with a debug assertion on every hop
+//! (relaxed, but still debug-asserted and budget-bounded, for policies
+//! that declare [`RoutingPolicy::strictly_minimal`]` == false`).
 //! Deadlock is not a concern in this transport model: links are infinitely
 //! buffered delay/serialization stations rather than credit-limited VCs, so
 //! forward progress never depends on buffer cycles.
@@ -34,35 +44,89 @@ use rand::{Rng, SeedableRng};
 
 use crate::torus::{Dir, ProductiveDirs, Torus3D};
 
-/// A per-hop congestion snapshot: the serialization backlog, in cycles, of
-/// the six directed links leaving the node a packet currently sits at.
+/// Non-minimal escape hops a single packet may spend over its whole
+/// journey. The fabric stamps every fresh packet with this budget and
+/// decrements it on each unproductive hop, so a fault-avoiding detour
+/// terminates structurally: once the budget is spent, only productive live
+/// links (or a stall) remain. Generous enough to round any single dead
+/// link or node; small enough that a pathological policy cannot livelock.
+pub const ESCAPE_HOP_BUDGET: u8 = 8;
+
+/// A per-hop snapshot of the six directed links leaving the node a packet
+/// currently sits at: serialization backlog, liveness, and the packet's
+/// remaining non-minimal escape budget.
 ///
 /// This is the cheap view [`TorusFabric`](crate::TorusFabric) hands its
-/// [`RoutingPolicy`] on every hop — six copied counters, no allocation. The
-/// backlog of a link is how many cycles a packet accepted *now* would wait
-/// before starting to serialize (0 on an idle link).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// [`RoutingPolicy`] on every hop — six copied counters plus six health
+/// bits, no allocation. The backlog of a link is how many cycles a packet
+/// accepted *now* would wait before starting to serialize (0 on an idle
+/// link). A link reads as down when it was killed by the fabric's
+/// [`FaultPlan`](crate::FaultPlan) *or* when the neighbor it leads to is a
+/// dead node (a dead node accepts nothing, so the distinction is moot for
+/// routing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LinkView {
     backlog: [u64; 6],
+    up: [bool; 6],
+    escapes_left: u8,
+}
+
+impl Default for LinkView {
+    fn default() -> Self {
+        LinkView {
+            backlog: [0; 6],
+            up: [true; 6],
+            escapes_left: ESCAPE_HOP_BUDGET,
+        }
+    }
 }
 
 impl LinkView {
     /// A view with the given per-direction backlogs, indexed by
-    /// [`Dir::index`].
+    /// [`Dir::index`]; every link healthy, full escape budget.
     pub fn new(backlog: [u64; 6]) -> LinkView {
-        LinkView { backlog }
+        LinkView {
+            backlog,
+            ..LinkView::default()
+        }
     }
 
-    /// An all-idle view (every backlog zero) — what a policy sees on an
-    /// unloaded fabric.
+    /// An all-idle view (every backlog zero, every link up) — what a policy
+    /// sees on an unloaded healthy fabric.
     pub fn idle() -> LinkView {
         LinkView::default()
+    }
+
+    /// Replace the per-direction health bits, indexed by [`Dir::index`].
+    pub fn with_health(mut self, up: [bool; 6]) -> LinkView {
+        self.up = up;
+        self
+    }
+
+    /// Replace the remaining escape budget of the packet being routed.
+    pub fn with_escapes(mut self, escapes_left: u8) -> LinkView {
+        self.escapes_left = escapes_left;
+        self
     }
 
     /// Serialization backlog, in cycles, of the directed link leaving in
     /// direction `d`.
     pub fn backlog(&self, d: Dir) -> u64 {
         self.backlog[d.index()]
+    }
+
+    /// True when the directed link leaving in direction `d` is alive (the
+    /// link itself is up and its far end is not a dead node).
+    pub fn is_up(&self, d: Dir) -> bool {
+        self.up[d.index()]
+    }
+
+    /// Non-minimal escape hops the packet being routed may still spend
+    /// (see [`ESCAPE_HOP_BUDGET`]). Policies with
+    /// [`RoutingPolicy::strictly_minimal`]` == false` must not return an
+    /// unproductive direction when this is zero.
+    pub fn escapes_left(&self) -> u8 {
+        self.escapes_left
     }
 }
 
@@ -96,6 +160,18 @@ pub trait RoutingPolicy: fmt::Debug + Send {
     /// they then receive [`LinkView::idle`]. Defaults to `true` so a custom
     /// congestion-aware policy can never silently see an empty view.
     fn uses_link_view(&self) -> bool {
+        true
+    }
+
+    /// Whether every direction this policy returns is productive. `true`
+    /// (the default) keeps the fabric's per-hop minimality debug assertion
+    /// armed. A policy that may take non-minimal escape hops (e.g.
+    /// [`FaultAdaptive`] routing around a dead link) overrides this to
+    /// `false`; it must then only return an unproductive direction while
+    /// [`LinkView::escapes_left`] is non-zero — the fabric debug-asserts
+    /// that weaker contract and decrements the packet's budget on every
+    /// non-minimal hop.
+    fn strictly_minimal(&self) -> bool {
         true
     }
 }
@@ -154,6 +230,133 @@ impl RoutingPolicy for MinimalAdaptive {
     }
 }
 
+/// Failure-aware adaptive routing: [`MinimalAdaptive`] over the *live*
+/// productive links, with a bounded non-minimal escape hop when none
+/// exists.
+///
+/// On a healthy fabric this is bit-identical to [`MinimalAdaptive`]: every
+/// link reads as up, so the live-productive scan degenerates to the same
+/// least-backlogged / dimension-order-tie-break choice (property-tested).
+/// When a [`FaultPlan`](crate::FaultPlan) has killed links or nodes:
+///
+/// * productive directions whose link is dead are skipped — traffic
+///   reroutes over the surviving minimal paths;
+/// * when *no* productive direction is live (the packet sits right behind
+///   the fault), it spends one hop of its escape budget
+///   ([`ESCAPE_HOP_BUDGET`]) on the least-backlogged live unproductive
+///   link — a controlled break of the all-minimal invariant
+///   ([`strictly_minimal`](RoutingPolicy::strictly_minimal)` == false`),
+///   debug-asserted and budget-bounded by the fabric;
+/// * a packet that has escaped before (its budget is no longer full)
+///   breaks equal-backlog ties with a deterministic *rotating* pick
+///   instead of fixed dimension order — successive decisions spread over
+///   the tied candidates, so a detour cannot ping-pong forever between a
+///   fault-adjacent node and its neighbor (each bounce burns budget, and
+///   the rotation soon points the packet down a surviving path);
+/// * with the budget spent and nothing live and productive, it returns the
+///   dimension-order choice and lets the fabric stall the packet — which
+///   is also what happens to traffic whose destination is unreachable
+///   (e.g. fully cut off), leaving recovery to the RMC's ITT timeout.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultAdaptive {
+    /// Deterministic tie-break rotation for packets that have escaped
+    /// before — bumped only on those decisions, so a healthy fabric never
+    /// consults (or advances) it.
+    rotation: u64,
+}
+
+impl FaultAdaptive {
+    /// Rotating pick among the live candidates in `dirs` whose backlog
+    /// equals the minimum: deterministic, but successive calls walk the
+    /// tied set instead of always taking the first — which is what stops
+    /// a detouring packet from bouncing forever between two nodes that
+    /// keep offering it the same tied choice.
+    fn rotate_pick(&mut self, dirs: &[Dir], links: &LinkView) -> Option<Dir> {
+        let mut minb: Option<u64> = None;
+        for &d in dirs {
+            if !links.is_up(d) {
+                continue;
+            }
+            let b = links.backlog(d);
+            minb = Some(minb.map_or(b, |m: u64| m.min(b)));
+        }
+        let minb = minb?;
+        let tied = dirs
+            .iter()
+            .filter(|&&d| links.is_up(d) && links.backlog(d) == minb)
+            .count();
+        let pick = (self.rotation % tied as u64) as usize;
+        self.rotation = self.rotation.wrapping_add(1);
+        dirs.iter()
+            .filter(|&&d| links.is_up(d) && links.backlog(d) == minb)
+            .nth(pick)
+            .copied()
+    }
+}
+
+impl RoutingPolicy for FaultAdaptive {
+    fn name(&self) -> &'static str {
+        "fault-adaptive"
+    }
+
+    fn route(&mut self, torus: &Torus3D, from: u32, dest: u32, links: &LinkView) -> Option<Dir> {
+        let prod = torus.productive_dirs(from, dest);
+        if prod.is_empty() {
+            return None;
+        }
+        let escaped_before = links.escapes_left() < ESCAPE_HOP_BUDGET;
+        if !escaped_before {
+            // Never-escaped packets: minimal-adaptive over the live
+            // productive links, dimension-order tie-break — on a healthy
+            // fabric (all links up, full budgets everywhere) this branch
+            // is the whole policy and is bit-identical to MinimalAdaptive.
+            let mut best: Option<(Dir, u64)> = None;
+            for &d in prod.as_slice() {
+                if !links.is_up(d) {
+                    continue;
+                }
+                let b = links.backlog(d);
+                // Strictly-less keeps the first (dimension-order) minimum.
+                if best.is_none_or(|(_, bb)| b < bb) {
+                    best = Some((d, b));
+                }
+            }
+            if let Some((d, _)) = best {
+                return Some(d);
+            }
+        } else if let Some(d) = self.rotate_pick(prod.as_slice(), links) {
+            // Detouring packets rotate over tied minimal choices so they
+            // cannot oscillate back into the fault indefinitely.
+            return Some(d);
+        }
+        // Every minimal first hop is dead. Escape sideways if the packet
+        // still has budget: rotating pick over the least-backlogged live
+        // unproductive links.
+        if links.escapes_left() > 0 {
+            let mut all = [Dir::XPlus; 6];
+            let mut n = 0;
+            for d in Dir::ALL {
+                if links.is_up(d) && torus.neighbor(from, d) != from {
+                    all[n] = d;
+                    n += 1;
+                }
+            }
+            if let Some(d) = self.rotate_pick(&all[..n], links) {
+                return Some(d);
+            }
+        }
+        // Nothing live at all (isolated node) or budget spent: hand back
+        // the dimension-order choice and let the fabric stall the packet
+        // at the dead link until a repair (or an ITT timeout upstream)
+        // resolves it.
+        Some(prod.as_slice()[0])
+    }
+
+    fn strictly_minimal(&self) -> bool {
+        false
+    }
+}
+
 /// Seeded oblivious baseline: a uniformly random productive direction.
 ///
 /// Congestion-blind like [`DimensionOrder`] but path-diverse like
@@ -208,6 +411,9 @@ pub enum RoutingKind {
     DimensionOrder,
     /// [`MinimalAdaptive`].
     MinimalAdaptive,
+    /// [`FaultAdaptive`] (minimal-adaptive over live links, bounded
+    /// non-minimal escape around faults).
+    FaultAdaptive,
     /// [`RandomMinimal`] drawing from the given seed.
     RandomMinimal {
         /// RNG seed of the policy instance.
@@ -216,8 +422,11 @@ pub enum RoutingKind {
 }
 
 impl RoutingKind {
-    /// The three built-in policies at canonical parameters, in the stable
-    /// order experiment sweeps use.
+    /// The three *minimal* built-ins at canonical parameters, in the stable
+    /// order the routing sweeps use. [`RoutingKind::FaultAdaptive`] is
+    /// deliberately not here: on a healthy fabric it duplicates
+    /// [`MinimalAdaptive`] bit for bit, and the failure sweeps carry their
+    /// own `{dor, fault-adaptive}` axis.
     pub const ALL: [RoutingKind; 3] = [
         RoutingKind::DimensionOrder,
         RoutingKind::MinimalAdaptive,
@@ -229,15 +438,18 @@ impl RoutingKind {
         match self {
             RoutingKind::DimensionOrder => Box::new(DimensionOrder),
             RoutingKind::MinimalAdaptive => Box::new(MinimalAdaptive),
+            RoutingKind::FaultAdaptive => Box::new(FaultAdaptive::default()),
             RoutingKind::RandomMinimal { seed } => Box::new(RandomMinimal::seeded(seed)),
         }
     }
 
-    /// The policy's short stable name (`"dor"`, `"adaptive"`, `"random"`).
+    /// The policy's short stable name (`"dor"`, `"adaptive"`,
+    /// `"fault-adaptive"`, `"random"`).
     pub fn name(self) -> &'static str {
         match self {
             RoutingKind::DimensionOrder => "dor",
             RoutingKind::MinimalAdaptive => "adaptive",
+            RoutingKind::FaultAdaptive => "fault-adaptive",
             RoutingKind::RandomMinimal { .. } => "random",
         }
     }
@@ -364,7 +576,65 @@ mod tests {
         for k in RoutingKind::ALL {
             assert_eq!(k.build().name(), k.name());
         }
+        assert_eq!(
+            RoutingKind::FaultAdaptive.build().name(),
+            RoutingKind::FaultAdaptive.name()
+        );
         assert_eq!(RoutingKind::default(), RoutingKind::DimensionOrder);
         assert_eq!(RoutingKind::MinimalAdaptive.to_string(), "adaptive");
+        assert_eq!(RoutingKind::FaultAdaptive.to_string(), "fault-adaptive");
+        assert!(!FaultAdaptive::default().strictly_minimal());
+        assert!(MinimalAdaptive.strictly_minimal());
+    }
+
+    #[test]
+    fn fault_adaptive_matches_minimal_adaptive_on_healthy_views() {
+        let t = Torus3D::new(4, 3, 2);
+        for view in [LinkView::idle(), LinkView::new([7, 3, 9, 1, 4, 2])] {
+            assert_eq!(
+                route_all(&mut FaultAdaptive::default(), &t, &view),
+                route_all(&mut MinimalAdaptive, &t, &view),
+                "healthy-fabric fault-adaptive must be minimal-adaptive exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_adaptive_skips_a_dead_productive_link() {
+        let t = Torus3D::new(4, 4, 1);
+        // From (0,0) to (1,1): +x and +y productive. Kill +x; the policy
+        // must take the surviving minimal path via +y even though +x has
+        // less backlog.
+        let (from, dest) = (t.id((0, 0, 0)), t.id((1, 1, 0)));
+        let mut up = [true; 6];
+        up[Dir::XPlus.index()] = false;
+        let view = LinkView::new([0; 6]).with_health(up);
+        assert_eq!(
+            FaultAdaptive::default().route(&t, from, dest, &view),
+            Some(Dir::YPlus)
+        );
+    }
+
+    #[test]
+    fn fault_adaptive_escapes_when_every_minimal_hop_is_dead() {
+        let t = Torus3D::new(4, 1, 1);
+        // From x=0 to x=1 on a pure ring: +x is the only productive dir.
+        // Kill it; with budget the policy must step away over a live
+        // unproductive link (-x), not stall.
+        let (from, dest) = (t.id((0, 0, 0)), t.id((1, 0, 0)));
+        let mut up = [true; 6];
+        up[Dir::XPlus.index()] = false;
+        let view = LinkView::new([0; 6]).with_health(up);
+        assert_eq!(
+            FaultAdaptive::default().route(&t, from, dest, &view),
+            Some(Dir::XMinus)
+        );
+        // Budget spent: it hands back the (dead) dimension-order dir and
+        // lets the fabric stall the packet.
+        let spent = view.with_escapes(0);
+        assert_eq!(
+            FaultAdaptive::default().route(&t, from, dest, &spent),
+            Some(Dir::XPlus)
+        );
     }
 }

@@ -20,6 +20,16 @@
 //! or any external implementation handed to
 //! [`TorusFabric::with_policy`].
 //!
+//! The fabric can degrade mid-run: a [`FaultPlan`] in the config schedules
+//! link and node kills (and repairs) at fixed cycles. Dead links stop
+//! accepting and serializing flits — packets routed at them park and retry
+//! each cycle — while dead nodes drop every packet they would source,
+//! relay, or consume. Health is visible to routing through the per-hop
+//! [`LinkView`], which is how
+//! [`FaultAdaptive`](crate::routing::FaultAdaptive) steers around kills;
+//! end-to-end recovery of erased traffic belongs to the RMC backend's ITT
+//! timeout/retry machinery, not the fabric.
+//!
 //! The fabric implements [`Fabric`], making it a drop-in replacement for
 //! the emulator behind any chip's network router.
 
@@ -28,12 +38,13 @@ use std::collections::VecDeque;
 use ni_engine::{Counter, Cycle, DelayLine, Frequency, LinkLoad};
 
 use crate::fabric::{Fabric, FabricStats};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::rack::{RemoteReq, RemoteResp};
-use crate::routing::{LinkView, RoutingKind, RoutingPolicy};
+use crate::routing::{LinkView, RoutingKind, RoutingPolicy, ESCAPE_HOP_BUDGET};
 use crate::torus::{Dir, Torus3D};
 
 /// Transport configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct TorusFabricConfig {
     /// Rack geometry.
     pub torus: Torus3D,
@@ -49,6 +60,9 @@ pub struct TorusFabricConfig {
     /// default); custom [`RoutingPolicy`] implementations go through
     /// [`TorusFabric::with_policy`] instead.
     pub routing: RoutingKind,
+    /// Scheduled link/node failures (and repairs), applied by the fabric
+    /// at their firing cycles. Empty by default (a healthy fabric).
+    pub faults: FaultPlan,
 }
 
 impl Default for TorusFabricConfig {
@@ -59,6 +73,7 @@ impl Default for TorusFabricConfig {
             link_bytes_per_cycle: 16,
             stats_window: 10_000,
             routing: RoutingKind::DimensionOrder,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -98,6 +113,9 @@ impl TorusPkt {
 struct Transit {
     at_node: u32,
     pkt: TorusPkt,
+    /// Non-minimal escape hops this packet may still spend (see
+    /// [`ESCAPE_HOP_BUDGET`]).
+    escapes_left: u8,
 }
 
 /// One directed link's state.
@@ -105,7 +123,24 @@ struct Transit {
 struct Link {
     /// The cycle this link finishes serializing its last-accepted packet.
     busy_until: Cycle,
+    /// False while a [`FaultEvent::LinkDown`] is in effect: the link
+    /// accepts and serializes nothing.
+    up: bool,
     load: LinkLoad,
+}
+
+/// Fault-path counters of one [`TorusFabric`] (all zero on a healthy run).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultStats {
+    /// Packets dropped because their source, current, or destination node
+    /// was dead — the traffic a [`FaultEvent::NodeDown`] erases.
+    pub packets_dropped: Counter,
+    /// Forward attempts parked because the chosen link was dead (one per
+    /// packet per cycle spent waiting — a measure of stall pressure, not
+    /// of distinct packets).
+    pub dead_link_stalls: Counter,
+    /// Non-minimal escape hops actually taken (see [`ESCAPE_HOP_BUDGET`]).
+    pub escape_hops: Counter,
 }
 
 /// Report row for one directed link.
@@ -174,9 +209,21 @@ pub struct TorusFabric {
     responses: Vec<VecDeque<RemoteResp>>,
     /// Directed links, indexed `node * 6 + dir.index()`.
     links: Vec<Link>,
+    /// Per-node liveness (false while a [`FaultEvent::NodeDown`] is in
+    /// effect).
+    node_up: Vec<bool>,
+    /// The fault schedule, sorted by firing cycle.
+    fault_events: Vec<FaultEvent>,
+    /// Index of the next unapplied event in `fault_events`.
+    next_fault: usize,
+    /// True when the config scheduled any fault at all — false skips every
+    /// per-hop liveness check, so a healthy run pays nothing for the fault
+    /// machinery.
+    has_faults: bool,
     /// Per-hop routing decision procedure (see [`RoutingPolicy`]).
     policy: Box<dyn RoutingPolicy>,
     stats: FabricStats,
+    fault_stats: FaultStats,
     /// Total link traversals (= hops) completed, across all packets.
     hops_traversed: Counter,
 }
@@ -196,27 +243,58 @@ impl TorusFabric {
     /// the open extension point (`cfg.routing` is ignored).
     ///
     /// # Panics
-    /// Panics if `link_bytes_per_cycle` or `stats_window` is zero.
+    /// Panics if `link_bytes_per_cycle` or `stats_window` is zero, or if
+    /// `cfg.faults` names a node outside the torus or a link between
+    /// non-neighbors.
     pub fn with_policy(cfg: TorusFabricConfig, policy: Box<dyn RoutingPolicy>) -> TorusFabric {
         assert!(
             cfg.link_bytes_per_cycle > 0,
             "links need non-zero bandwidth"
         );
+        let fault_events = cfg.faults.sorted_events();
+        for e in &fault_events {
+            match *e {
+                FaultEvent::LinkDown { a, b, .. } | FaultEvent::LinkUp { a, b, .. } => {
+                    assert!(
+                        a < cfg.torus.nodes() && b < cfg.torus.nodes(),
+                        "fault plan link {a}<->{b} outside the {:?} torus",
+                        cfg.torus.dims()
+                    );
+                    assert!(
+                        cfg.torus.hops(a, b) == 1,
+                        "fault plan link {a}<->{b} joins non-neighbors"
+                    );
+                }
+                FaultEvent::NodeDown { node, .. } | FaultEvent::NodeUp { node, .. } => {
+                    assert!(
+                        node < cfg.torus.nodes(),
+                        "fault plan node {node} outside the {:?} torus",
+                        cfg.torus.dims()
+                    );
+                }
+            }
+        }
         let n = cfg.torus.nodes() as usize;
         TorusFabric {
-            cfg,
             wires: DelayLine::new(),
             incoming: (0..n).map(|_| VecDeque::new()).collect(),
             responses: (0..n).map(|_| VecDeque::new()).collect(),
             links: (0..n * 6)
                 .map(|_| Link {
                     busy_until: Cycle::ZERO,
+                    up: true,
                     load: LinkLoad::new(cfg.stats_window),
                 })
                 .collect(),
+            node_up: vec![true; n],
+            has_faults: !fault_events.is_empty(),
+            fault_events,
+            next_fault: 0,
             policy,
             stats: FabricStats::default(),
+            fault_stats: FaultStats::default(),
             hops_traversed: Counter::default(),
+            cfg,
         }
     }
 
@@ -230,17 +308,77 @@ impl TorusFabric {
         self.policy.name()
     }
 
+    /// Fault-path counters (packets dropped by dead nodes, forward
+    /// attempts stalled at dead links, escape hops taken). All zero when
+    /// the fault plan is empty.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// True when `node` is currently alive (no [`FaultEvent::NodeDown`] in
+    /// effect for it).
+    pub fn is_node_up(&self, node: u32) -> bool {
+        self.node_up[node as usize]
+    }
+
+    /// True when the directed link leaving `from` toward `d` can carry
+    /// traffic right now: the link itself is up and the neighbor it leads
+    /// to is not a dead node.
+    pub fn link_live(&self, from: u32, d: Dir) -> bool {
+        self.links[from as usize * 6 + d.index()].up
+            && self.node_up[self.cfg.torus.neighbor(from, d) as usize]
+    }
+
+    /// Apply every scheduled fault event due by `now` (idempotent; called
+    /// from `tick` and the injection paths so link state is current before
+    /// any routing decision).
+    fn apply_faults(&mut self, now: Cycle) {
+        while let Some(e) = self.fault_events.get(self.next_fault) {
+            if e.at_cycle() > now.0 {
+                break;
+            }
+            let e = *e;
+            self.next_fault += 1;
+            match e {
+                FaultEvent::LinkDown { a, b, .. } => self.set_link(a, b, false),
+                FaultEvent::LinkUp { a, b, .. } => self.set_link(a, b, true),
+                FaultEvent::NodeDown { node, .. } => self.node_up[node as usize] = false,
+                FaultEvent::NodeUp { node, .. } => self.node_up[node as usize] = true,
+            }
+        }
+    }
+
+    /// Set both directed links between neighbors `a` and `b` (on a 2-ring,
+    /// where both ring directions join the same pair, all of them).
+    fn set_link(&mut self, a: u32, b: u32, up: bool) {
+        for d in Dir::ALL {
+            if self.cfg.torus.neighbor(a, d) == b {
+                self.links[a as usize * 6 + d.index()].up = up;
+            }
+            if self.cfg.torus.neighbor(b, d) == a {
+                self.links[b as usize * 6 + d.index()].up = up;
+            }
+        }
+    }
+
     /// The [`LinkView`] a packet at `node` would be routed with at `now`:
-    /// the serialization backlogs of the node's six outgoing links. Public
-    /// for congestion monitors and policy tests; `forward` builds the same
-    /// view on every hop.
+    /// the serialization backlogs and liveness of the node's six outgoing
+    /// links (a fresh packet's full escape budget). Public for congestion
+    /// monitors and policy tests; `forward` builds the same view on every
+    /// hop, substituting the routed packet's remaining budget.
     pub fn link_view(&self, node: u32, now: Cycle) -> LinkView {
         let base = node as usize * 6;
         let mut backlog = [0u64; 6];
         for (i, b) in backlog.iter_mut().enumerate() {
             *b = self.links[base + i].busy_until.saturating_since(now);
         }
-        LinkView::new(backlog)
+        let mut up = [true; 6];
+        if self.has_faults {
+            for (i, u) in up.iter_mut().enumerate() {
+                *u = self.link_live(node, Dir::ALL[i]);
+            }
+        }
+        LinkView::new(backlog).with_health(up)
     }
 
     /// Total link traversals completed so far (one per packet per link).
@@ -336,14 +474,23 @@ impl TorusFabric {
 
     /// Send `pkt` across its next link out of `from` — the direction chosen
     /// by the routing policy from a fresh [`LinkView`] — honoring the
-    /// link's serialization backlog, and schedule its arrival at the
-    /// neighbor.
-    fn forward(&mut self, now: Cycle, from: u32, pkt: TorusPkt) {
+    /// link's serialization backlog and health, and schedule its arrival at
+    /// the neighbor. `escapes_left` is the packet's remaining non-minimal
+    /// hop budget (see [`ESCAPE_HOP_BUDGET`]).
+    fn forward(&mut self, now: Cycle, from: u32, pkt: TorusPkt, escapes_left: u8) {
         let dest = u32::from(pkt.dest());
+        // Dead nodes drop their traffic: anything a dead node would source
+        // or relay disappears, and traffic *to* a dead node is erased at
+        // the first forward attempt rather than parked forever — recovery
+        // is the requester's ITT timeout, not the fabric's.
+        if self.has_faults && (!self.node_up[from as usize] || !self.node_up[dest as usize]) {
+            self.fault_stats.packets_dropped.incr();
+            return;
+        }
         // Congestion-blind policies skip the six-counter snapshot on this
         // per-link-traversal hot path (see RoutingPolicy::uses_link_view).
         let view = if self.policy.uses_link_view() {
-            self.link_view(from, now)
+            self.link_view(from, now).with_escapes(escapes_left)
         } else {
             LinkView::idle()
         };
@@ -358,20 +505,76 @@ impl TorusFabric {
             );
             // Already home (self-addressed traffic): deliver next cycle
             // without touching any link.
-            self.wires
-                .push_after(now, 1, Transit { at_node: from, pkt });
+            self.wires.push_after(
+                now,
+                1,
+                Transit {
+                    at_node: from,
+                    pkt,
+                    escapes_left,
+                },
+            );
             return;
         };
+        // No packet ever crosses a dead link, whatever the policy chose:
+        // park it one cycle and retry — the measured stall of a
+        // health-blind policy (DimensionOrder) at a kill site, and the
+        // wait-for-repair path otherwise.
+        if self.has_faults && !self.link_live(from, dir) {
+            self.fault_stats.dead_link_stalls.incr();
+            self.wires.push_after(
+                now,
+                1,
+                Transit {
+                    at_node: from,
+                    pkt,
+                    escapes_left,
+                },
+            );
+            return;
+        }
         // Minimality contract: every hop must strictly close on the
         // destination, which is what bounds delivery at the Lee distance.
-        debug_assert!(
-            self.cfg
-                .torus
-                .hops(self.cfg.torus.neighbor(from, dir), dest)
-                < self.cfg.torus.hops(from, dest),
-            "policy {} picked unproductive {dir} at {from} toward {dest}",
-            self.policy.name()
-        );
+        // Policies that declare themselves non-minimal may instead spend
+        // the packet's bounded escape budget (fault avoidance), which is
+        // what keeps even their detours livelock-free.
+        let productive = self
+            .cfg
+            .torus
+            .hops(self.cfg.torus.neighbor(from, dir), dest)
+            < self.cfg.torus.hops(from, dest);
+        let escapes_left = if productive {
+            escapes_left
+        } else {
+            debug_assert!(
+                !self.policy.strictly_minimal(),
+                "policy {} picked unproductive {dir} at {from} toward {dest}",
+                self.policy.name()
+            );
+            debug_assert!(
+                escapes_left > 0,
+                "policy {} escaped at {from} toward {dest} with no budget left",
+                self.policy.name()
+            );
+            if escapes_left == 0 {
+                // Release-mode safety net for a buggy policy: refuse the
+                // unbudgeted non-minimal hop and park instead of
+                // livelocking.
+                self.fault_stats.dead_link_stalls.incr();
+                self.wires.push_after(
+                    now,
+                    1,
+                    Transit {
+                        at_node: from,
+                        pkt,
+                        escapes_left,
+                    },
+                );
+                return;
+            }
+            self.fault_stats.escape_hops.incr();
+            escapes_left - 1
+        };
         let bytes = pkt.wire_bytes();
         let ser = bytes.div_ceil(self.cfg.link_bytes_per_cycle);
         let link = &mut self.links[from as usize * 6 + dir.index()];
@@ -381,8 +584,15 @@ impl TorusFabric {
         let next = self.cfg.torus.neighbor(from, dir);
         let arrive_in = (depart - now) + ser + self.cfg.hop_cycles;
         self.hops_traversed.incr();
-        self.wires
-            .push_after(now, arrive_in, Transit { at_node: next, pkt });
+        self.wires.push_after(
+            now,
+            arrive_in,
+            Transit {
+                at_node: next,
+                pkt,
+                escapes_left,
+            },
+        );
     }
 
     fn deliver(&mut self, node: u32, pkt: TorusPkt) {
@@ -401,29 +611,35 @@ impl TorusFabric {
 
 impl Fabric for TorusFabric {
     fn inject(&mut self, now: Cycle, from: u16, req: RemoteReq) {
+        self.apply_faults(now);
         let src = self.validate_node(from);
         self.validate_node(req.target_node);
         self.stats.sent.incr();
         let mut req = req;
         req.src_node = from;
-        self.forward(now, src, TorusPkt::Req(req));
+        self.forward(now, src, TorusPkt::Req(req), ESCAPE_HOP_BUDGET);
     }
 
     fn inject_resp(&mut self, now: Cycle, from: u16, resp: RemoteResp) {
+        self.apply_faults(now);
         let src = self.validate_node(from);
         self.validate_node(resp.dst_node);
-        self.forward(now, src, TorusPkt::Resp(resp));
+        self.forward(now, src, TorusPkt::Resp(resp), ESCAPE_HOP_BUDGET);
     }
 
     fn tick(&mut self, now: Cycle) {
+        self.apply_faults(now);
         // Naturally idempotent within a cycle: everything `forward` pushes
         // (relay hops included) arrives strictly after `now`, so a second
         // call at the same cycle pops nothing. No guard state needed.
         while let Some(t) = self.wires.pop_ready(now) {
-            if u32::from(t.pkt.dest()) == t.at_node {
+            if self.has_faults && !self.node_up[t.at_node as usize] {
+                // In flight when its current node died: dropped with it.
+                self.fault_stats.packets_dropped.incr();
+            } else if u32::from(t.pkt.dest()) == t.at_node {
                 self.deliver(t.at_node, t.pkt);
             } else {
-                self.forward(now, t.at_node, t.pkt);
+                self.forward(now, t.at_node, t.pkt, t.escapes_left);
             }
         }
     }
@@ -616,5 +832,115 @@ mod tests {
     fn out_of_range_targets_are_rejected() {
         let mut f = fabric(2, 1, 1);
         f.inject(Cycle(0), 0, req(1, 9));
+    }
+
+    fn faulted(x: u16, y: u16, z: u16, routing: RoutingKind, faults: FaultPlan) -> TorusFabric {
+        TorusFabric::new(TorusFabricConfig {
+            torus: Torus3D::new(x, y, z),
+            routing,
+            faults,
+            ..TorusFabricConfig::default()
+        })
+    }
+
+    /// A packet routed at a dead link by a health-blind policy parks and
+    /// retries each cycle; after the scheduled repair it crosses and
+    /// delivers.
+    #[test]
+    fn dor_stalls_at_a_dead_link_until_repair() {
+        let plan = FaultPlan::new().link_down(0, 1, 0).link_up(0, 1, 500);
+        let mut f = faulted(4, 1, 1, RoutingKind::DimensionOrder, plan);
+        f.inject(Cycle(0), 0, req(1, 1));
+        for c in 0..=499u64 {
+            f.tick(Cycle(c));
+            assert!(f.pop_incoming(Cycle(c), 1).is_none(), "delivered at {c}?");
+        }
+        assert!(f.fault_stats().dead_link_stalls.get() > 400);
+        assert_eq!(f.hops_traversed(), 0, "nothing crossed while dead");
+        // Repair at 500: 2 serialization + 70 wire cycles later it lands.
+        for c in 500..=572u64 {
+            f.tick(Cycle(c));
+        }
+        let got = f.pop_incoming(Cycle(572), 1).expect("arrived after repair");
+        assert_eq!(got.tid, 1);
+        assert_eq!(f.hops_traversed(), 1);
+    }
+
+    /// Fault-adaptive routing rides the surviving ring around a dead link:
+    /// same delivery, more hops, zero stalls.
+    #[test]
+    fn fault_adaptive_routes_around_a_dead_link() {
+        let plan = FaultPlan::new().link_down(0, 1, 0);
+        let mut f = faulted(4, 1, 1, RoutingKind::FaultAdaptive, plan);
+        f.inject(Cycle(0), 0, req(9, 1));
+        let end = run_until_idle(&mut f, Cycle(0), 100_000);
+        let got = f.pop_incoming(end, 1).expect("delivered the long way");
+        assert_eq!(got.tid, 9);
+        // 0 -> 3 -> 2 -> 1 on the ring: one escape hop then two minimal.
+        assert_eq!(f.hops_traversed(), 3);
+        assert_eq!(f.fault_stats().escape_hops.get(), 1);
+        assert_eq!(f.fault_stats().dead_link_stalls.get(), 0);
+    }
+
+    /// Dead nodes drop traffic in every role: sourced by, addressed to, or
+    /// relayed through them.
+    #[test]
+    fn dead_nodes_drop_sourced_addressed_and_relayed_traffic() {
+        // 4x1x1 ring, node 2 dead from cycle 0.
+        let plan = FaultPlan::new().node_down(2, 0);
+        let mut f = faulted(4, 1, 1, RoutingKind::DimensionOrder, plan);
+        // Addressed to the dead node: dropped at first forward.
+        f.inject(Cycle(0), 1, req(1, 2));
+        // Sourced by the dead node: dropped at injection.
+        f.inject(Cycle(0), 2, req(2, 0));
+        assert_eq!(f.fault_stats().packets_dropped.get(), 2);
+        // Routed *through* it by a health-blind policy (1 -> 3: DOR picks
+        // +x from 1, i.e. the dead node 2): the incident link reads as
+        // down, so the packet parks at node 1 exactly like a dead-link
+        // stall — the requester's ITT timeout is the recovery path.
+        f.inject(Cycle(0), 1, req(3, 3));
+        for c in 0..500u64 {
+            f.tick(Cycle(c));
+        }
+        assert_eq!(f.fault_stats().packets_dropped.get(), 2);
+        assert!(f.fault_stats().dead_link_stalls.get() > 400);
+        assert!(!f.is_idle(), "the stalled packet stays in flight");
+        // A packet already in flight toward the dead node when it died is
+        // dropped on arrival.
+        let plan = FaultPlan::new().node_down(1, 10);
+        let mut f = faulted(4, 1, 1, RoutingKind::DimensionOrder, plan);
+        f.inject(Cycle(0), 0, req(7, 1)); // arrives at cycle 72 > 10
+        for c in 0..200u64 {
+            f.tick(Cycle(c));
+        }
+        assert_eq!(f.fault_stats().packets_dropped.get(), 1);
+        assert!(f.is_idle());
+    }
+
+    /// Repairing a dead node restores delivery.
+    #[test]
+    fn node_repair_restores_delivery() {
+        let plan = FaultPlan::new().node_down(1, 0).node_up(1, 1_000);
+        let mut f = faulted(2, 2, 1, RoutingKind::FaultAdaptive, plan);
+        f.inject(Cycle(0), 0, req(5, 1));
+        f.tick(Cycle(0));
+        assert_eq!(f.fault_stats().packets_dropped.get(), 1);
+        f.inject(Cycle(1_000), 0, req(6, 1));
+        let end = run_until_idle(&mut f, Cycle(1_000), 100_000);
+        assert_eq!(f.pop_incoming(end, 1).expect("delivered").tid, 6);
+    }
+
+    /// A fault plan naming a non-neighbor pair must fail loudly at
+    /// construction, not corrupt link state at runtime.
+    #[test]
+    #[should_panic(expected = "non-neighbors")]
+    fn fault_plans_between_non_neighbors_are_rejected() {
+        faulted(
+            4,
+            4,
+            1,
+            RoutingKind::DimensionOrder,
+            FaultPlan::new().link_down(0, 5, 10),
+        );
     }
 }

@@ -1,7 +1,10 @@
 //! Property tests for the rack geometry and the rate-matching emulator.
 
 use ni_engine::Cycle;
-use ni_fabric::{RackConfig, RackEmulator, RemoteReq, Torus3D};
+use ni_fabric::{
+    FaultAdaptive, LinkView, MinimalAdaptive, RackConfig, RackEmulator, RemoteReq, RoutingPolicy,
+    Torus3D,
+};
 use ni_mem::BlockAddr;
 use proptest::prelude::*;
 
@@ -11,6 +14,33 @@ fn torus() -> impl Strategy<Value = Torus3D> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// On a fault-free fabric `FaultAdaptive` must be bit-identical to
+    /// `MinimalAdaptive` — for every pair of nodes, under arbitrary
+    /// serialization backlogs (every link up, full escape budget, as the
+    /// fabric builds views on a healthy run). This is the contract that
+    /// makes `fault-adaptive` a safe default: it costs nothing until
+    /// something actually dies.
+    #[test]
+    fn fault_adaptive_is_minimal_adaptive_on_a_healthy_fabric(
+        t in torus(),
+        from in 0u32..10_000,
+        dest in 0u32..10_000,
+        backlog in prop::collection::vec(0u64..500, 6..7),
+    ) {
+        let (from, dest) = (from % t.nodes(), dest % t.nodes());
+        let mut b = [0u64; 6];
+        b.copy_from_slice(&backlog);
+        let view = LinkView::new(b);
+        let mut fault = FaultAdaptive::default();
+        let mut minimal = MinimalAdaptive;
+        prop_assert_eq!(
+            fault.route(&t, from, dest, &view),
+            minimal.route(&t, from, dest, &view),
+            "{from}->{dest} on {:?} diverged",
+            t.dims()
+        );
+    }
 
     #[test]
     fn torus_ids_and_coords_roundtrip(t in torus(), seed in 0u32..10_000) {
@@ -205,7 +235,7 @@ proptest! {
         let (a, b) = (a % t.nodes(), b % t.nodes());
         prop_assume!(a != b);
         let mut f = torus_fabric(t);
-        let cfg = *f.config();
+        let cfg = f.config().clone();
         f.inject(Cycle(0), a as u16, fabric_req(1, b as u16));
         let hops = u64::from(t.hops(a, b));
         let mut now = Cycle(0);

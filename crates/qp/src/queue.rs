@@ -44,8 +44,9 @@ impl WqEntry {
 pub struct CqEntry {
     /// The WQ entry that completed.
     pub wq_id: u64,
-    /// Success flag (always true in the microbenchmarks; failure injection
-    /// tests flip it).
+    /// Success flag. False when the NI gave up on the transfer — an ITT
+    /// timeout whose retry budget ran out because a link or node died under
+    /// it — so the application observes the failure instead of hanging.
     pub ok: bool,
 }
 
@@ -241,11 +242,20 @@ impl QueuePair {
         Some(e)
     }
 
-    /// NI records a completion for `wq_id` (writes the CQ entry).
+    /// NI records a successful completion for `wq_id` (writes the CQ
+    /// entry).
     pub fn ni_complete(&mut self, wq_id: u64) {
+        self.ni_complete_with(wq_id, true);
+    }
+
+    /// NI records a completion for `wq_id` with an explicit status: `ok ==
+    /// false` marks a failed transfer (ITT timeout after the retry budget,
+    /// see [`CqEntry::ok`]). Failed entries free their WQ slot like
+    /// successful ones — the NI owns the entry either way.
+    pub fn ni_complete_with(&mut self, wq_id: u64, ok: bool) {
         debug_assert!(self.inflight > 0, "completion without in-flight entry");
         self.inflight -= 1;
-        self.completions.push_back(CqEntry { wq_id, ok: true });
+        self.completions.push_back(CqEntry { wq_id, ok });
         self.cq_tail += 1;
     }
 
@@ -291,6 +301,20 @@ mod tests {
         let c = q.app_reap().unwrap();
         assert_eq!(c.wq_id, id);
         assert!(c.ok);
+    }
+
+    #[test]
+    fn failed_completions_free_the_slot_and_carry_the_status() {
+        let mut q = qp();
+        let id = q
+            .enqueue(RemoteOp::Read, 1, Addr(0), Addr(0x100), 64)
+            .unwrap();
+        let e = q.ni_take().unwrap();
+        q.ni_complete_with(e.id, false);
+        assert_eq!(q.wq_free(), 128, "failed entries still free their slot");
+        let c = q.app_reap().unwrap();
+        assert_eq!(c.wq_id, id);
+        assert!(!c.ok, "the error status must reach the application");
     }
 
     #[test]

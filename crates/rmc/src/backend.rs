@@ -6,6 +6,13 @@
 //! are matched back to their slot; read payloads are written into local
 //! memory through the non-caching LLC path; when the last block lands, the
 //! backend notifies the owning frontend so it can write the CQ entry.
+//!
+//! The ITT doubles as the end-to-end recovery point for a degraded rack:
+//! every entry tracks its last progress cycle, and an optional watchdog
+//! ([`RmcConfig::itt_timeout`]) re-sends the missing blocks of a stalled
+//! transfer up to [`RmcConfig::itt_retries`] times before giving up and
+//! completing the operation with an error CQ status — so a dead link or
+//! node costs the issuing core a failed completion, never a hang.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -33,6 +40,47 @@ struct IttEntry {
     total: u64,
     sent: u64,
     responses: u64,
+    /// Slot reuse generation stamped into this transfer's tids, so a
+    /// response that limps home after its entry timed out (and the slot
+    /// was recycled) is recognized as stale instead of corrupting the new
+    /// occupant.
+    gen: u16,
+    /// Last cycle this transfer made progress (admitted, retried, or
+    /// received a response); the ITT watchdog measures staleness from
+    /// here, so long unrolls with a live remote end never spuriously time
+    /// out.
+    last_progress: Cycle,
+    /// Re-sends left before the backend gives up and error-completes.
+    retries_left: u32,
+    /// Per-block acknowledgment bitmap, allocated only when the watchdog
+    /// is armed (empty = tracking off, the healthy-run fast path). Retries
+    /// make *duplicate* responses possible, and with duplicates a bare
+    /// count cannot tell "every block arrived" from "some block arrived
+    /// twice while another was lost" — the bitmap is what keeps an
+    /// `ok == true` completion meaning all data actually transferred.
+    acked: Vec<u64>,
+}
+
+impl IttEntry {
+    fn is_acked(&self, idx: u64) -> bool {
+        self.acked
+            .get((idx / 64) as usize)
+            .is_some_and(|w| (w >> (idx % 64)) & 1 == 1)
+    }
+
+    /// Mark block `idx` answered; `false` means it already was (a
+    /// duplicate from a retry) — or always `true` when tracking is off.
+    fn mark_acked(&mut self, idx: u64) -> bool {
+        let Some(w) = self.acked.get_mut((idx / 64) as usize) else {
+            return true;
+        };
+        let bit = 1u64 << (idx % 64);
+        if *w & bit != 0 {
+            return false;
+        }
+        *w |= bit;
+        true
+    }
 }
 
 #[derive(Debug)]
@@ -60,6 +108,35 @@ pub struct BackendStats {
     pub payload_bytes: Counter,
     /// Entries stalled on a full ITT.
     pub itt_stalls: Counter,
+    /// ITT entries that hit the [`RmcConfig::itt_timeout`] watchdog
+    /// (counted once per expiry, whether it led to a retry or a failure).
+    pub itt_timeouts: Counter,
+    /// Timed-out entries re-sent (missing blocks re-injected into the
+    /// fabric; bounded by [`RmcConfig::itt_retries`]).
+    pub itt_retries: Counter,
+    /// Transfers abandoned after the retry budget: completed back to the
+    /// core with an error CQ status instead of data.
+    pub failed_transfers: Counter,
+    /// Responses dropped as stale: their transfer had already timed out
+    /// (slot freed or recycled under a newer generation), or the block was
+    /// already answered (a duplicate minted by a retry).
+    pub stale_responses: Counter,
+}
+
+impl BackendStats {
+    /// Accumulate another backend's counters into this one (chip- and
+    /// rack-level aggregation).
+    pub fn merge(&mut self, other: &BackendStats) {
+        self.transfers.add(other.transfers.get());
+        self.requests_sent.add(other.requests_sent.get());
+        self.responses.add(other.responses.get());
+        self.payload_bytes.add(other.payload_bytes.get());
+        self.itt_stalls.add(other.itt_stalls.get());
+        self.itt_timeouts.add(other.itt_timeouts.get());
+        self.itt_retries.add(other.itt_retries.get());
+        self.failed_transfers.add(other.failed_transfers.get());
+        self.stale_responses.add(other.stale_responses.get());
+    }
 }
 
 /// An RGP/RCP backend.
@@ -77,6 +154,12 @@ pub struct NiBackend {
     edge_via: Option<NocNode>,
     itt: HashMap<u32, IttEntry>,
     free_slots: Vec<u32>,
+    /// Per-slot reuse generation (see [`IttEntry::gen`]).
+    slot_gens: Vec<u16>,
+    /// Earliest cycle any live ITT entry could time out — a conservative
+    /// lower bound, so the deterministic slot scan only runs when a
+    /// timeout may actually be due (and never when the watchdog is off).
+    next_deadline: Cycle,
     /// Entries waiting for a free ITT slot.
     waiting: VecDeque<(WqEntry, u32, NocNode)>,
     /// Slots with blocks left to unroll, round-robin.
@@ -100,6 +183,10 @@ impl NiBackend {
         n_banks: u32,
         edge_via: Option<NocNode>,
     ) -> NiBackend {
+        assert!(
+            cfg.itt_slots <= 1 << 16,
+            "ITT slots must fit the 16-bit slot field of the transfer tag"
+        );
         NiBackend {
             node,
             id,
@@ -110,6 +197,8 @@ impl NiBackend {
             edge_via,
             itt: HashMap::new(),
             free_slots: (0..cfg.itt_slots as u32).rev().collect(),
+            slot_gens: vec![0; cfg.itt_slots],
+            next_deadline: Cycle(u64::MAX),
             waiting: VecDeque::new(),
             active: VecDeque::new(),
             pending_local_reads: HashMap::new(),
@@ -142,14 +231,27 @@ impl NiBackend {
             && self.egress.is_empty()
     }
 
-    /// Transfer tag for `(backend, slot)`.
-    fn tid(&self, slot: u32) -> u64 {
-        (u64::from(self.id) << 32) | u64::from(slot)
+    /// Transfer tag for `(backend, slot generation, slot)`: backend id in
+    /// bits 32.., the slot's reuse generation in bits 16..32, the slot in
+    /// bits 0..16. The generation is what lets the RCP tell a live
+    /// transfer's response from one that outlived its timed-out entry.
+    fn tid(&self, slot: u32, gen: u16) -> u64 {
+        (u64::from(self.id) << 32) | (u64::from(gen) << 16) | u64::from(slot)
     }
 
     /// Backend id encoded in a transfer tag.
     pub fn backend_of_tid(tid: u64) -> u16 {
         (tid >> 32) as u16
+    }
+
+    /// ITT slot encoded in a transfer tag.
+    fn slot_of_tid(tid: u64) -> u32 {
+        (tid & 0xffff) as u32
+    }
+
+    /// Slot generation encoded in a transfer tag.
+    fn gen_of_tid(tid: u64) -> u16 {
+        ((tid >> 16) & 0xffff) as u16
     }
 
     /// Accept a WQ entry from a frontend (latch or NOC delivery).
@@ -182,7 +284,7 @@ impl NiBackend {
         let e = self.itt.get(&slot).expect("slot live while reads pending");
         let idx = block.0 - e.local_base.0;
         let req = RemoteReq {
-            tid: self.tid(slot),
+            tid: self.tid(slot, e.gen),
             is_read: false,
             src_node: 0, // stamped by the fabric at the network router
             target_node: e.remote_node,
@@ -201,6 +303,7 @@ impl NiBackend {
 
     /// Drive one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        self.check_timeouts(now);
         while let Some(ev) = self.events.pop_ready(now) {
             match ev {
                 BeEv::Activate { entry, qp, fe } => self.activate(now, entry, qp, fe),
@@ -242,9 +345,20 @@ impl NiBackend {
         }
     }
 
-    fn admit(&mut self, _now: Cycle, entry: WqEntry, qp: u32, fe: NocNode) {
+    fn admit(&mut self, now: Cycle, entry: WqEntry, qp: u32, fe: NocNode) {
         let slot = self.free_slots.pop().expect("caller checked free slot");
         self.stats.transfers.incr();
+        let gen = self.slot_gens[slot as usize].wrapping_add(1);
+        self.slot_gens[slot as usize] = gen;
+        let total = entry.blocks();
+        // Per-block ack tracking only matters once retries can mint
+        // duplicate responses; with the watchdog off the empty Vec keeps
+        // the healthy path allocation-free.
+        let acked = if self.cfg.itt_timeout > 0 {
+            vec![0u64; total.div_ceil(64) as usize]
+        } else {
+            Vec::new()
+        };
         self.itt.insert(
             slot,
             IttEntry {
@@ -255,18 +369,113 @@ impl NiBackend {
                 remote_node: entry.remote_node,
                 remote_base: entry.remote_addr.block(),
                 local_base: entry.local_addr.block(),
-                total: entry.blocks(),
+                total,
                 sent: 0,
                 responses: 0,
+                gen,
+                last_progress: now,
+                retries_left: self.cfg.itt_retries,
+                acked,
             },
         );
+        if self.cfg.itt_timeout > 0 {
+            self.next_deadline = self.next_deadline.min(now + self.cfg.itt_timeout);
+        }
         self.active.push_back(slot);
+    }
+
+    /// The ITT watchdog: when armed ([`RmcConfig::itt_timeout`]` > 0`) and
+    /// the earliest possible deadline has passed, scan the slots in index
+    /// order (deterministic — never the hash map's iteration order) for
+    /// entries that made no progress for a full timeout. Each expiry
+    /// either re-sends the transfer's missing blocks (while
+    /// [`IttEntry::retries_left`] lasts) or frees the slot and completes
+    /// the operation back to the core with an error CQ status.
+    fn check_timeouts(&mut self, now: Cycle) {
+        if self.cfg.itt_timeout == 0 || now < self.next_deadline || self.itt.is_empty() {
+            return;
+        }
+        let timeout = self.cfg.itt_timeout;
+        let mut next = Cycle(u64::MAX);
+        for slot in 0..self.cfg.itt_slots as u32 {
+            let mut retried = false;
+            let mut failed: Option<(u32, u64, NocNode)> = None;
+            match self.itt.get_mut(&slot) {
+                None => continue,
+                Some(e) => {
+                    let deadline = e.last_progress + timeout;
+                    if now < deadline {
+                        next = next.min(deadline);
+                    } else if e.retries_left > 0 {
+                        e.retries_left -= 1;
+                        // Rewind the unroll cursor; `unroll_one` skips the
+                        // blocks the ack bitmap already saw answered, so
+                        // exactly the missing blocks go out again —
+                        // wherever in the transfer they were lost.
+                        e.sent = 0;
+                        e.last_progress = now;
+                        retried = true;
+                        next = next.min(now + timeout);
+                    } else {
+                        failed = Some((e.qp, e.wq_id, e.fe));
+                    }
+                }
+            }
+            if retried {
+                self.stats.itt_timeouts.incr();
+                self.stats.itt_retries.incr();
+                if !self.active.contains(&slot) {
+                    self.active.push_back(slot);
+                }
+            }
+            if let Some((qp, wq_id, fe)) = failed {
+                self.stats.itt_timeouts.incr();
+                self.stats.failed_transfers.incr();
+                self.itt.remove(&slot);
+                self.free_slots.push(slot);
+                if let Some(pos) = self.active.iter().position(|&s| s == slot) {
+                    self.active.remove(pos);
+                }
+                // Write transfers may still have local payload reads in
+                // flight; orphan them so a late NcData cannot resolve
+                // against the freed (or recycled) slot.
+                self.pending_local_reads.retain(|_, slots| {
+                    slots.retain(|&s| s != slot);
+                    !slots.is_empty()
+                });
+                self.egress.push_back(RmcEgress::Ni {
+                    dst: fe,
+                    msg: NiMsg::CqNotify {
+                        qp,
+                        wq_id,
+                        ok: false,
+                    },
+                });
+            }
+        }
+        self.next_deadline = next;
     }
 
     fn unroll_one(&mut self, now: Cycle, slot: u32) {
         let e = self.itt.get_mut(&slot).expect("active slot is live");
+        // Skip blocks the ack bitmap already saw answered (no-op before
+        // the first retry: the bitmap is all zeroes — or empty — until
+        // duplicates are possible). A rewound cursor can land past the
+        // last missing block, leaving nothing to send.
+        while e.sent < e.total && e.is_acked(e.sent) {
+            e.sent += 1;
+        }
+        if e.sent >= e.total {
+            let pos = self
+                .active
+                .iter()
+                .position(|&s| s == slot)
+                .expect("slot was active");
+            self.active.remove(pos);
+            return;
+        }
         let idx = e.sent;
-        let (qp, wq_id, op) = (e.qp, e.wq_id, e.op);
+        let (qp, wq_id, op, gen) = (e.qp, e.wq_id, e.op, e.gen);
         let (remote_block, local_block, tgt) = (
             e.remote_base.step(idx),
             e.local_base.step(idx),
@@ -299,7 +508,7 @@ impl NiBackend {
         match op {
             RemoteOp::Read => {
                 let req = RemoteReq {
-                    tid: self.tid(slot),
+                    tid: self.tid(slot, gen),
                     is_read: true,
                     src_node: 0, // stamped by the fabric at the network router
                     target_node: tgt,
@@ -336,14 +545,68 @@ impl NiBackend {
     }
 
     fn finish_response(&mut self, now: Cycle, resp: RemoteResp) {
-        let slot = (resp.tid & 0xffff_ffff) as u32;
-        let e = self.itt.get_mut(&slot).expect("response matches live slot");
+        let slot = Self::slot_of_tid(resp.tid);
+        let gen = Self::gen_of_tid(resp.tid);
+        // A response may outlive its transfer: the ITT watchdog can have
+        // error-completed the entry (slot vacant) or recycled the slot for
+        // a newer transfer (generation mismatch). Either way it is stale —
+        // dropping it is the only correct move.
+        // A vacant slot or generation mismatch is a *stale* response —
+        // legitimate once the watchdog can free entries early, but with
+        // the watchdog off nothing ever outlives its entry, so it can only
+        // mean tid corruption or a routing bug: keep the old loud failure
+        // in debug builds there.
+        let Some(e) = self.itt.get_mut(&slot) else {
+            debug_assert!(
+                self.cfg.itt_timeout > 0,
+                "response tid {:#x} matches no live slot with the watchdog off",
+                resp.tid
+            );
+            self.stats.stale_responses.incr();
+            return;
+        };
+        if e.gen != gen {
+            debug_assert!(
+                self.cfg.itt_timeout > 0,
+                "response tid {:#x} generation mismatch with the watchdog off",
+                resp.tid
+            );
+            self.stats.stale_responses.incr();
+            return;
+        }
+        // Locate the answered block within the transfer; with retries in
+        // play a response can also be a duplicate of one already counted
+        // (the ack bitmap remembers), and duplicates must not advance the
+        // completion count — that is what keeps `ok == true` meaning every
+        // block actually arrived, not "enough arrivals happened".
+        let idx = resp.remote_block.0.wrapping_sub(e.remote_base.0);
+        if idx >= e.total {
+            // A gen-matched response always names a block of its own
+            // transfer; out of range is a bug in any configuration.
+            debug_assert!(
+                false,
+                "response tid {:#x} names block {idx} of a {}-block transfer",
+                resp.tid, e.total
+            );
+            self.stats.stale_responses.incr();
+            return;
+        }
+        if !e.mark_acked(idx) {
+            debug_assert!(
+                self.cfg.itt_timeout > 0,
+                "duplicate response tid {:#x} with the watchdog off",
+                resp.tid
+            );
+            self.stats.stale_responses.incr();
+            return;
+        }
         self.stats.responses.incr();
         e.responses += 1;
+        e.last_progress = now;
         let done = e.responses >= e.total;
         let (qp, wq_id, fe) = (e.qp, e.wq_id, e.fe);
+        let ever_retried = e.retries_left < self.cfg.itt_retries;
         if resp.is_read {
-            let idx = resp.remote_block.0 - e.remote_base.0;
             let local = e.local_base.step(idx);
             self.stats.payload_bytes.add(ni_mem::BLOCK_BYTES);
             self.egress.push_back(RmcEgress::Coh(Egress {
@@ -370,9 +633,28 @@ impl NiBackend {
             }));
             self.itt.remove(&slot);
             self.free_slots.push(slot);
+            // A transfer that retried can complete while its rewound slot
+            // still sits in `active` (a parked original response arriving
+            // after the watchdog re-queued it) or with duplicate local
+            // payload reads pending: purge both, or the freed slot's next
+            // occupant gets driven by the corpse's leftovers. Never
+            // reachable — and never paid for — without a retry.
+            if ever_retried {
+                if let Some(pos) = self.active.iter().position(|&s| s == slot) {
+                    self.active.remove(pos);
+                }
+                self.pending_local_reads.retain(|_, slots| {
+                    slots.retain(|&s| s != slot);
+                    !slots.is_empty()
+                });
+            }
             self.egress.push_back(RmcEgress::Ni {
                 dst: fe,
-                msg: NiMsg::CqNotify { qp, wq_id },
+                msg: NiMsg::CqNotify {
+                    qp,
+                    wq_id,
+                    ok: true,
+                },
             });
         }
         let _ = self.qp_cfg;

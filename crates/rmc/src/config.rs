@@ -76,6 +76,21 @@ pub struct RmcConfig {
     /// NIedge numbers); higher values are an extension studied by the
     /// `ablation_fe_concurrency` bench.
     pub fe_poll_concurrency: usize,
+    /// Cycles an ITT entry may sit without progress (no response arriving)
+    /// before the backend declares it timed out and re-sends its missing
+    /// blocks — the recovery path for traffic a dead link or node erased.
+    /// `0` disables the watchdog entirely (the paper's fault-free
+    /// methodology, and the default: a healthy run is bit-identical with
+    /// the watchdog armed or not, but disabled costs nothing per tick).
+    /// When set, it must comfortably exceed the worst-case round trip
+    /// *plus* the unroll time of the largest transfer, or healthy
+    /// transfers will spuriously retry.
+    pub itt_timeout: u64,
+    /// Re-send attempts per ITT entry after a timeout before the backend
+    /// gives up and completes the operation with an error CQ status
+    /// ([`ni_qp::CqEntry::ok`]` == false`). Only meaningful with a
+    /// non-zero `itt_timeout`.
+    pub itt_retries: u32,
 }
 
 impl Default for RmcConfig {
@@ -91,6 +106,8 @@ impl Default for RmcConfig {
             rrpp_max_outstanding: 64,
             poll_backoff: 0,
             fe_poll_concurrency: 1,
+            itt_timeout: 0,
+            itt_retries: 1,
         }
     }
 }

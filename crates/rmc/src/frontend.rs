@@ -30,8 +30,10 @@ const TAG_CQ: u64 = 2 << 62;
 enum FeEv {
     /// Emit a WqFwd to the backend (after RGP frontend processing).
     SendWq { qp: u32, wq_id: u64 },
-    /// Begin the CQ store (after RCP frontend processing).
-    CqStore { qp: u32, wq_id: u64 },
+    /// Begin the CQ store (after RCP frontend processing); `ok` is the
+    /// completion status the backend reported (false for a transfer its
+    /// ITT watchdog abandoned).
+    CqStore { qp: u32, wq_id: u64, ok: bool },
 }
 
 /// An RGP/RCP frontend.
@@ -44,8 +46,9 @@ pub struct NiFrontend {
     /// Backend this frontend's entries go to.
     backend: NocNode,
     rr: usize,
-    /// Pending completion notifications to turn into CQ entries.
-    cq_queue: VecDeque<(u32, u64)>,
+    /// Pending completion notifications to turn into CQ entries:
+    /// `(qp, wq_id, ok)`.
+    cq_queue: VecDeque<(u32, u64, bool)>,
     /// Outstanding WQ polls: access tag -> polled QP.
     polls: HashMap<u64, u32>,
     /// QPs with a poll in flight (never poll the same QP twice at once).
@@ -102,9 +105,12 @@ impl NiFrontend {
         self.backend
     }
 
-    /// Deliver a completion notification (from the backend, via latch or NOC).
-    pub fn on_notify(&mut self, qp: u32, wq_id: u64) {
-        self.cq_queue.push_back((qp, wq_id));
+    /// Deliver a completion notification (from the backend, via latch or
+    /// NOC). `ok == false` marks a transfer the backend's ITT watchdog
+    /// abandoned; the frontend writes the CQ entry either way, with the
+    /// status flag carried through to the application.
+    pub fn on_notify(&mut self, qp: u32, wq_id: u64, ok: bool) {
+        self.cq_queue.push_back((qp, wq_id, ok));
     }
 
     /// True when the frontend holds no in-flight work: no outstanding WQ
@@ -147,10 +153,10 @@ impl NiFrontend {
                         },
                     });
                 }
-                FeEv::CqStore { qp, wq_id } => {
+                FeEv::CqStore { qp, wq_id, ok } => {
                     let q = &mut qps[qp as usize];
                     let block = q.cq_tail_block();
-                    q.ni_complete(wq_id);
+                    q.ni_complete_with(wq_id, ok);
                     let token = q.completions_written();
                     let tag = TAG_CQ | self.bump_tag();
                     self.storing_cq = Some((tag, qp, wq_id));
@@ -169,10 +175,10 @@ impl NiFrontend {
         }
         // CQ writes take priority over new polls.
         if !self.cq_busy {
-            if let Some((qp, wq_id)) = self.cq_queue.pop_front() {
+            if let Some((qp, wq_id, ok)) = self.cq_queue.pop_front() {
                 self.cq_busy = true;
                 self.events
-                    .push_after(now, self.cfg.rcp_fe_proc, FeEv::CqStore { qp, wq_id });
+                    .push_after(now, self.cfg.rcp_fe_proc, FeEv::CqStore { qp, wq_id, ok });
                 return;
             }
         }

@@ -27,7 +27,7 @@ pub mod frontend;
 pub mod rrpp;
 pub mod trace;
 
-pub use backend::NiBackend;
+pub use backend::{BackendStats, NiBackend};
 pub use config::{NiPlacement, RmcConfig};
 pub use frontend::NiFrontend;
 pub use rrpp::Rrpp;
@@ -57,6 +57,10 @@ pub enum NiMsg {
         qp: u32,
         /// Completed WQ entry id.
         wq_id: u64,
+        /// Completion status written into the CQ entry: `false` when the
+        /// backend gave up on the transfer (ITT timeout past the retry
+        /// budget) so the core observes the failure instead of hanging.
+        ok: bool,
     },
     /// A per-tile backend's unrolled request traveling to the chip edge.
     NetOut(RemoteReq),
@@ -115,7 +119,11 @@ mod tests {
             fe: NocNode::tile(0, 0),
         };
         assert_eq!(fwd.flits(), 2, "a WQ entry plus header fits two flits");
-        let note = NiMsg::CqNotify { qp: 0, wq_id: 1 };
+        let note = NiMsg::CqNotify {
+            qp: 0,
+            wq_id: 1,
+            ok: true,
+        };
         assert_eq!(note.flits(), 1);
     }
 

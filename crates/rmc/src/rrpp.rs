@@ -25,7 +25,13 @@ pub struct RrppStats {
     pub serviced: Counter,
     /// Bytes of payload sent back in read responses.
     pub payload_bytes: Counter,
-    /// Requests rejected (queue full) — callers must retry.
+    /// Requests that arrived while the pipeline was already at
+    /// [`RmcConfig::rrpp_max_outstanding`] and had to wait in the arrival
+    /// queue. Nothing is ever *rejected*: the queue is unbounded, every
+    /// admitted request is eventually serviced and answered, and a request
+    /// the fabric lost (dead link or node en route) is recovered by the
+    /// *requester's* ITT timeout/retry — never by the RRPP, which cannot
+    /// know the request existed.
     pub stalls: Counter,
 }
 
@@ -97,6 +103,9 @@ impl Rrpp {
 
     /// An incoming remote request arrives from the network router.
     pub fn on_request(&mut self, now: Cycle, req: RemoteReq) {
+        if self.outstanding >= self.cfg.rrpp_max_outstanding {
+            self.stats.stalls.incr();
+        }
         self.queue.push_back((req, now));
     }
 

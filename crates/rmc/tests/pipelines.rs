@@ -155,7 +155,17 @@ fn responses_complete_transfer_and_notify_frontend() {
     let notifies: Vec<_> = d2
         .ni
         .iter()
-        .filter(|(dst, msg)| *dst == fe && matches!(msg, NiMsg::CqNotify { qp: 7, wq_id: 9 }))
+        .filter(|(dst, msg)| {
+            *dst == fe
+                && matches!(
+                    msg,
+                    NiMsg::CqNotify {
+                        qp: 7,
+                        wq_id: 9,
+                        ok: true
+                    }
+                )
+        })
         .collect();
     assert_eq!(notifies.len(), 1, "exactly one CqNotify");
     assert_eq!(be.inflight(), 0, "ITT slot freed");
@@ -293,6 +303,254 @@ fn concurrent_transfers_interleave_round_robin() {
         slots.len() > 1,
         "round-robin interleaves slots: {first_half:?}"
     );
+}
+
+// ---- ITT timeout / retry ----------------------------------------------
+
+fn watchdog_backend(timeout: u64, retries: u32) -> NiBackend {
+    NiBackend::new(
+        NocNode::NiBlock(0),
+        3,
+        RmcConfig {
+            itt_timeout: timeout,
+            itt_retries: retries,
+            ..RmcConfig::default()
+        },
+        QpConfig::default(),
+        home,
+        64,
+        None,
+    )
+}
+
+fn resp_for(r: &RemoteReq) -> RemoteResp {
+    RemoteResp {
+        tid: r.tid,
+        dst_node: 0,
+        remote_block: r.remote_block,
+        value: 1,
+        is_read: true,
+    }
+}
+
+#[test]
+fn itt_timeout_resends_only_the_missing_blocks() {
+    let fe = NocNode::tile(1, 1);
+    let mut be = watchdog_backend(100, 2);
+    be.on_wq_entry(Cycle(0), entry(1, RemoteOp::Read, 4 * 64), 0, fe);
+    let d = drain(&mut be, 0, 20);
+    assert_eq!(d.net.len(), 4);
+    // Two blocks answered; two lost to a (simulated) dead link.
+    be.on_response(Cycle(30), resp_for(&d.net[0]));
+    be.on_response(Cycle(31), resp_for(&d.net[1]));
+    let d2 = drain(&mut be, 20, 80);
+    assert!(d2.net.is_empty(), "nothing re-sent before the deadline");
+    // Progress was at cycle 31; the watchdog fires at 131.
+    let d3 = drain(&mut be, 100, 60);
+    assert_eq!(d3.net.len(), 2, "exactly the unanswered tail re-sent");
+    assert_eq!(be.stats().itt_timeouts.get(), 1);
+    assert_eq!(be.stats().itt_retries.get(), 1);
+    assert_eq!(be.stats().failed_transfers.get(), 0);
+    // The re-sent blocks arrive: the transfer completes successfully.
+    be.on_response(Cycle(170), resp_for(&d3.net[0]));
+    be.on_response(Cycle(171), resp_for(&d3.net[1]));
+    let d4 = drain(&mut be, 170, 20);
+    assert!(d4.ni.iter().any(|(dst, msg)| *dst == fe
+        && matches!(
+            msg,
+            NiMsg::CqNotify {
+                qp: 0,
+                wq_id: 1,
+                ok: true
+            }
+        )));
+    assert_eq!(be.inflight(), 0);
+    assert!(be.is_quiescent());
+}
+
+#[test]
+fn exhausted_retry_budget_completes_with_an_error_status() {
+    let fe = NocNode::tile(2, 0);
+    let mut be = watchdog_backend(50, 1);
+    be.on_wq_entry(Cycle(0), entry(7, RemoteOp::Read, 64), 4, fe);
+    // No responses ever arrive (dead destination). One retry at ~+50,
+    // then the error completion at ~+100.
+    let d = drain(&mut be, 0, 200);
+    assert_eq!(d.net.len(), 2, "original send plus one retry");
+    assert_eq!(be.stats().itt_timeouts.get(), 2);
+    assert_eq!(be.stats().itt_retries.get(), 1);
+    assert_eq!(be.stats().failed_transfers.get(), 1);
+    let fails: Vec<_> =
+        d.ni.iter()
+            .filter(|(dst, msg)| {
+                *dst == fe
+                    && matches!(
+                        msg,
+                        NiMsg::CqNotify {
+                            qp: 4,
+                            wq_id: 7,
+                            ok: false
+                        }
+                    )
+            })
+            .collect();
+    assert_eq!(fails.len(), 1, "exactly one error CqNotify");
+    assert_eq!(be.inflight(), 0, "the slot is freed on failure");
+    assert!(be.is_quiescent(), "an abandoned transfer leaves no residue");
+}
+
+#[test]
+fn responses_outliving_their_transfer_are_dropped_as_stale() {
+    let mut be = watchdog_backend(50, 0);
+    be.on_wq_entry(
+        Cycle(0),
+        entry(1, RemoteOp::Read, 64),
+        0,
+        NocNode::tile(0, 0),
+    );
+    let d = drain(&mut be, 0, 120);
+    assert_eq!(
+        be.stats().failed_transfers.get(),
+        1,
+        "gave up with 0 retries"
+    );
+    // A new transfer recycles the same slot under a fresh generation.
+    be.on_wq_entry(
+        Cycle(200),
+        entry(2, RemoteOp::Read, 64),
+        0,
+        NocNode::tile(0, 0),
+    );
+    let d2 = drain(&mut be, 200, 20);
+    assert_eq!(d2.net.len(), 1);
+    assert_ne!(
+        d2.net[0].tid, d.net[0].tid,
+        "slot reuse must mint a fresh generation"
+    );
+    // The original response finally limps home: dropped, not matched.
+    be.on_response(Cycle(230), resp_for(&d.net[0]));
+    drain(&mut be, 230, 20);
+    assert_eq!(be.stats().stale_responses.get(), 1);
+    assert_eq!(
+        be.inflight(),
+        1,
+        "the recycled slot's live transfer is untouched"
+    );
+    // The real response completes it.
+    be.on_response(Cycle(260), resp_for(&d2.net[0]));
+    drain(&mut be, 260, 20);
+    assert_eq!(be.inflight(), 0);
+}
+
+#[test]
+fn write_transfer_failure_orphans_pending_local_reads() {
+    let mut be = watchdog_backend(50, 0);
+    be.on_wq_entry(
+        Cycle(0),
+        entry(1, RemoteOp::Write, 2 * 64),
+        0,
+        NocNode::tile(0, 0),
+    );
+    let d = drain(&mut be, 0, 10);
+    let reads: Vec<_> = d
+        .coh
+        .iter()
+        .filter_map(|e| match e.msg {
+            ni_coherence::CohMsg::NcRead { block } => Some(block),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(reads.len(), 2, "payload reads issued");
+    // The watchdog abandons the transfer before local data returns.
+    drain(&mut be, 10, 120);
+    assert_eq!(be.stats().failed_transfers.get(), 1);
+    // Late local data must not resolve against the freed slot (this used
+    // to be an `expect("slot live while reads pending")` panic path).
+    be.on_nc_data(Cycle(150), reads[0], 0xEE);
+    be.on_nc_data(Cycle(151), reads[1], 0xEF);
+    let d2 = drain(&mut be, 150, 20);
+    assert!(d2.net.is_empty(), "no payload ships for a dead transfer");
+    assert!(be.is_quiescent());
+}
+
+/// A block lost in the *middle* of a transfer (later blocks answered) must
+/// be exactly what the retry re-sends — a suffix-based resend would skip
+/// it and let duplicate arrivals complete the transfer `ok` with data
+/// missing.
+#[test]
+fn retry_resends_a_block_lost_mid_transfer() {
+    let fe = NocNode::tile(0, 3);
+    let mut be = watchdog_backend(100, 1);
+    be.on_wq_entry(Cycle(0), entry(1, RemoteOp::Read, 3 * 64), 0, fe);
+    let d = drain(&mut be, 0, 20);
+    assert_eq!(d.net.len(), 3);
+    // Blocks 1 and 2 answered; block 0's request was erased by the fabric.
+    be.on_response(Cycle(30), resp_for(&d.net[1]));
+    be.on_response(Cycle(31), resp_for(&d.net[2]));
+    let d2 = drain(&mut be, 20, 150);
+    assert_eq!(d2.net.len(), 1, "exactly the lost block re-sent");
+    assert_eq!(
+        d2.net[0].remote_block, d.net[0].remote_block,
+        "the re-send must target the missing block, not the tail"
+    );
+    // A duplicate of an already-answered block must not complete the
+    // transfer...
+    be.on_response(Cycle(200), resp_for(&d.net[1]));
+    drain(&mut be, 200, 20);
+    assert_eq!(be.inflight(), 1, "duplicate must not count as progress");
+    assert_eq!(be.stats().stale_responses.get(), 1);
+    // ...only the real missing data does.
+    be.on_response(Cycle(230), resp_for(&d2.net[0]));
+    let d3 = drain(&mut be, 230, 20);
+    assert!(d3
+        .ni
+        .iter()
+        .any(|(_, msg)| matches!(msg, NiMsg::CqNotify { ok: true, .. })));
+    assert_eq!(be.inflight(), 0);
+    assert!(be.is_quiescent());
+}
+
+/// A parked original response can arrive in the same tick the watchdog
+/// re-queues its slot for resending: the completion must pull the slot
+/// back out of the unroll queue, or the next `unroll_one` drives a freed
+/// (or recycled) slot. This used to panic on `active slot is live`.
+#[test]
+fn response_arriving_as_the_watchdog_retries_completes_cleanly() {
+    let mut be = watchdog_backend(50, 1);
+    be.on_wq_entry(
+        Cycle(0),
+        entry(1, RemoteOp::Read, 64),
+        0,
+        NocNode::tile(0, 0),
+    );
+    let d = drain(&mut be, 0, 10);
+    assert_eq!(d.net.len(), 1);
+    // Admission happened at cycle 4 (rgp_be_proc), so the watchdog fires
+    // at tick 54. RespDone events pay rcp_be_proc = 4 cycles: delivering
+    // the response at 50 makes it land in tick 54's event loop — after
+    // check_timeouts re-queued the slot, before the unroll phase resends.
+    be.on_response(Cycle(50), resp_for(&d.net[0]));
+    let d2 = drain(&mut be, 10, 100);
+    assert!(d2.net.is_empty(), "completion must cancel the re-send");
+    assert_eq!(be.stats().itt_retries.get(), 1, "the watchdog did fire");
+    assert!(d2
+        .ni
+        .iter()
+        .any(|(_, msg)| matches!(msg, NiMsg::CqNotify { ok: true, .. })));
+    assert_eq!(be.inflight(), 0);
+    assert!(
+        be.is_quiescent(),
+        "no zombie slot may stay in the unroll queue"
+    );
+    // The freed slot must be reusable without interference.
+    be.on_wq_entry(
+        Cycle(200),
+        entry(2, RemoteOp::Read, 64),
+        0,
+        NocNode::tile(0, 0),
+    );
+    let d3 = drain(&mut be, 200, 20);
+    assert_eq!(d3.net.len(), 1, "recycled slot unrolls exactly once");
 }
 
 // ---- RRPP --------------------------------------------------------------

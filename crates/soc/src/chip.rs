@@ -478,9 +478,26 @@ impl Chip {
         be + rr
     }
 
-    /// Total operations completed by all cores.
+    /// Total operations completed by all cores (successful and failed —
+    /// see [`Chip::failed_ops`]).
     pub fn completed_ops(&self) -> u64 {
         self.cores.iter().map(|c| c.stats.completed).sum()
+    }
+
+    /// Operations that completed with an error CQ status (the NI's ITT
+    /// watchdog abandoned the transfer after a link or node death).
+    pub fn failed_ops(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.failed).sum()
+    }
+
+    /// Aggregate RGP/RCP backend statistics over every backend of this
+    /// chip — the per-node view of ITT pressure, timeouts, and retries.
+    pub fn backend_stats(&self) -> ni_rmc::BackendStats {
+        let mut total = ni_rmc::BackendStats::default();
+        for b in &self.backends {
+            total.merge(b.stats());
+        }
+        total
     }
 
     /// Chip-wide distribution of end-to-end remote-read latencies, merged
@@ -934,9 +951,9 @@ impl Chip {
                 let b = self.backend_index[&dst];
                 self.backends[b].on_wq_entry(now, entry, qp, fe);
             }
-            NiMsg::CqNotify { qp, wq_id } => {
+            NiMsg::CqNotify { qp, wq_id, ok } => {
                 let f = self.fe_index[&dst];
-                self.frontends[f].on_notify(qp, wq_id);
+                self.frontends[f].on_notify(qp, wq_id, ok);
             }
             NiMsg::NetOut(req) => {
                 // Arrived at the edge: hand to the network router / rack.

@@ -92,8 +92,13 @@ impl Workload {
 /// Per-core workload statistics.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CoreStats {
-    /// Completed operations.
+    /// Completed operations — successful *and* failed: every reaped CQ
+    /// entry counts, so capped jobs terminate even on a degraded rack.
     pub completed: u64,
+    /// Operations that completed with an error CQ status
+    /// ([`ni_qp::CqEntry::ok`]` == false`): the NI's ITT watchdog gave up
+    /// on the transfer after a link or node death. Always `<= completed`.
+    pub failed: u64,
     /// End-to-end latency of synchronous operations (cycles).
     pub latency: RunningMean,
 }
@@ -547,6 +552,9 @@ impl Core {
                     for _ in 0..newly {
                         let c = qp.app_reap().expect("token promised a completion");
                         self.stats.completed += 1;
+                        if !c.ok {
+                            self.stats.failed += 1;
+                        }
                         self.inflight = self.inflight.saturating_sub(1);
                         if let Some(i) = self
                             .issue_times
@@ -554,7 +562,11 @@ impl Core {
                             .position(|&(id, _, _)| id == c.wq_id)
                         {
                             let (_, issued_at, op) = self.issue_times.swap_remove(i);
-                            if op == RemoteOp::Read {
+                            // Failed ops would only record the watchdog's
+                            // timeout; keep the read-latency distribution a
+                            // property of *successful* transfers and report
+                            // failures separately.
+                            if op == RemoteOp::Read && c.ok {
                                 self.read_latency_hist
                                     .record(now.saturating_since(issued_at));
                             }
@@ -566,9 +578,14 @@ impl Core {
                             at: now,
                         });
                         if self.awaiting_sync == Some(c.wq_id) {
-                            let lat = now.saturating_since(self.iter_start);
-                            self.stats.latency.record(lat);
-                            self.latency_hist.record(lat);
+                            // Always release the spin — a failed sync op
+                            // must not wedge the core — but only successful
+                            // ops contribute latency samples.
+                            if c.ok {
+                                let lat = now.saturating_since(self.iter_start);
+                                self.stats.latency.record(lat);
+                                self.latency_hist.record(lat);
+                            }
                             self.awaiting_sync = None;
                         }
                     }

@@ -45,8 +45,8 @@ use std::sync::Barrier;
 use ni_engine::parallel::{default_threads, par_map_threads};
 use ni_engine::Cycle;
 use ni_fabric::{
-    link_report_csv, link_report_json, Fabric, FabricPort, LinkReport, RoutingKind, Torus3D,
-    TorusFabric, TorusFabricConfig,
+    link_report_csv, link_report_json, Fabric, FabricPort, FaultPlan, FaultStats, LinkReport,
+    RoutingKind, Torus3D, TorusFabric, TorusFabricConfig,
 };
 
 use crate::chip::Chip;
@@ -96,7 +96,7 @@ pub enum LinkReportFormat {
 }
 
 /// Multi-node rack configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RackSimConfig {
     /// Rack geometry (also sets the node count).
     pub torus: Torus3D,
@@ -117,6 +117,14 @@ pub struct RackSimConfig {
     /// at the fabric layer via
     /// [`TorusFabric::with_policy`](ni_fabric::TorusFabric::with_policy).
     pub routing: RoutingKind,
+    /// Scheduled torus link/node failures (and repairs), applied by the
+    /// shared fabric at their firing cycles — threaded to
+    /// [`TorusFabricConfig::faults`] exactly like `routing`. Empty by
+    /// default. Pair a non-empty plan with a non-zero
+    /// [`RmcConfig::itt_timeout`](ni_rmc::RmcConfig::itt_timeout) in
+    /// `chip.rmc`, or operations whose traffic a dead node erases will
+    /// wait forever instead of error-completing.
+    pub faults: FaultPlan,
     /// Destination assignment used by the [`Workload`]-based [`Rack::new`]
     /// constructor; scenario-driven racks pick destinations per op instead.
     pub traffic: TrafficPattern,
@@ -138,6 +146,7 @@ impl Default for RackSimConfig {
             link_bytes_per_cycle: fabric.link_bytes_per_cycle,
             stats_window: fabric.stats_window,
             routing: fabric.routing,
+            faults: fabric.faults,
             traffic: TrafficPattern::Uniform,
             threads: 0,
         }
@@ -190,11 +199,15 @@ impl Rack {
             link_bytes_per_cycle: cfg.link_bytes_per_cycle,
             stats_window: cfg.stats_window,
             routing: cfg.routing,
+            faults: cfg.faults.clone(),
         });
         let nodes = cfg.torus.nodes();
         assert!(nodes <= u32::from(u16::MAX), "node ids are u16 on the wire");
         let ports: Vec<FabricPort> = (0..nodes).map(|n| FabricPort::new(n as u16)).collect();
         let port_refs: Vec<FabricPort> = ports.clone();
+        // Only the `Copy` pieces of the config cross into the construction
+        // closure (the config itself holds the non-`Copy` fault plan).
+        let (base_chip, torus) = (cfg.chip, cfg.torus);
         let chips = par_map_threads(
             (0..nodes).collect(),
             cfg.worker_threads(),
@@ -204,18 +217,17 @@ impl Rack {
                     // Distinct, reproducible per-node streams from one
                     // master seed (splitmix-style odd multiplier keeps them
                     // decorrelated).
-                    seed: cfg
-                        .chip
+                    seed: base_chip
                         .seed
                         .wrapping_add(u64::from(node).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
-                    ..cfg.chip
+                    ..base_chip
                 };
                 Chip::with_scenario_on(
                     chip_cfg,
                     scenario,
                     Box::new(port_refs[node as usize].clone()),
                     nodes,
-                    Some(cfg.torus),
+                    Some(torus),
                 )
             },
         );
@@ -400,9 +412,33 @@ impl Rack {
         }
     }
 
-    /// Total operations completed across all nodes.
+    /// Total operations completed across all nodes (successful and failed
+    /// — see [`Rack::failed_ops`]).
     pub fn completed_ops(&self) -> u64 {
         self.chips.iter().map(Chip::completed_ops).sum()
+    }
+
+    /// Operations rack-wide that completed with an error CQ status (the
+    /// NI gave up after a link or node death) — the blast radius the
+    /// failure sweep reports.
+    pub fn failed_ops(&self) -> u64 {
+        self.chips.iter().map(Chip::failed_ops).sum()
+    }
+
+    /// Aggregate RGP/RCP backend statistics over every backend of every
+    /// node — rack-wide ITT timeout/retry pressure.
+    pub fn backend_stats(&self) -> ni_rmc::BackendStats {
+        let mut total = ni_rmc::BackendStats::default();
+        for chip in &self.chips {
+            total.merge(&chip.backend_stats());
+        }
+        total
+    }
+
+    /// Fault-path counters of the shared fabric (packets dropped by dead
+    /// nodes, forward attempts stalled at dead links, escape hops taken).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fabric.fault_stats()
     }
 
     /// Application payload bytes moved rack-wide (RCP deliveries plus RRPP

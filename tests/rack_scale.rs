@@ -191,6 +191,89 @@ fn parallel_rack_is_bit_identical_to_serial_at_any_thread_count() {
     }
 }
 
+/// A run with a `FaultPlan` — link kill, node kill, and a repair, with the
+/// ITT watchdog armed — is still a pure function of its config: serial
+/// ticking, one worker, and four workers must produce byte-equal traffic
+/// counters, completed/failed op counts, fault-path counters, and watchdog
+/// statistics. All fault state lives in the driver-side fabric and the
+/// per-chip backends, so thread count can never observe it mid-change.
+#[test]
+fn faulted_rack_runs_are_bit_identical_across_thread_counts() {
+    use rackni::ni_fabric::FaultPlan;
+
+    #[derive(Debug, PartialEq)]
+    struct Fingerprint {
+        sent: u64,
+        responded: u64,
+        completed_ops: u64,
+        failed_ops: u64,
+        hops: u64,
+        dropped: u64,
+        stalls: u64,
+        escapes: u64,
+        timeouts: u64,
+        retries: u64,
+        per_node_ops: Vec<u64>,
+    }
+    let fingerprint = |rack: &Rack| {
+        let fs = rack.fabric_stats();
+        let fstats = rack.fault_stats();
+        let be = rack.backend_stats();
+        Fingerprint {
+            sent: fs.sent.get(),
+            responded: fs.responded.get(),
+            completed_ops: rack.completed_ops(),
+            failed_ops: rack.failed_ops(),
+            hops: rack.hops_traversed(),
+            dropped: fstats.packets_dropped.get(),
+            stalls: fstats.dead_link_stalls.get(),
+            escapes: fstats.escape_hops.get(),
+            timeouts: be.itt_timeouts.get(),
+            retries: be.itt_retries.get(),
+            per_node_ops: rack.chips().iter().map(|c| c.completed_ops()).collect(),
+        }
+    };
+    let build = |threads: usize| {
+        let mut cfg = rack_cfg(Torus3D::new(3, 3, 1), 2, TrafficPattern::Uniform);
+        cfg.chip.seed = 0xfa117;
+        cfg.chip.rmc.itt_timeout = 1_200;
+        cfg.chip.rmc.itt_retries = 1;
+        cfg.threads = threads;
+        cfg.routing = rackni::ni_fabric::RoutingKind::FaultAdaptive;
+        cfg.faults = FaultPlan::new()
+            .link_down(0, 1, 400)
+            .node_down(4, 900)
+            .link_up(0, 1, 2_200);
+        Rack::new(
+            cfg,
+            Workload::AsyncRead {
+                size: 256,
+                poll_every: 4,
+            },
+        )
+    };
+    let cycles = 6_000u64;
+    let mut serial = build(1);
+    for _ in 0..cycles {
+        serial.tick();
+    }
+    let want = fingerprint(&serial);
+    assert!(want.completed_ops > 0, "reference run must do work");
+    assert!(
+        want.dropped > 0 && want.timeouts > 0,
+        "the fault plan must actually bite: {want:?}"
+    );
+    for threads in [1usize, 4] {
+        let mut rack = build(threads);
+        rack.run(cycles);
+        assert_eq!(
+            fingerprint(&rack),
+            want,
+            "{threads}-thread faulted run diverged from the serial reference"
+        );
+    }
+}
+
 /// Reproducibility: a rack run is a pure function of its config (seed
 /// included), and the emulator path reproduces from `ChipConfig::seed`
 /// alone.
