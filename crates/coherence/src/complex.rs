@@ -242,6 +242,19 @@ impl CacheComplex {
         self.mshrs.is_empty() && self.writebacks.is_empty() && self.events.is_empty()
     }
 
+    /// Earliest cycle (>= `now`) at which this complex does anything on its
+    /// own. `None` means it only acts on external input — an outstanding
+    /// miss or writeback is parked until the directory answers, so it does
+    /// not by itself keep the complex ticking. Undrained egress or
+    /// completions force `now`: [`CacheComplex::deliver`] can produce both
+    /// without scheduling an internal event.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.egress.is_empty() || !self.completions.is_empty() {
+            return Some(now);
+        }
+        self.events.next_ready_at()
+    }
+
     /// Submit an access.
     ///
     /// # Errors

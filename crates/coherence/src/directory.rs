@@ -149,6 +149,19 @@ impl DirectoryBank {
             && self.egress.is_empty()
     }
 
+    /// Earliest cycle (>= `now`) at which this bank does anything on its
+    /// own. Queued or replayed requests and undrained egress demand a tick
+    /// immediately; otherwise the only self-driven work is the delayed
+    /// outbox. `None` means the bank is idle until the next
+    /// [`DirectoryBank::deliver`] — open `busy` transactions wait on
+    /// external messages and do not keep it ticking.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.inbox.is_empty() || !self.replay.is_empty() || !self.egress.is_empty() {
+            return Some(now);
+        }
+        self.outbox.next_ready_at()
+    }
+
     /// Deliver a message from the interconnect.
     pub fn deliver(&mut self, _now: Cycle, from: NocNode, msg: CohMsg) {
         self.inbox.push_back((from, msg));

@@ -12,8 +12,8 @@ use ni_noc::RoutingPolicy;
 use ni_rmc::NiPlacement;
 use ni_soc::bench::{run_bandwidth, run_sync_latency, stage_breakdown, StageBreakdown};
 use ni_soc::{
-    builtin_scenarios, Capped, ChipConfig, Rack, RackSimConfig, Scenario, Synthetic, Topology,
-    TrafficPattern, Workload, ZipfHotspot,
+    builtin_scenarios, Bursty, Capped, ChipConfig, Rack, RackSimConfig, Scenario, Synthetic,
+    TickMode, Topology, TrafficPattern, Workload, ZipfHotspot,
 };
 
 use crate::paper;
@@ -566,6 +566,61 @@ pub fn build_rack_point(dims: (u16, u16, u16), traffic: TrafficPattern, threads:
             poll_every: 4,
         },
     )
+}
+
+/// Build the *idle-heavy* variant of a rack point: NIedge chips where one
+/// core per node runs a stencil-like nearest-neighbour exchange — 2-op
+/// bursts of 64B async reads against the [`TrafficPattern::Neighbor`]
+/// node, separated by 10,000 declared idle cycles of "compute"
+/// ([`Bursty`]) — with the RMC frontends backing their WQ poll loop off to
+/// a 512-cycle cadence instead of spinning.
+///
+/// The shape is deliberate on two counts. Neighbour traffic keeps the
+/// arrival spread at one hop, so a node's serving role finishes quickly
+/// and the declared idle window is *actually* idle at every rack size
+/// (uniform traffic at 512+ nodes smears arrivals across a multi-thousand
+/// cycle hop spread, leaving no per-node quiet time at all). And the
+/// 10k-cycle think window dwarfs the ~1.5k-cycle burst-plus-drain tail
+/// (small 64B payloads keep the landing to one cache block), so most
+/// simulated cycles touch no component — the regime the event-driven chip
+/// tick's dormant fast path and the rack's merge/collect skips are built
+/// for. `tick_mode` selects the chip ticking strategy so benchmarks can
+/// measure poll and event head-to-head on a bit-identical workload.
+pub fn build_idle_rack_point(dims: (u16, u16, u16), threads: usize, tick_mode: TickMode) -> Rack {
+    let mut chip = ChipConfig {
+        active_cores: 1,
+        placement: NiPlacement::Edge,
+        tick_mode,
+        ..ChipConfig::default()
+    };
+    // A zero backoff keeps the frontends' WQ poll loop hot every cycle —
+    // and every WQ poll is a real cache/NOC transaction in this simulator —
+    // which would pin `dormant_until` to `now` and erase the idle windows
+    // the scenario declares. A 512-cycle cadence makes the think windows
+    // genuinely quiet (edge placement assigns every row's QPs to its
+    // frontend, so all four edge frontends poll regardless of how many
+    // cores issue work). The cadence is part of the workload, so it is
+    // identical under both tick modes.
+    chip.rmc.poll_backoff = 512;
+    let cfg = RackSimConfig {
+        torus: Torus3D::new(dims.0, dims.1, dims.2),
+        chip,
+        traffic: TrafficPattern::Neighbor,
+        threads,
+        ..RackSimConfig::default()
+    };
+    let scenario = Bursty::new(
+        Box::new(
+            Synthetic::from_workload(Workload::AsyncRead {
+                size: 64,
+                poll_every: 2,
+            })
+            .with_pattern(TrafficPattern::Neighbor),
+        ),
+        2,
+        10_000,
+    );
+    Rack::with_scenario(cfg, &scenario)
 }
 
 fn run_rack_point(dims: (u16, u16, u16), traffic: TrafficPattern, cycles: u64) -> Rack {

@@ -71,6 +71,18 @@ pub trait Fabric {
 
     /// True when no traffic is in flight anywhere in the fabric.
     fn is_idle(&self) -> bool;
+
+    /// Earliest cycle `>= now` at which this fabric may do anything on its
+    /// own — deliver a response or incoming request, or otherwise change
+    /// state in [`Fabric::tick`]. `None` promises the fabric stays silent
+    /// at *every* future cycle unless the owning chip injects first, which
+    /// is what licenses event-driven chips to jump over whole idle
+    /// stretches (the soc crate's next-event skip). The default is
+    /// the conservative `Some(now)`: never skippable. Backends with
+    /// self-driven schedules (fault plans, stats windows) must keep it.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
 }
 
 impl Fabric for RackEmulator {
@@ -110,6 +122,18 @@ impl Fabric for RackEmulator {
 
     fn is_idle(&self) -> bool {
         RackEmulator::is_idle(self)
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // The emulator's `tick` is empty and responses/mirrored requests
+        // only ever stem from earlier injections, so an idle emulator is
+        // silent forever. With traffic in flight stay conservative: the
+        // per-cycle pops are time-gated anyway.
+        if RackEmulator::is_idle(self) {
+            None
+        } else {
+            Some(now)
+        }
     }
 }
 

@@ -22,6 +22,7 @@
 //! which is what makes the owning [`Chip`](../../ni_soc) `Send`.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use ni_engine::Cycle;
@@ -53,6 +54,21 @@ struct PortState {
     stats: FabricStats,
 }
 
+/// The buffers plus lock-free occupancy flags. The flags let the hot
+/// idle-port paths — the rack driver's per-cycle merge scan and the chip's
+/// `is_idle` check — skip the mutex entirely: on a large mostly-idle rack
+/// those run once per node per cycle. A flag may conservatively read `true`
+/// for an empty buffer (the next locked pass clears it); it is never
+/// `false` for a non-empty one.
+#[derive(Debug, Default)]
+struct PortShared {
+    state: Mutex<PortState>,
+    /// True whenever the outbox may hold undelivered events.
+    outbox_pending: AtomicBool,
+    /// True whenever either inbox may hold undrained arrivals.
+    inbox_pending: AtomicBool,
+}
+
 /// A per-node buffered endpoint of a lock-step rack: the chip side injects
 /// into the outbox and drains the inbox; the rack side exchanges both with
 /// the real transport between compute phases. Cloning yields another handle
@@ -60,7 +76,7 @@ struct PortState {
 #[derive(Clone, Debug)]
 pub struct FabricPort {
     node: u16,
-    state: Arc<Mutex<PortState>>,
+    shared: Arc<PortShared>,
 }
 
 impl FabricPort {
@@ -68,7 +84,7 @@ impl FabricPort {
     pub fn new(node: u16) -> FabricPort {
         FabricPort {
             node,
-            state: Arc::new(Mutex::new(PortState::default())),
+            shared: Arc::new(PortShared::default()),
         }
     }
 
@@ -78,14 +94,25 @@ impl FabricPort {
     }
 
     fn lock(&self) -> MutexGuard<'_, PortState> {
-        self.state.lock().expect("port mutex never poisoned")
+        self.shared.state.lock().expect("port mutex never poisoned")
+    }
+
+    /// True when the outbox may hold events awaiting
+    /// [`flush_outbox`](FabricPort::flush_outbox) — a lock-free peek the
+    /// rack driver uses to skip the whole merge pass on quiet cycles.
+    pub fn outbox_pending(&self) -> bool {
+        self.shared.outbox_pending.load(Ordering::Acquire)
     }
 
     /// Exchange-phase step 1: replay this port's buffered outbox into
     /// `fabric` in emission order, stamped at `now`. Called by the rack
     /// driver for every node in node-id order, which reproduces the exact
-    /// injection order of a serial run.
+    /// injection order of a serial run. Returns without locking when the
+    /// outbox flag shows nothing pending.
     pub fn flush_outbox(&self, now: Cycle, fabric: &mut dyn Fabric) {
+        if !self.outbox_pending() {
+            return;
+        }
         let mut s = self.lock();
         for ev in s.outbox.drain(..) {
             match ev {
@@ -94,6 +121,7 @@ impl FabricPort {
                 PortEvent::RrppLatency(cycles) => fabric.record_rrpp_latency(self.node, cycles),
             }
         }
+        self.shared.outbox_pending.store(false, Ordering::Release);
     }
 
     /// Exchange-phase step 2: move every arrival addressed to this node out
@@ -101,11 +129,17 @@ impl FabricPort {
     /// visible to the chip's next compute phase.
     pub fn collect_arrivals(&self, now: Cycle, fabric: &mut dyn Fabric) {
         let mut s = self.lock();
+        let mut any = false;
         while let Some(r) = fabric.pop_response(now, self.node) {
             s.inbox_resps.push_back(r);
+            any = true;
         }
         while let Some(r) = fabric.pop_incoming(now, self.node) {
             s.inbox_reqs.push_back(r);
+            any = true;
+        }
+        if any {
+            self.shared.inbox_pending.store(true, Ordering::Release);
         }
     }
 }
@@ -118,11 +152,13 @@ impl Fabric for FabricPort {
         let mut req = req;
         req.src_node = from;
         s.outbox.push(PortEvent::Req(req));
+        self.shared.outbox_pending.store(true, Ordering::Release);
     }
 
     fn inject_resp(&mut self, _now: Cycle, from: u16, resp: RemoteResp) {
         debug_assert_eq!(from, self.node, "port used by a foreign node");
         self.lock().outbox.push(PortEvent::Resp(resp));
+        self.shared.outbox_pending.store(true, Ordering::Release);
     }
 
     fn tick(&mut self, _now: Cycle) {
@@ -136,6 +172,9 @@ impl Fabric for FabricPort {
         let r = s.inbox_resps.pop_front();
         if r.is_some() {
             s.stats.responded.incr();
+            if s.inbox_resps.is_empty() && s.inbox_reqs.is_empty() {
+                self.shared.inbox_pending.store(false, Ordering::Release);
+            }
         }
         r
     }
@@ -146,6 +185,9 @@ impl Fabric for FabricPort {
         let r = s.inbox_reqs.pop_front();
         if r.is_some() {
             s.stats.incoming_generated.incr();
+            if s.inbox_resps.is_empty() && s.inbox_reqs.is_empty() {
+                self.shared.inbox_pending.store(false, Ordering::Release);
+            }
         }
         r
     }
@@ -153,6 +195,7 @@ impl Fabric for FabricPort {
     fn record_rrpp_latency(&mut self, node: u16, cycles: u64) {
         debug_assert_eq!(node, self.node, "port used by a foreign node");
         self.lock().outbox.push(PortEvent::RrppLatency(cycles));
+        self.shared.outbox_pending.store(true, Ordering::Release);
     }
 
     fn stats(&self) -> FabricStats {
@@ -160,8 +203,22 @@ impl Fabric for FabricPort {
     }
 
     fn is_idle(&self) -> bool {
-        let s = self.lock();
-        s.outbox.is_empty() && s.inbox_reqs.is_empty() && s.inbox_resps.is_empty()
+        // Two lock-free loads: this runs in every chip's per-cycle fast
+        // path. Conservative by construction (see [`PortShared`]).
+        !self.shared.outbox_pending.load(Ordering::Acquire)
+            && !self.shared.inbox_pending.load(Ordering::Acquire)
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // A port never acts on its own: its tick is a no-op and arrivals
+        // only appear when the rack driver collects them between compute
+        // phases. Undrained arrivals surface at the chip's next
+        // `pop_*`, so report them as due now; otherwise stay silent.
+        if self.shared.inbox_pending.load(Ordering::Acquire) {
+            Some(now)
+        } else {
+            None
+        }
     }
 }
 

@@ -207,6 +207,11 @@ pub struct TorusFabric {
     /// Per-node arrival queues.
     incoming: Vec<VecDeque<RemoteReq>>,
     responses: Vec<VecDeque<RemoteResp>>,
+    /// Total entries across all arrival queues, maintained at the only
+    /// push/pop sites ([`TorusFabric::deliver`] and the two `pop_*`s) so
+    /// the rack driver can skip the whole per-node collection scan on
+    /// cycles with nothing delivered.
+    queued: usize,
     /// Directed links, indexed `node * 6 + dir.index()`.
     links: Vec<Link>,
     /// Per-node liveness (false while a [`FaultEvent::NodeDown`] is in
@@ -279,6 +284,7 @@ impl TorusFabric {
             wires: DelayLine::new(),
             incoming: (0..n).map(|_| VecDeque::new()).collect(),
             responses: (0..n).map(|_| VecDeque::new()).collect(),
+            queued: 0,
             links: (0..n * 6)
                 .map(|_| Link {
                     busy_until: Cycle::ZERO,
@@ -596,6 +602,7 @@ impl TorusFabric {
     }
 
     fn deliver(&mut self, node: u32, pkt: TorusPkt) {
+        self.queued += 1;
         match pkt {
             TorusPkt::Req(r) => {
                 self.stats.incoming_generated.incr();
@@ -606,6 +613,12 @@ impl TorusFabric {
                 self.responses[node as usize].push_back(r);
             }
         }
+    }
+
+    /// True when any node has undrained arrivals: the cue for the rack
+    /// driver to run (or skip) its per-node collection scan.
+    pub fn has_deliveries(&self) -> bool {
+        self.queued != 0
     }
 }
 
@@ -646,12 +659,20 @@ impl Fabric for TorusFabric {
 
     fn pop_response(&mut self, _now: Cycle, node: u16) -> Option<RemoteResp> {
         let n = self.debug_validate_node(node) as usize;
-        self.responses[n].pop_front()
+        let r = self.responses[n].pop_front();
+        if r.is_some() {
+            self.queued -= 1;
+        }
+        r
     }
 
     fn pop_incoming(&mut self, _now: Cycle, node: u16) -> Option<RemoteReq> {
         let n = self.debug_validate_node(node) as usize;
-        self.incoming[n].pop_front()
+        let r = self.incoming[n].pop_front();
+        if r.is_some() {
+            self.queued -= 1;
+        }
+        r
     }
 
     fn record_rrpp_latency(&mut self, _node: u16, _cycles: u64) {
@@ -663,9 +684,7 @@ impl Fabric for TorusFabric {
     }
 
     fn is_idle(&self) -> bool {
-        self.wires.is_empty()
-            && self.incoming.iter().all(VecDeque::is_empty)
-            && self.responses.iter().all(VecDeque::is_empty)
+        self.wires.is_empty() && self.queued == 0
     }
 }
 

@@ -169,6 +169,14 @@ impl MemoryController {
         self.inflight.len()
     }
 
+    /// Cycle the earliest in-flight request completes, if any. Purely
+    /// time-driven: a controller with no in-flight work stays silent until
+    /// the next [`MemoryController::push`], so event-driven callers can skip
+    /// it entirely between completions.
+    pub fn next_ready_at(&self) -> Option<Cycle> {
+        self.inflight.next_ready_at()
+    }
+
     /// Directly read a block's token, bypassing timing (testing/debug).
     pub fn peek(&self, block: BlockAddr) -> u64 {
         self.store.get(&block).copied().unwrap_or(0)

@@ -231,6 +231,31 @@ impl NiBackend {
             && self.egress.is_empty()
     }
 
+    /// Earliest cycle (>= `now`) at which this backend does anything on its
+    /// own: undrained egress, an active transfer still unrolling, waiting
+    /// entries with a free ITT slot, a due internal event, or the ITT
+    /// watchdog's next deadline. `None` means only external input (a WQ
+    /// entry, a network response, or local payload data) wakes it —
+    /// in-flight ITT entries with the watchdog disabled wait silently on
+    /// their acks. The watchdog term uses the same conservative
+    /// `next_deadline` bound the poll-everything tick consults: waking
+    /// there at worst recomputes the bound, exactly as an idle
+    /// `check_timeouts` call would.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.egress.is_empty()
+            || !self.active.is_empty()
+            || (!self.waiting.is_empty() && !self.free_slots.is_empty())
+        {
+            return Some(now);
+        }
+        let mut next = self.events.next_ready_at();
+        if self.cfg.itt_timeout > 0 && !self.itt.is_empty() {
+            let at = self.next_deadline.max(now);
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        next
+    }
+
     /// Transfer tag for `(backend, slot generation, slot)`: backend id in
     /// bits 32.., the slot's reuse generation in bits 16..32, the slot in
     /// bits 0..16. The generation is what lets the RCP tell a live

@@ -128,6 +128,31 @@ impl NiFrontend {
             && self.retry.is_none()
     }
 
+    /// Earliest cycle (>= `now`) at which this frontend does anything on
+    /// its own: a pending retry, an undrained egress queue, a queued CQ
+    /// notification, a due internal event, or the next WQ-poll issue slot.
+    /// `None` means only external input (a notification or a cache
+    /// completion) wakes it. The poll term may be conservatively early — a
+    /// tick that finds every QP already in-poll only rotates the
+    /// round-robin cursor by a full lap, which is invisible mod the QP
+    /// count — but it is never late: a frontend holding poll credit is due
+    /// at `max(now, poll_ready_at)` exactly as the poll-everything tick
+    /// would observe.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.retry.is_some()
+            || !self.egress.is_empty()
+            || (!self.cq_busy && !self.cq_queue.is_empty())
+        {
+            return Some(now);
+        }
+        let mut next = self.events.next_ready_at();
+        if !self.qp_ids.is_empty() && self.polls.len() < self.cfg.fe_poll_concurrency.max(1) {
+            let at = self.poll_ready_at.max(now);
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        next
+    }
+
     /// Drive the frontend one cycle. Needs the shared QP table and the
     /// cache complex hosting the NI cache.
     pub fn tick(&mut self, now: Cycle, qps: &mut [QueuePair], cache: &mut CacheComplex) {

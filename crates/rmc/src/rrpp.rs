@@ -176,6 +176,23 @@ impl Rrpp {
             && self.samples.is_empty()
     }
 
+    /// Earliest cycle (>= `now`) at which this pipeline does anything on
+    /// its own: undrained egress or latency samples, a queued request with
+    /// admission credit, or a started request finishing its processing
+    /// delay. `None` means only external input (an arriving request or the
+    /// local access completing) wakes it — `pending` accesses wait on the
+    /// memory system, and a full admission window waits on a completion to
+    /// free credit.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.egress.is_empty()
+            || !self.samples.is_empty()
+            || (!self.queue.is_empty() && self.outstanding < self.cfg.rrpp_max_outstanding)
+        {
+            return Some(now);
+        }
+        self.started.next_ready_at()
+    }
+
     /// True when a local access for `block` is outstanding (used by the
     /// chip to route NcData/NcWAck deliveries at shared NI blocks).
     pub fn has_pending(&self, block: BlockAddr) -> bool {

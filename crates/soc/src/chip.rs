@@ -11,9 +11,13 @@ use ni_noc::{Coord, Interconnect, MeshNoc, MessageClass, NocNode, NocOutNoc, Noc
 use ni_qp::QueuePair;
 use ni_rmc::{NiBackend, NiFrontend, NiMsg, NiPlacement, RmcEgress, Rrpp, TraceTable};
 
-use crate::config::{ChipConfig, Topology};
+use crate::config::{ChipConfig, TickMode, Topology};
 use crate::core_model::{Core, Workload, NUMA_TID_BASE};
 use crate::scenario::{core_seed, OpCtx, Scenario, Synthetic};
+
+/// Wake timestamp meaning "only an external delivery re-activates this
+/// component" (no self-driven event pending).
+const NEVER: Cycle = Cycle(u64::MAX);
 
 /// QP region base (bytes).
 const QP_BASE: u64 = 0x0100_0000;
@@ -141,6 +145,37 @@ pub struct Chip {
     /// Every NOC endpoint with possible deliveries, precomputed once so the
     /// per-cycle drain never allocates.
     drain_nodes: Vec<NocNode>,
+    /// Per-class wake timestamps ([`TickMode::Event`]): component `i` of a
+    /// class is visited in its subphase iff `wake[i] <= now`. After a visit
+    /// the slot is refreshed from the component's `next_activity`; every
+    /// delivery path lowers the target's slot to the delivery cycle, so a
+    /// message can never out-sleep its addressee. [`NEVER`] marks a
+    /// component only external input can revive. Cores have no slot: their
+    /// activity predicate is rescanned every cycle (see
+    /// [`Chip::tick`]'s external-mutation note).
+    wake_fes: Vec<Cycle>,
+    wake_bes: Vec<Cycle>,
+    wake_rrpps: Vec<Cycle>,
+    wake_cxs: Vec<Cycle>,
+    wake_dirs: Vec<Cycle>,
+    /// Cycle before which the dormant fast path may skip whole ticks: the
+    /// earliest self-driven event of any non-core component, recomputed at
+    /// the end of every full event tick. `<= now` disables the skip.
+    dormant_until: Cycle,
+    /// Monotonic stamp bumped whenever a tick (or an external entry point
+    /// like [`Chip::wake`]/[`Chip::poke_block`]) may have changed chip
+    /// state; keys the memoized pipeline-quiescence scan below.
+    activity: u64,
+    /// Memoized "all non-core pipelines drained" verdict, as
+    /// `(activity stamp it was computed at, verdict)`.
+    pipelines_memo: (u64, bool),
+    /// Memoized earliest core self-activity (min over cores of
+    /// [`Core::next_activity`]), as `(activity stamp, horizon)`. Core
+    /// state only changes inside full ticks and through external entry
+    /// points, all of which bump the stamp, so the horizon stays exact
+    /// between recomputes — this turns the dormant fast path's per-cycle
+    /// core scan into one compare.
+    cores_memo: (u64, Cycle),
 }
 
 // The whole node must stay `Send`: the rack driver farms chips out across
@@ -356,7 +391,7 @@ impl Chip {
         }
 
         // RRPPs: always across the edge.
-        let rrpps = (0..n_edge)
+        let rrpps: Vec<Rrpp> = (0..n_edge)
             .map(|r| Rrpp::new(NocNode::NiBlock(r as u8), cfg.rmc, home, n_banks))
             .collect();
 
@@ -375,6 +410,11 @@ impl Chip {
             }
         }
 
+        let wake_fes = vec![Cycle::ZERO; frontends.len()];
+        let wake_bes = vec![Cycle::ZERO; backends.len()];
+        let wake_rrpps = vec![Cycle::ZERO; rrpps.len()];
+        let wake_cxs = vec![Cycle::ZERO; complexes.len()];
+        let wake_dirs = vec![Cycle::ZERO; dirs.len()];
         Chip {
             cfg,
             now: Cycle::ZERO,
@@ -401,6 +441,16 @@ impl Chip {
             backlog: BTreeMap::new(),
             backlog_len: 0,
             drain_nodes,
+            wake_fes,
+            wake_bes,
+            wake_rrpps,
+            wake_cxs,
+            wake_dirs,
+            dormant_until: Cycle::ZERO,
+            activity: 0,
+            // Stamps that can never match `activity`: first query computes.
+            pipelines_memo: (u64::MAX, false),
+            cores_memo: (u64::MAX, Cycle::ZERO),
         }
     }
 
@@ -432,6 +482,9 @@ impl Chip {
     /// Updates the home LLC bank's copy in place when one exists, else the
     /// backing store; private L1 copies are not touched.
     pub fn poke_block(&mut self, b: BlockAddr, value: u64) {
+        // Direct state surgery: invalidate the quiescence memo. (Pokes
+        // don't schedule work, but staleness here must never be possible.)
+        self.activity = self.activity.wrapping_add(1);
         let home = self.home_of(b);
         if let Some(&d) = self.dir_index.get(&home) {
             if self.dirs[d].poke_llc(b, value) {
@@ -560,33 +613,242 @@ impl Chip {
         // the once-per-cycle advance; a rack-driven chip holds a buffered
         // port whose tick is a no-op (the driver ticks the shared fabric).
         self.fabric.tick(now);
+        match self.cfg.tick_mode {
+            TickMode::Poll => self.tick_poll(now),
+            TickMode::Event => self.tick_event(now),
+        }
+    }
+
+    /// The poll-everything reference tick: every component of every class
+    /// is visited every cycle.
+    fn tick_poll(&mut self, now: Cycle) {
         // Quiesced-chip fast path: nothing to do and nothing arriving —
-        // just let time pass. Recomputed every cycle (cheap: the scan exits
-        // at the first active component) so external mutation through
-        // `cores`/`chip_mut` can never be masked by a stale cache.
-        if self.fabric.is_idle() && self.is_quiescent() {
+        // just let time pass. The core scan is recomputed every cycle
+        // (cheap: it exits at the first active core) so external mutation
+        // through `cores`/`chip_mut` can never be masked by a stale cache;
+        // the pipeline scan is memoized on the activity stamp, which every
+        // external entry point bumps.
+        if self.fabric.is_idle()
+            && self.cores.iter().all(Core::is_quiescent)
+            && self.pipelines_quiescent_cached()
+        {
             self.now += 1;
             return;
         }
         self.retry_backlog(now);
         self.pump_fabric(now);
         self.pump_latch(now);
-        self.tick_cores(now);
-        self.tick_frontends(now);
-        self.tick_rmc_backends(now);
-        self.tick_complexes(now);
-        self.tick_dirs(now);
+        self.tick_cores(now, false);
+        self.tick_frontends(now, false);
+        self.tick_rmc_backends(now, false);
+        self.tick_complexes(now, false);
+        self.tick_dirs(now, false);
         self.tick_mcs(now);
         self.noc.as_dyn().tick(now);
         self.drain_noc(now);
         self.now += 1;
+        self.activity = self.activity.wrapping_add(1);
     }
 
-    /// Run for `cycles`.
+    /// The event-driven tick: identical subphase order to
+    /// [`Chip::tick_poll`], but each non-core component is visited only
+    /// when its wake timestamp is due, and a chip whose every self-driven
+    /// event lies in the future skips the cycle outright. Every skipped
+    /// visit is provably the no-op the poll loop would have performed, so
+    /// the two modes stay bit-identical in all observables.
+    fn tick_event(&mut self, now: Cycle) {
+        // Dormant fast path: all pipeline work is scheduled past `now`, the
+        // fabric endpoint is silent, and every core is inert this cycle
+        // (declared-idle window, passively awaiting a completion, or done).
+        // The core horizon is memoized on the activity stamp, which every
+        // full tick and external entry point bumps — same staleness
+        // guarantee as the poll fast path's pipeline memo above.
+        if now < self.dormant_until && now < self.cores_horizon(now) && self.fabric.is_idle() {
+            self.now += 1;
+            return;
+        }
+        self.retry_backlog(now);
+        self.pump_fabric(now);
+        self.pump_latch(now);
+        self.tick_cores(now, true);
+        self.tick_frontends(now, true);
+        self.tick_rmc_backends(now, true);
+        self.tick_complexes(now, true);
+        self.tick_dirs(now, true);
+        self.tick_mcs(now);
+        // The NOC ticks and drains unconditionally in a full tick, exactly
+        // like the poll loop (an idle NOC tick is a strict no-op; skipping
+        // happens at whole-cycle granularity in the dormant path instead).
+        self.noc.as_dyn().tick(now);
+        self.drain_noc(now);
+        self.now += 1;
+        self.activity = self.activity.wrapping_add(1);
+        self.dormant_until = self.compute_dormant_until();
+    }
+
+    /// Number of *full* (non-skipped) ticks this chip has executed — the
+    /// activity-stamp reading, which advances once per full tick plus once
+    /// per external mutation. `now() - full_ticks()` is the cycles the
+    /// fast paths absorbed; benches and the tick-cost table in
+    /// ARCHITECTURE.md use the ratio to verify dormancy actually engages.
+    pub fn full_ticks(&self) -> u64 {
+        self.activity
+    }
+
+    /// Earliest cycle any core acts on its own, memoized on the activity
+    /// stamp (`NEVER` when every core is passive). While the stamp is
+    /// unchanged no core state has moved, so the absolute horizon computed
+    /// once stays exact; a core active *right now* yields `horizon == now`,
+    /// which forces the full tick that bumps the stamp.
+    fn cores_horizon(&mut self, now: Cycle) -> Cycle {
+        if self.cores_memo.0 == self.activity {
+            return self.cores_memo.1;
+        }
+        let mut h = NEVER;
+        for c in &self.cores {
+            if let Some(t) = c.next_activity(now) {
+                h = h.min(t.max(now));
+            }
+        }
+        self.cores_memo = (self.activity, h);
+        h
+    }
+
+    /// Earliest future cycle any non-core component acts on its own, seen
+    /// from `self.now` (the next cycle to simulate). `self.now` itself when
+    /// backlogged or mid-NOC-flight — those need the full per-cycle loop.
+    fn compute_dormant_until(&self) -> Cycle {
+        if self.backlog_len != 0 || !self.noc.as_ref_dyn().is_idle() {
+            return self.now;
+        }
+        let mut next = NEVER;
+        for &w in self
+            .wake_fes
+            .iter()
+            .chain(&self.wake_bes)
+            .chain(&self.wake_rrpps)
+            .chain(&self.wake_cxs)
+            .chain(&self.wake_dirs)
+        {
+            next = next.min(w);
+        }
+        if let Some(t) = self.latch.next_ready_at() {
+            next = next.min(t);
+        }
+        for m in &self.mcs {
+            if let Some(t) = m.next_ready_at() {
+                next = next.min(t);
+            }
+        }
+        next
+    }
+
+    /// Earliest cycle at which this chip does anything on its own: pending
+    /// pipeline or NOC work now, a scheduled component event, or a core
+    /// leaving its declared-idle window. `None` means only external input
+    /// (fabric arrivals, [`Chip::wake`]-style mutation) re-activates it.
+    /// Only meaningful under [`TickMode::Event`], where the wake
+    /// timestamps are maintained; the rack driver and benches use it to
+    /// reason about idle-until-X chips.
+    pub fn next_event_cycle(&self) -> Option<Cycle> {
+        let mut next = if self.dormant_until <= self.now {
+            // Pipeline/NOC work this very cycle (or stale after external
+            // mutation — conservative either way).
+            return Some(self.now);
+        } else {
+            self.dormant_until
+        };
+        for c in &self.cores {
+            if let Some(t) = c.next_activity(self.now) {
+                next = next.min(t.max(self.now));
+            }
+        }
+        (next != NEVER).then_some(next)
+    }
+
+    /// Re-activate everything after external mutation: reset every wake
+    /// timestamp and the dormant horizon, and bump the activity stamp so
+    /// the memoized quiescence verdict is recomputed. The rack driver
+    /// calls this from `chip_mut`; anything else that reaches around the
+    /// public API to mutate components directly should too.
+    pub fn wake(&mut self) {
+        self.dormant_until = Cycle::ZERO;
+        for w in self
+            .wake_fes
+            .iter_mut()
+            .chain(&mut self.wake_bes)
+            .chain(&mut self.wake_rrpps)
+            .chain(&mut self.wake_cxs)
+            .chain(&mut self.wake_dirs)
+        {
+            *w = Cycle::ZERO;
+        }
+        self.activity = self.activity.wrapping_add(1);
+    }
+
+    /// Memoized non-core half of [`Chip::is_quiescent`], keyed on the
+    /// activity stamp: in the steady quiesced state the full pipeline scan
+    /// runs once and each later cycle pays two loads. Any tick or external
+    /// entry point bumps the stamp and forces a recompute.
+    fn pipelines_quiescent_cached(&mut self) -> bool {
+        if self.pipelines_memo.0 == self.activity {
+            return self.pipelines_memo.1;
+        }
+        let q = self.pipelines_quiescent();
+        self.pipelines_memo = (self.activity, q);
+        q
+    }
+
+    /// Fresh scan: every non-core pipeline, buffer, and queue is drained.
+    fn pipelines_quiescent(&self) -> bool {
+        self.backlog_len == 0
+            && self.latch.is_empty()
+            && self.mc_pending.is_empty()
+            && self.noc.as_ref_dyn().is_idle()
+            && self.frontends.iter().all(NiFrontend::is_quiescent)
+            && self.backends.iter().all(NiBackend::is_quiescent)
+            && self.rrpps.iter().all(Rrpp::is_quiescent)
+            && self.complexes.iter().all(CacheComplex::is_quiescent)
+            && self.dirs.iter().all(DirectoryBank::is_quiescent)
+            && self.mcs.iter().all(|m| m.inflight() == 0)
+    }
+
+    /// Run for `cycles`. Under [`TickMode::Event`] with a fabric that
+    /// reports no upcoming self-driven events ([`Fabric::next_event`]
+    /// `None`), idle-until-X stretches are jumped in one step instead of
+    /// being skipped cycle by cycle.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
+        let end = Cycle(self.now.0.saturating_add(cycles));
+        while self.now < end {
+            if self.cfg.tick_mode == TickMode::Event
+                && self.now < self.dormant_until
+                && self.fabric.next_event(self.now).is_none()
+            {
+                if let Some(to) = self.jump_target(end) {
+                    self.now = to;
+                    continue;
+                }
+            }
             self.tick();
         }
+    }
+
+    /// Next cycle `<= end` this chip must actually simulate, when strictly
+    /// ahead of `self.now`: the earlier of the pipelines' dormant horizon
+    /// and every core's own next-activity time. `None` when something acts
+    /// this very cycle (no jump). Caller guarantees the fabric stays
+    /// silent for the whole window.
+    fn jump_target(&self, end: Cycle) -> Option<Cycle> {
+        let now = self.now;
+        let mut next = self.dormant_until;
+        for c in &self.cores {
+            match c.next_activity(now) {
+                None => {}
+                Some(t) if t > now => next = next.min(t),
+                Some(_) => return None,
+            }
+        }
+        Some(next.min(end))
     }
 
     // ---- plumbing ---------------------------------------------------------
@@ -701,8 +963,9 @@ impl Chip {
         while let Some(req) = self.fabric.pop_incoming(now, self.node_id) {
             // Address-interleaved to the RRPP nearest the home bank (§4.3).
             let home = self.home_of(req.remote_block);
-            let r = self.edge_of_node(home);
-            self.rrpps[usize::from(r)].on_request(now, req);
+            let r = usize::from(self.edge_of_node(home));
+            self.rrpps[r].on_request(now, req);
+            self.wake_rrpps[r] = self.wake_rrpps[r].min(now);
         }
     }
 
@@ -716,14 +979,25 @@ impl Chip {
                     msg,
                 } => self.deliver_coh(now, dst, kind, src, msg),
                 Latch::Ni { dst, msg } => self.deliver_ni(now, dst, msg),
-                Latch::NetResp { backend, resp } => self.backends[backend].on_response(now, resp),
+                Latch::NetResp { backend, resp } => {
+                    self.backends[backend].on_response(now, resp);
+                    self.wake_bes[backend] = self.wake_bes[backend].min(now);
+                }
             }
         }
     }
 
-    fn tick_cores(&mut self, now: Cycle) {
+    fn tick_cores(&mut self, now: Cycle, gated: bool) {
         for i in 0..self.cores.len() {
+            // Event mode skips cores that provably do nothing this cycle
+            // (the predicate is exact, never late — see
+            // [`Core::next_activity`]). A ticked core may have submitted
+            // into its tile complex, so that complex must be visited too.
+            if gated && self.cores[i].next_activity(now).is_none_or(|t| t > now) {
+                continue;
+            }
             self.cores[i].tick(now, &mut self.qps[i], &mut self.complexes[i]);
+            self.wake_cxs[i] = self.wake_cxs[i].min(now);
             if let Some(req) = self.cores[i].take_numa_request() {
                 // NUMA issue: request packet core tile -> edge -> rack.
                 let row = self.edge_of_tile(i);
@@ -737,26 +1011,44 @@ impl Chip {
         }
     }
 
-    fn tick_frontends(&mut self, now: Cycle) {
+    fn tick_frontends(&mut self, now: Cycle, gated: bool) {
         for f in 0..self.frontends.len() {
+            if gated && self.wake_fes[f] > now {
+                continue;
+            }
             let fe_node = self.frontends[f].node();
             let cx = self.complex_index[&fe_node];
             self.frontends[f].tick(now, &mut self.qps, &mut self.complexes[cx]);
             while let Some(e) = self.frontends[f].pop_egress() {
                 self.dispatch_rmc(now, fe_node, e);
             }
+            if gated {
+                // The frontend may have submitted into its complex; the
+                // complex subphase runs later this same cycle.
+                self.wake_cxs[cx] = self.wake_cxs[cx].min(now);
+                self.wake_fes[f] = self.frontends[f].next_activity(now + 1).unwrap_or(NEVER);
+            }
         }
     }
 
-    fn tick_rmc_backends(&mut self, now: Cycle) {
+    fn tick_rmc_backends(&mut self, now: Cycle, gated: bool) {
         for b in 0..self.backends.len() {
+            if gated && self.wake_bes[b] > now {
+                continue;
+            }
             self.backends[b].tick(now);
             let node = self.backends[b].node();
             while let Some(e) = self.backends[b].pop_egress() {
                 self.dispatch_rmc(now, node, e);
             }
+            if gated {
+                self.wake_bes[b] = self.backends[b].next_activity(now + 1).unwrap_or(NEVER);
+            }
         }
         for r in 0..self.rrpps.len() {
+            if gated && self.wake_rrpps[r] > now {
+                continue;
+            }
             self.rrpps[r].tick(now);
             let node = self.rrpps[r].node();
             while let Some(e) = self.rrpps[r].pop_egress() {
@@ -764,6 +1056,9 @@ impl Chip {
             }
             while let Some(s) = self.rrpps[r].pop_latency_sample() {
                 self.fabric.record_rrpp_latency(self.node_id, s);
+            }
+            if gated {
+                self.wake_rrpps[r] = self.rrpps[r].next_activity(now + 1).unwrap_or(NEVER);
             }
         }
     }
@@ -795,8 +1090,11 @@ impl Chip {
         }
     }
 
-    fn tick_complexes(&mut self, now: Cycle) {
+    fn tick_complexes(&mut self, now: Cycle, gated: bool) {
         for c in 0..self.complexes.len() {
+            if gated && self.wake_cxs[c] > now {
+                continue;
+            }
             self.complexes[c].tick(now);
             let node = self.complexes[c].node();
             while let Some(e) = self.complexes[c].pop_egress() {
@@ -826,19 +1124,33 @@ impl Chip {
                         while let Some(e) = self.frontends[f].pop_egress() {
                             self.dispatch_rmc(now, fe_node, e);
                         }
+                        // The completion may have queued frontend work
+                        // (CQ stores); its subphase already ran this
+                        // cycle, so it wakes next cycle — exactly when
+                        // the poll loop would next act on it.
+                        self.wake_fes[f] = self.wake_fes[f].min(now);
                     }
                 }
+            }
+            if gated {
+                self.wake_cxs[c] = self.complexes[c].next_activity(now + 1).unwrap_or(NEVER);
             }
         }
     }
 
-    fn tick_dirs(&mut self, now: Cycle) {
+    fn tick_dirs(&mut self, now: Cycle, gated: bool) {
         for d in 0..self.dirs.len() {
+            if gated && self.wake_dirs[d] > now {
+                continue;
+            }
             self.dirs[d].tick(now);
             let node = self.dirs[d].node();
             while let Some(e) = self.dirs[d].pop_egress() {
                 let pkt = Self::coh_packet(node, e, true);
                 self.inject(pkt);
+            }
+            if gated {
+                self.wake_dirs[d] = self.dirs[d].next_activity(now + 1).unwrap_or(NEVER);
             }
         }
     }
@@ -912,10 +1224,12 @@ impl Chip {
             (_, ClientKind::Directory) => {
                 let d = self.dir_index[&dst];
                 self.dirs[d].deliver(now, src, msg);
+                self.wake_dirs[d] = self.wake_dirs[d].min(now);
             }
             (_, ClientKind::Cache) => {
                 let c = self.complex_index[&dst];
                 self.complexes[c].deliver(now, msg);
+                self.wake_cxs[c] = self.wake_cxs[c].min(now);
             }
             (_, ClientKind::NiData) => {
                 // RRPP or backend data path at this node.
@@ -926,20 +1240,22 @@ impl Chip {
                     CohMsg::NcWAck { block } => (block, 0, false),
                     other => panic!("NiData client received {other:?}"),
                 };
-                let r = self.edge_of_node(dst);
-                let rrpp_has = self.rrpps[usize::from(r)].has_pending(block);
+                let r = usize::from(self.edge_of_node(dst));
+                let rrpp_has = self.rrpps[r].has_pending(block);
                 if rrpp_has {
                     if is_data {
-                        self.rrpps[usize::from(r)].on_nc_data(now, block, value);
+                        self.rrpps[r].on_nc_data(now, block, value);
                     } else {
-                        self.rrpps[usize::from(r)].on_nc_wack(now, block);
+                        self.rrpps[r].on_nc_wack(now, block);
                     }
+                    self.wake_rrpps[r] = self.wake_rrpps[r].min(now);
                 } else if let Some(&b) = self.backend_index.get(&dst) {
                     if is_data {
                         self.backends[b].on_nc_data(now, block, value);
                     } else {
                         self.backends[b].on_nc_wack(now, block);
                     }
+                    self.wake_bes[b] = self.wake_bes[b].min(now);
                 }
             }
         }
@@ -950,10 +1266,12 @@ impl Chip {
             NiMsg::WqFwd { entry, qp, fe } => {
                 let b = self.backend_index[&dst];
                 self.backends[b].on_wq_entry(now, entry, qp, fe);
+                self.wake_bes[b] = self.wake_bes[b].min(now);
             }
             NiMsg::CqNotify { qp, wq_id, ok } => {
                 let f = self.fe_index[&dst];
                 self.frontends[f].on_notify(qp, wq_id, ok);
+                self.wake_fes[f] = self.wake_fes[f].min(now);
             }
             NiMsg::NetOut(req) => {
                 // Arrived at the edge: hand to the network router / rack.
@@ -966,6 +1284,7 @@ impl Chip {
                 } else {
                     let b = self.backend_index[&dst];
                     self.backends[b].on_response(now, resp);
+                    self.wake_bes[b] = self.wake_bes[b].min(now);
                 }
             }
         }

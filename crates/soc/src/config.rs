@@ -17,6 +17,24 @@ pub enum Topology {
     NocOut,
 }
 
+/// How [`Chip::tick`](crate::Chip::tick) visits its components.
+///
+/// Both modes are bit-identical in every observable (fingerprints, stats,
+/// traces): `Event` skips only ticks that are provably no-ops. `Poll` is
+/// kept as the reference implementation the fingerprint tests compare
+/// against.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TickMode {
+    /// Event-driven (default): per-class activity timestamps gate each
+    /// component visit, and a chip whose next self-driven event is in the
+    /// future skips whole cycles in its dormant fast path.
+    #[default]
+    Event,
+    /// Poll everything: every component of every class is visited every
+    /// cycle (the pre-event-driven reference behavior).
+    Poll,
+}
+
 /// Full node configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ChipConfig {
@@ -49,6 +67,9 @@ pub struct ChipConfig {
     pub nocout: NocOutConfig,
     /// Cores running the workload (the rest idle), from core 0 upward.
     pub active_cores: usize,
+    /// Tick discipline: event-driven active sets (default) or the
+    /// poll-everything reference loop.
+    pub tick_mode: TickMode,
 }
 
 impl Default for ChipConfig {
@@ -67,6 +88,7 @@ impl Default for ChipConfig {
             mesh: MeshConfig::default(),
             nocout: NocOutConfig::default(),
             active_cores: 64,
+            tick_mode: TickMode::default(),
         }
     }
 }

@@ -164,6 +164,10 @@ pub struct Core {
     pending_second_store: Option<(Cycle, Access)>,
     /// Issue count at the last opportunistic poll (prevents poll loops).
     last_poll_at_issue: u64,
+    /// End of the current declared idle window ([`Op::IdleFor`]); the core
+    /// does nothing — not even consult the scenario — while `now` is below
+    /// it.
+    idle_until: Cycle,
     /// Public statistics.
     pub stats: CoreStats,
     /// Full latency distribution of synchronous operations.
@@ -214,6 +218,7 @@ impl Core {
             awaiting_sync: None,
             pending_second_store: None,
             last_poll_at_issue: u64::MAX,
+            idle_until: Cycle::ZERO,
             stats: CoreStats::default(),
             latency_hist: Histogram::new(),
             issue_times: Vec::new(),
@@ -277,6 +282,7 @@ impl Core {
         self.issued = 0;
         self.op_seq = 0;
         self.last_poll_at_issue = u64::MAX;
+        self.idle_until = Cycle::ZERO;
         if let Some(t) = self.scenario.fixed_target() {
             self.target_node = t;
         }
@@ -331,6 +337,34 @@ impl Core {
             && self.pending_second_store.is_none()
             && self.traces.is_empty()
             && self.scenario.is_done()
+    }
+
+    /// Earliest cycle (>= `now`) at which ticking this core does anything.
+    /// `None` means the core only acts on external input (a cache or NUMA
+    /// completion). The answer is exact, never late:
+    ///
+    /// - undrained traces or a parked NUMA request demand the chip's
+    ///   post-tick drains immediately;
+    /// - scheduled events and the deferred second WQ store are time-driven;
+    /// - an idle core consults its scenario every cycle (the generator draw
+    ///   is itself a state change), except inside a declared
+    ///   [`Op::IdleFor`] window — the one idle shape the core may sleep
+    ///   through — or once the generator promises permanent idleness with
+    ///   nothing left in flight.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.traces.is_empty() || self.numa_out.is_some() {
+            return Some(now);
+        }
+        let mut next = self.events.next_ready_at();
+        if let Some((at, _)) = self.pending_second_store {
+            let at = at.max(now);
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        if self.phase == Phase::Idle && !(self.scenario.is_done() && self.inflight == 0) {
+            let at = self.idle_until.max(now);
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        next
     }
 
     fn tag(&mut self) -> u64 {
@@ -393,6 +427,12 @@ impl Core {
         if self.phase != Phase::Idle {
             return;
         }
+        // Inside a declared idle window the core does nothing at all —
+        // identical in both tick modes, which is what lets the event-driven
+        // chip skip these cycles without observable divergence.
+        if now < self.idle_until {
+            return;
+        }
         // Asynchronous housekeeping first: poll the CQ when the WQ has no
         // room for another entry, or when completions are outstanding and
         // the scenario's poll cadence is due.
@@ -420,6 +460,16 @@ impl Core {
                 // idles: a finite scenario may stop issuing before its last
                 // ops complete, and the cadence-based poll above only fires
                 // at issue-count multiples of `poll_every`.
+                if self.inflight > 0 {
+                    self.phase = Phase::WaitPoll;
+                    self.events
+                        .push_after(now, self.qp_cfg.cq_read_compute, Ev::Poll);
+                }
+            }
+            Op::IdleFor { cycles } => {
+                self.idle_until = now + cycles;
+                // Same completion-drain rule as Op::Idle: reap outstanding
+                // async completions before going (and while staying) quiet.
                 if self.inflight > 0 {
                     self.phase = Phase::WaitPoll;
                     self.events

@@ -38,11 +38,11 @@ pub use bench::{
     StageBreakdown,
 };
 pub use chip::{Chip, ChipMsg};
-pub use config::{ChipConfig, Topology};
+pub use config::{ChipConfig, TickMode, Topology};
 pub use core_model::{Core, CoreStats, Workload, REMOTE_BASE};
 pub use ni_fabric::RoutingKind;
 pub use rack::{LinkReportFormat, Rack, RackSimConfig, TrafficPattern};
 pub use scenario::{
-    builtin_scenarios, core_seed, Capped, GraphShard, KvStore, Op, OpCtx, Scenario, Synthetic,
-    Zipf, ZipfHotspot,
+    builtin_scenarios, core_seed, Bursty, Capped, GraphShard, KvStore, Op, OpCtx, Scenario,
+    Synthetic, Zipf, ZipfHotspot,
 };

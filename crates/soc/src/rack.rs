@@ -275,9 +275,14 @@ impl Rack {
         &self.chips
     }
 
-    /// Mutable access to one chip (workload resets, memory pokes).
+    /// Mutable access to one chip (workload resets, memory pokes). The
+    /// chip is [woken](Chip::wake) first: direct mutation bypasses the
+    /// event-driven bookkeeping, so every wake timestamp and the memoized
+    /// quiescence verdict are conservatively reset.
     pub fn chip_mut(&mut self, node: u32) -> &mut Chip {
-        &mut self.chips[node as usize]
+        let chip = &mut self.chips[node as usize];
+        chip.wake();
+        chip
     }
 
     /// Exchange-phase prologue for cycle `now`: advance the shared fabric
@@ -285,6 +290,12 @@ impl Rack {
     /// the per-chip port inboxes in node-id order.
     fn fabric_advance_and_distribute(fabric: &mut TorusFabric, ports: &[FabricPort], now: Cycle) {
         fabric.tick(now);
+        // On quiet cycles (nothing landed anywhere this tick and no
+        // leftovers from earlier ones) the whole per-node collection scan
+        // is one counter check — the common case on an idle-heavy rack.
+        if !fabric.has_deliveries() {
+            return;
+        }
         for port in ports {
             port.collect_arrivals(now, fabric);
         }
@@ -292,7 +303,9 @@ impl Rack {
 
     /// Exchange-phase epilogue for cycle `now`: merge every chip's outbox
     /// into the shared fabric in node-id order (FIFO within a node), which
-    /// reproduces the injection order of a serial run exactly.
+    /// reproduces the injection order of a serial run exactly. Ports with
+    /// an empty outbox cost one lock-free flag load each
+    /// ([`FabricPort::outbox_pending`] inside `flush_outbox`).
     fn fabric_merge_outboxes(fabric: &mut TorusFabric, ports: &[FabricPort], now: Cycle) {
         for port in ports {
             port.flush_outbox(now, fabric);

@@ -88,6 +88,16 @@ impl OpCtx {
 pub enum Op {
     /// Nothing this cycle; the core asks again next cycle.
     Idle,
+    /// Nothing for the next `cycles` cycles: a *declared* idle window the
+    /// core commits to up front, so event-driven drivers can skip it in one
+    /// jump instead of re-asking every cycle (duty-cycled workloads,
+    /// think-time between bursts). Identical application behavior to
+    /// returning [`Op::Idle`] `cycles` times, except the scenario is not
+    /// consulted again until the window ends.
+    IdleFor {
+        /// Length of the idle window in cycles.
+        cycles: u64,
+    },
     /// A one-sided remote operation through the queue pair.
     Remote {
         /// Read (fetch remote into the local buffer) or write (push local
@@ -274,9 +284,9 @@ impl Scenario for Capped {
             return Op::Idle;
         }
         let op = self.inner.next_op(ctx);
-        // Only count real operations against the budget: an inner Idle
-        // (e.g. a phase gap) must not burn it down.
-        if op != Op::Idle {
+        // Only count real operations against the budget: an inner Idle or
+        // IdleFor (e.g. a phase gap) must not burn it down.
+        if !matches!(op, Op::Idle | Op::IdleFor { .. }) {
             self.issued += 1;
         }
         op
@@ -296,6 +306,87 @@ impl Scenario for Capped {
 
     fn is_done(&self) -> bool {
         self.issued >= self.ops_per_core || self.inner.is_done()
+    }
+}
+
+// ---- Bursty -----------------------------------------------------------------
+
+/// Duty-cycles any inner scenario: `burst_ops` real operations, then one
+/// declared [`Op::IdleFor`] window of `idle_cycles`, repeating.
+///
+/// This is the canonical *idle-heavy* traffic shape: cores alternate short
+/// request bursts with long think-time windows, the regime where the
+/// event-driven chip tick's next-event skip dominates (the perf-trajectory
+/// benchmarks measure it head-to-head against the poll-everything tick).
+/// Inner [`Op::Idle`] results do not count against the burst budget, and
+/// inner [`Op::IdleFor`] windows pass through untouched.
+#[derive(Debug)]
+pub struct Bursty {
+    inner: Box<dyn Scenario>,
+    burst_ops: u64,
+    idle_cycles: u64,
+    in_burst: u64,
+    name: String,
+}
+
+impl Bursty {
+    /// Duty-cycle `inner`: `burst_ops` operations per burst (min 1), then
+    /// `idle_cycles` of declared idleness.
+    pub fn new(inner: Box<dyn Scenario>, burst_ops: u64, idle_cycles: u64) -> Bursty {
+        let name = format!("{}-bursty", inner.name());
+        Bursty {
+            inner,
+            burst_ops: burst_ops.max(1),
+            idle_cycles,
+            in_burst: 0,
+            name,
+        }
+    }
+}
+
+impl Scenario for Bursty {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn for_core(&self, ctx: &OpCtx) -> Box<dyn Scenario> {
+        Box::new(Bursty {
+            inner: self.inner.for_core(ctx),
+            burst_ops: self.burst_ops,
+            idle_cycles: self.idle_cycles,
+            in_burst: 0,
+            name: self.name.clone(),
+        })
+    }
+
+    fn next_op(&mut self, ctx: &OpCtx) -> Op {
+        if self.in_burst >= self.burst_ops {
+            self.in_burst = 0;
+            return Op::IdleFor {
+                cycles: self.idle_cycles,
+            };
+        }
+        let op = self.inner.next_op(ctx);
+        if !matches!(op, Op::Idle | Op::IdleFor { .. }) {
+            self.in_burst += 1;
+        }
+        op
+    }
+
+    fn poll_every(&self) -> u32 {
+        self.inner.poll_every()
+    }
+
+    fn retarget(&mut self, node: u16) {
+        self.inner.retarget(node);
+    }
+
+    fn fixed_target(&self) -> Option<u16> {
+        self.inner.fixed_target()
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
     }
 }
 

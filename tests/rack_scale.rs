@@ -353,6 +353,215 @@ fn rack_scale_experiment_reports_scaling_rows() {
     );
 }
 
+// ---- Event-driven tick equivalence -----------------------------------------
+
+/// Shared observable fingerprint for the tick-mode equivalence tests:
+/// everything a reordered, duplicated, or dropped delivery could perturb —
+/// aggregate and per-node completion counts, traffic/fault counters, and
+/// the RRPP latency means (which change if any packet's *timing* moves).
+#[derive(Debug, PartialEq)]
+struct TickFingerprint {
+    sent: u64,
+    responded: u64,
+    incoming: u64,
+    completed_ops: u64,
+    failed_ops: u64,
+    payload_bytes: u64,
+    hops: u64,
+    dropped: u64,
+    stalls: u64,
+    escapes: u64,
+    timeouts: u64,
+    retries: u64,
+    rrpp_means: Vec<f64>,
+    per_node_ops: Vec<u64>,
+}
+
+fn tick_fingerprint(rack: &Rack) -> TickFingerprint {
+    let fs = rack.fabric_stats();
+    let fstats = rack.fault_stats();
+    let be = rack.backend_stats();
+    TickFingerprint {
+        sent: fs.sent.get(),
+        responded: fs.responded.get(),
+        incoming: fs.incoming_generated.get(),
+        completed_ops: rack.completed_ops(),
+        failed_ops: rack.failed_ops(),
+        payload_bytes: rack.app_payload_bytes(),
+        hops: rack.hops_traversed(),
+        dropped: fstats.packets_dropped.get(),
+        stalls: fstats.dead_link_stalls.get(),
+        escapes: fstats.escape_hops.get(),
+        timeouts: be.itt_timeouts.get(),
+        retries: be.itt_retries.get(),
+        rrpp_means: rack.rrpp_mean_latencies(),
+        per_node_ops: rack.chips().iter().map(|c| c.completed_ops()).collect(),
+    }
+}
+
+/// Tentpole acceptance: the event-driven chip tick (activity sets + dormant
+/// skip) is bit-identical to the poll-everything reference on a healthy
+/// rack — the same seeded 3x3x3 scenario run serially under poll sets the
+/// reference, and both tick modes through `Rack::run` at one and four
+/// workers must reproduce it exactly.
+#[test]
+fn event_tick_is_bit_identical_to_poll_on_a_healthy_rack() {
+    use rackni::ni_soc::TickMode;
+
+    let build = |mode: TickMode, threads: usize| {
+        let mut cfg = rack_cfg(Torus3D::new(3, 3, 3), 2, TrafficPattern::Uniform);
+        cfg.chip.seed = 0x71c5;
+        cfg.chip.tick_mode = mode;
+        cfg.threads = threads;
+        Rack::new(
+            cfg,
+            Workload::AsyncRead {
+                size: 256,
+                poll_every: 4,
+            },
+        )
+    };
+    let cycles = 1_500u64;
+    let mut reference = build(TickMode::Poll, 1);
+    for _ in 0..cycles {
+        reference.tick();
+    }
+    let want = tick_fingerprint(&reference);
+    assert!(want.completed_ops > 0, "reference run must do real work");
+    assert!(want.hops > 0, "reference run must cross the fabric");
+
+    for mode in [TickMode::Poll, TickMode::Event] {
+        for threads in [1usize, 4] {
+            let mut rack = build(mode, threads);
+            rack.run(cycles);
+            assert_eq!(
+                tick_fingerprint(&rack),
+                want,
+                "{mode:?} tick at {threads} threads diverged from the \
+                 serial poll reference"
+            );
+        }
+    }
+}
+
+/// Same contract on a *faulted* fabric: with a link kill, a node kill, a
+/// repair, and the ITT watchdog firing, the event tick must still match
+/// the poll reference bit-for-bit at every thread count — fault counters,
+/// watchdog statistics, and per-node completions included.
+#[test]
+fn event_tick_is_bit_identical_to_poll_on_a_faulted_rack() {
+    use rackni::ni_fabric::FaultPlan;
+    use rackni::ni_soc::TickMode;
+
+    let build = |mode: TickMode, threads: usize| {
+        let mut cfg = rack_cfg(Torus3D::new(3, 3, 1), 2, TrafficPattern::Uniform);
+        cfg.chip.seed = 0xfa117;
+        cfg.chip.tick_mode = mode;
+        cfg.chip.rmc.itt_timeout = 1_200;
+        cfg.chip.rmc.itt_retries = 1;
+        cfg.threads = threads;
+        cfg.routing = rackni::ni_fabric::RoutingKind::FaultAdaptive;
+        cfg.faults = FaultPlan::new()
+            .link_down(0, 1, 400)
+            .node_down(4, 900)
+            .link_up(0, 1, 2_200);
+        Rack::new(
+            cfg,
+            Workload::AsyncRead {
+                size: 256,
+                poll_every: 4,
+            },
+        )
+    };
+    let cycles = 6_000u64;
+    let mut reference = build(TickMode::Poll, 1);
+    for _ in 0..cycles {
+        reference.tick();
+    }
+    let want = tick_fingerprint(&reference);
+    assert!(want.completed_ops > 0, "reference run must do work");
+    assert!(
+        want.dropped > 0 && want.timeouts > 0,
+        "the fault plan must actually bite: {want:?}"
+    );
+
+    for mode in [TickMode::Poll, TickMode::Event] {
+        for threads in [1usize, 4] {
+            let mut rack = build(mode, threads);
+            rack.run(cycles);
+            assert_eq!(
+                tick_fingerprint(&rack),
+                want,
+                "{mode:?} tick at {threads} threads diverged from the \
+                 serial poll reference on the faulted fabric"
+            );
+        }
+    }
+}
+
+mod tick_equivalence_props {
+    use super::*;
+    use proptest::prelude::*;
+    use rackni::ni_fabric::RoutingKind;
+    use rackni::ni_soc::{builtin_scenarios, Bursty, Scenario, Synthetic, TickMode};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Next-event skipping never reorders or drops a delivery: across
+        /// every builtin scenario — plus a `Bursty` duty-cycled one, whose
+        /// `IdleFor` windows are exactly what the dormant fast path and
+        /// idle-until-X jumps elide — and every routing policy, a seeded
+        /// 2x2x2 rack produces identical fingerprints (traffic counters,
+        /// per-node completions, RRPP latency means) under the poll and
+        /// event ticks.
+        #[test]
+        fn event_tick_preserves_deliveries_across_scenarios_and_policies(
+            scenario_idx in 0usize..5,
+            routing_idx in 0usize..3,
+            seed in 0u64..1_000_000,
+        ) {
+            let routing = [
+                RoutingKind::DimensionOrder,
+                RoutingKind::MinimalAdaptive,
+                RoutingKind::FaultAdaptive,
+            ][routing_idx];
+            let run = |mode: TickMode| {
+                let mut cfg = rack_cfg(Torus3D::new(2, 2, 2), 2, TrafficPattern::Uniform);
+                cfg.chip.seed = seed;
+                cfg.chip.tick_mode = mode;
+                cfg.routing = routing;
+                cfg.threads = 1;
+                let scenario: Box<dyn Scenario> = if scenario_idx == 4 {
+                    Box::new(Bursty::new(
+                        Box::new(Synthetic::from_workload(Workload::AsyncRead {
+                            size: 64,
+                            poll_every: 2,
+                        })),
+                        2,
+                        1_000,
+                    ))
+                } else {
+                    builtin_scenarios().swap_remove(scenario_idx)
+                };
+                let mut rack = Rack::with_scenario(cfg, &*scenario);
+                rack.run(4_000);
+                tick_fingerprint(&rack)
+            };
+            let poll = run(TickMode::Poll);
+            let event = run(TickMode::Event);
+            prop_assert_eq!(
+                &poll,
+                &event,
+                "scenario {} under {:?} (seed {}) diverged between tick modes",
+                scenario_idx,
+                routing,
+                seed
+            );
+        }
+    }
+}
+
 /// A degenerate 1x1x1 "rack" routes self-traffic without touching links
 /// and still makes progress against its own RRPPs.
 #[test]
