@@ -15,7 +15,7 @@
 //! own tile and every QP block transfer becomes a full 3-hop protocol
 //! transaction — the effect Table 3 quantifies.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ni_engine::{Counter, Cycle, DelayLine};
 use ni_mem::BlockAddr;
@@ -190,9 +190,13 @@ pub struct CacheComplex {
     /// Parameter forwarded to `home` (bank count).
     n_banks: u32,
     has_ni_cache: bool,
-    lines: HashMap<BlockAddr, Line>,
-    mshrs: HashMap<BlockAddr, Mshr>,
-    writebacks: HashMap<BlockAddr, Writeback>,
+    /// Resident lines. Ordered: `enforce_capacity` scans this map for the
+    /// LRU victim and breaks `lru` ties by iteration order — with a
+    /// `HashMap` the victim choice (and thus the whole downstream
+    /// writeback/invalidation traffic) varied between same-seed runs.
+    lines: BTreeMap<BlockAddr, Line>,
+    mshrs: BTreeMap<BlockAddr, Mshr>,
+    writebacks: BTreeMap<BlockAddr, Writeback>,
     events: DelayLine<Ev>,
     completions: std::collections::VecDeque<Completion>,
     egress: std::collections::VecDeque<Egress>,
@@ -216,9 +220,9 @@ impl CacheComplex {
             home,
             n_banks,
             has_ni_cache,
-            lines: HashMap::new(),
-            mshrs: HashMap::new(),
-            writebacks: HashMap::new(),
+            lines: BTreeMap::new(),
+            mshrs: BTreeMap::new(),
+            writebacks: BTreeMap::new(),
             events: DelayLine::new(),
             completions: std::collections::VecDeque::new(),
             egress: std::collections::VecDeque::new(),

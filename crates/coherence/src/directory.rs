@@ -12,7 +12,7 @@
 //! the protocol tolerates `InvAck`s from non-holders and `FwdMiss` replies
 //! from presumed owners.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use ni_engine::{Counter, Cycle, DelayLine};
 use ni_mem::BlockAddr;
@@ -100,8 +100,10 @@ pub struct DirectoryBank {
     me: NocNode,
     /// Memory controller servicing this bank.
     mc: NocNode,
-    dir: HashMap<BlockAddr, DirState>,
-    busy: HashMap<BlockAddr, Busy>,
+    /// Per-block protocol state. Keyed access on the protocol paths, but
+    /// `BTreeMap` keeps diagnostics and any future sweep deterministic.
+    dir: BTreeMap<BlockAddr, DirState>,
+    busy: BTreeMap<BlockAddr, Busy>,
     llc: LlcArray,
     inbox: VecDeque<(NocNode, CohMsg)>,
     /// Unblocked requests replayed ahead of new arrivals.
@@ -119,8 +121,8 @@ impl DirectoryBank {
             cfg,
             me,
             mc,
-            dir: HashMap::new(),
-            busy: HashMap::new(),
+            dir: BTreeMap::new(),
+            busy: BTreeMap::new(),
             llc,
             inbox: VecDeque::new(),
             replay: VecDeque::new(),

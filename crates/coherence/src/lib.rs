@@ -24,6 +24,8 @@
 //! emit [`msg::Egress`] records; the SoC layer maps those onto NOC packets
 //! (or a zero-latency fabric in the protocol unit tests).
 
+#![warn(missing_docs)]
+
 pub mod complex;
 pub mod config;
 pub mod directory;

@@ -5,6 +5,9 @@
 //! have a *data copy* at the bank, their value token and dirtiness, with LRU
 //! replacement within a set.
 
+// lint: file-allow(hash-order) — `lookup` is a pure block->set memo,
+// consulted and updated by key only, never iterated; victim choice comes
+// from the ordered per-set `Vec`s, so hash order cannot reach sim state.
 use std::collections::HashMap;
 
 use ni_mem::BlockAddr;

@@ -33,29 +33,49 @@ pub enum ClientKind {
 pub enum CohMsg {
     // ---- requests: cache complex -> directory ----
     /// Read-only copy request (the paper's `GetRO`).
-    GetS { block: BlockAddr },
+    GetS {
+        /// Requested block.
+        block: BlockAddr,
+    },
     /// Exclusive copy request (the paper's `GetX`).
-    GetX { block: BlockAddr },
+    GetX {
+        /// Requested block.
+        block: BlockAddr,
+    },
     /// Dirty writeback on eviction.
-    PutM { block: BlockAddr, value: u64 },
+    PutM {
+        /// Evicted block.
+        block: BlockAddr,
+        /// Its dirty value token.
+        value: u64,
+    },
 
     // ---- forwards: directory -> owner / sharers ----
     /// Owner must send a shared copy to `requester` and refresh the LLC.
     FwdGetS {
+        /// Block concerned.
         block: BlockAddr,
+        /// Who receives the shared copy.
         requester: NocNode,
+        /// Client kind of `requester`.
         rkind: ClientKind,
     },
     /// Owner must transfer the block exclusively to `requester`.
     FwdGetX {
+        /// Block concerned.
         block: BlockAddr,
+        /// Who receives ownership.
         requester: NocNode,
+        /// Client kind of `requester`.
         rkind: ClientKind,
     },
     /// Sharer must invalidate and acknowledge to `ack_to`.
     Inv {
+        /// Block to invalidate.
         block: BlockAddr,
+        /// Who collects the acknowledgment.
         ack_to: NocNode,
+        /// Client kind of `ack_to`.
         akind: ClientKind,
     },
 
@@ -64,44 +84,88 @@ pub enum CohMsg {
     /// `acks` invalidation acknowledgments before using the block (the
     /// paper's `MissNotify` semantics, Fig. 2a).
     DataE {
+        /// Granted block.
         block: BlockAddr,
+        /// Its value token.
         value: u64,
+        /// Invalidation acks the requester must collect before use.
         acks: u32,
     },
     /// Shared data (from the directory or a forwarding owner).
-    DataS { block: BlockAddr, value: u64 },
+    DataS {
+        /// Granted block.
+        block: BlockAddr,
+        /// Its value token.
+        value: u64,
+    },
     /// Exclusive (possibly dirty) data from the previous owner on FwdGetX.
-    DataM { block: BlockAddr, value: u64 },
+    DataM {
+        /// Transferred block.
+        block: BlockAddr,
+        /// Its value token.
+        value: u64,
+    },
     /// Invalidation acknowledgment (the paper's `InvACK`).
-    InvAck { block: BlockAddr },
+    InvAck {
+        /// Invalidated block.
+        block: BlockAddr,
+    },
     /// Owner's copy back to the directory after FwdGetS, keeping the LLC up
     /// to date (Fig. 2b's closing message).
     OwnerData {
+        /// Block copied back.
         block: BlockAddr,
+        /// Its value token.
         value: u64,
+        /// True when the owner's copy was modified.
         dirty: bool,
     },
     /// Ownership-transfer acknowledgment to the directory after FwdGetX.
-    AckX { block: BlockAddr },
+    AckX {
+        /// Transferred block.
+        block: BlockAddr,
+    },
     /// The presumed owner no longer holds the block (legal with an inexact,
     /// non-notifying directory after a silent clean eviction).
     FwdMiss {
+        /// Block the forward concerned.
         block: BlockAddr,
+        /// True when the missed forward was a FwdGetX.
         was_getx: bool,
+        /// Original requester awaiting data.
         requester: NocNode,
     },
     /// Writeback acknowledgment.
-    PutAck { block: BlockAddr },
+    PutAck {
+        /// Acknowledged block.
+        block: BlockAddr,
+    },
 
     // ---- non-caching NI data path (§3.1: NI data accesses bypass the NI cache) ----
     /// Non-caching block read (RRPP servicing a remote request).
-    NcRead { block: BlockAddr },
+    NcRead {
+        /// Block to read.
+        block: BlockAddr,
+    },
     /// Non-caching full-block write (RCP storing remote data locally).
-    NcWrite { block: BlockAddr, value: u64 },
+    NcWrite {
+        /// Block to write.
+        block: BlockAddr,
+        /// Value token to store.
+        value: u64,
+    },
     /// Reply to `NcRead`.
-    NcData { block: BlockAddr, value: u64 },
+    NcData {
+        /// Block read.
+        block: BlockAddr,
+        /// Its value token.
+        value: u64,
+    },
     /// Reply to `NcWrite`.
-    NcWAck { block: BlockAddr },
+    NcWAck {
+        /// Block written.
+        block: BlockAddr,
+    },
 }
 
 impl CohMsg {

@@ -638,9 +638,9 @@ fn measure_rack_point(
     let mut rack = build_rack_point(dims, traffic, 0);
     // Time only the run: cycles/sec is the simulator-throughput trajectory
     // number and must not drift with construction cost.
-    let started = std::time::Instant::now();
+    let started = crate::report::Stopwatch::start();
     rack.run(cycles);
-    let wall = started.elapsed();
+    let wall_secs = started.secs();
     let freq = Frequency::GHZ2;
     let fs = rack.fabric_stats();
     // Packets that finished their journey (in-flight ones still hold
@@ -660,8 +660,8 @@ fn measure_rack_point(
             rack.hops_traversed() as f64 / packets as f64
         },
         cycles,
-        wall_ms: wall.as_secs_f64() * 1e3,
-        cycles_per_sec: cycles as f64 / wall.as_secs_f64().max(1e-9),
+        wall_ms: wall_secs * 1e3,
+        cycles_per_sec: cycles as f64 / wall_secs,
         threads: rack.worker_count(),
     }
 }

@@ -20,6 +20,8 @@
 //! assert_eq!(dram.pop_ready(Cycle(100)), Some(7));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod clock;
 pub mod parallel;
 pub mod queue;

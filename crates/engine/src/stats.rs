@@ -326,11 +326,18 @@ impl LinkLoad {
 pub enum WindowStatus {
     /// Not enough windows yet, or delta still above tolerance.
     Open {
+        /// Windows observed so far.
         windows: u32,
+        /// Relative delta between the two most recent windows, if two exist.
         last_delta: Option<f64>,
     },
     /// Metric stabilized: consecutive windows within tolerance.
-    Converged { value: f64, windows: u32 },
+    Converged {
+        /// The stabilized metric value (last window's sample).
+        value: f64,
+        /// Windows observed when convergence was declared.
+        windows: u32,
+    },
 }
 
 /// Windowed convergence detector replicating the paper's §5 protocol:

@@ -1,0 +1,10 @@
+//! Known-bad fixture: the escape hatch misused. Expected findings
+//! (Role::SimState): allow-missing-reason on lines 6 and 8 (a reason
+//! shorter than the minimum counts as missing), allow-unknown-rule on
+//! line 10, and hash-order on line 6 (a rejected allow suppresses nothing).
+
+use std::collections::HashMap; // lint: allow(hash-order)
+
+const T: u64 = 1; // lint: allow(wall-clock) — ok
+
+const U: u64 = 2; // lint: allow(no-such-rule) — a long enough justification

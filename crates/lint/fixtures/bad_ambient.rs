@@ -1,0 +1,10 @@
+//! Known-bad fixture: ambient (OS-entropy) nondeterminism.
+//! Expected findings (every role): ambient-nondeterminism on lines 5, 6, 8.
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    // A hasher seeded from OS entropy, not from the run seed:
+    let s = std::collections::hash_map::RandomState::new();
+    x
+}

@@ -1,0 +1,14 @@
+//! Known-bad fixture: mutating calls inside `debug_assert!`.
+//! Expected findings (every role): debug-assert-side-effect on lines 6
+//! and 7 (the multi-line invocation is reported at its opening line).
+
+fn check(q: &mut Queue, n: &mut u64) {
+    debug_assert!(q.pop().is_some(), "queue must not be empty");
+    debug_assert!(
+        q.inner.remove(&0).is_none() && {
+            *n += 1;
+            true
+        },
+        "multi-line body with a mutator two lines down"
+    );
+}

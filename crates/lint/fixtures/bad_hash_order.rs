@@ -1,0 +1,11 @@
+//! Known-bad fixture: hash-order hazards in simulation state.
+//! Expected findings (Role::SimState): hash-order on lines 4, 5, 10.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+struct State {
+    /// Word-boundary check: this name must NOT fire.
+    kind: HashMapLike,
+    seen: HashMap<u64, u64>,
+}

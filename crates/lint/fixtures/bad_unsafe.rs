@@ -1,0 +1,6 @@
+//! Known-bad fixture: `unsafe` without a `// SAFETY:` comment.
+//! Expected findings (every role): unguarded-unsafe on line 5.
+
+fn read(p: *const u64) -> u64 {
+    unsafe { *p }
+}

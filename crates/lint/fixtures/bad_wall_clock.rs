@@ -1,0 +1,9 @@
+//! Known-bad fixture: wall-clock reads in simulation state.
+//! Expected findings (Role::SimState): wall-clock on lines 5 and 7.
+
+fn measure() -> f64 {
+    let started = std::time::Instant::now();
+    simulate();
+    let _stamp = std::time::SystemTime::now();
+    started.elapsed().as_secs_f64()
+}

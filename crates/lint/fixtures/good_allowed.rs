@@ -1,0 +1,15 @@
+//! Known-good fixture: real hazards, each carrying a justified allow.
+//! Must report ZERO findings at Role::SimState.
+
+// lint: file-allow(ambient-nondeterminism) — fixture demonstrating the
+// file-scope hatch; this file's RNG feeds nothing.
+
+use std::collections::HashMap; // lint: allow(hash-order) — keyed access only, never iterated
+
+fn timing() -> u64 {
+    // lint: allow(wall-clock) — a standalone annotation covers the next
+    // code line; this read feeds a report, not simulation state.
+    let t = std::time::Instant::now();
+    let _rng = rand::thread_rng();
+    t.elapsed().as_secs()
+}

@@ -1,0 +1,43 @@
+//! Known-good fixture: every line here pattern-matches a rule somewhere a
+//! naive grep would fire, but the comment- and string-aware scanner must
+//! report ZERO findings at Role::SimState.
+//!
+//! Comment channel: HashMap, HashSet, Instant, SystemTime, thread_rng,
+//! RandomState, rand::random, unsafe, debug_assert!(v.push(1)).
+
+/// Doc comments are comments too: prefer `BTreeMap` over `HashMap`.
+fn strings() {
+    let s = "Instant::now() and SystemTime inside a plain string";
+    let t = "a HashMap<u64, u64> and a HashSet drawn as text";
+    let r = r#"thread_rng and RandomState in a raw string"#;
+    let f = r##"fenced raw: rand::random() and unsafe { *p } "# inner"##;
+    let multi = "a string spanning
+        two lines with debug_assert!(v.push(1)) inside";
+    let _ = (s, t, r, f, multi);
+}
+
+fn char_vs_lifetime<'a>(x: &'a u64) -> &'a u64 {
+    // The 'a above must parse as lifetimes, not open char literals that
+    // would swallow the rest of the file into a string channel.
+    let _quote = '"';
+    let _escaped = '\'';
+    let _plain = 'h';
+    x
+}
+
+fn guarded(p: *const u64) -> u64 {
+    // SAFETY: the caller guarantees `p` points at a live u64.
+    unsafe { *p }
+}
+
+fn pure_asserts(a: u64, b: u64) {
+    debug_assert!(a <= b, "message text mentioning .push( stays a string");
+    debug_assert!(
+        a == b || a < b,
+        "multi-line invocation with a pure body and a .drain( in the text"
+    );
+    my_debug_assert_helper(a);
+}
+
+/// Identifier-boundary check: contains the substring but is not the macro.
+fn my_debug_assert_helper(_: u64) {}

@@ -1,0 +1,73 @@
+//! `ni_lint` CLI: lint the workspace for determinism hazards.
+//!
+//! ```text
+//! cargo run -p ni_lint -- [--deny] [--format text|json] [ROOT]
+//! ```
+//!
+//! Without `ROOT`, the workspace root is found by walking up from the
+//! current directory. `--deny` exits non-zero when findings exist (the CI
+//! mode); without it the findings are reported and the exit code stays 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ni_lint::{lint_workspace, render_json, render_text, workspace_root_from};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("ni_lint: --format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: ni_lint [--deny] [--format text|json] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            _ if root.is_none() && !a.starts_with('-') => root = Some(PathBuf::from(a)),
+            _ => {
+                eprintln!("ni_lint: unknown argument {a:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("current dir");
+            match workspace_root_from(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("ni_lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ni_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_text(&report));
+    }
+    if deny && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

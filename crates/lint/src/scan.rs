@@ -1,0 +1,300 @@
+//! Line scanner: splits Rust source into per-line *code* and *comment*
+//! channels.
+//!
+//! The rules engine must never fire on a rule name that appears inside a
+//! string literal or a comment ("the old HashMap retry order" in a doc
+//! comment is history, not a hazard), and the `lint: allow` escape hatch
+//! lives *in* comments — so every line is split into the code that remains
+//! after comments and literal contents are blanked out, and the comment
+//! text collected from it.
+//!
+//! This is a character scanner, not a parser. It understands exactly the
+//! lexical forms that can hide text from (or leak text into) a substring
+//! match: line comments, nested block comments, string literals with
+//! escapes (including multi-line strings), raw strings with arbitrary `#`
+//! fencing, byte strings, and char literals (distinguished from lifetimes
+//! by lookahead). Everything else passes through untouched.
+
+/// One source line, split into its code and comment channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedLine {
+    /// The line with comments removed and string/char-literal *contents*
+    /// blanked (delimiters are kept so tokens stay separated).
+    pub code: String,
+    /// Concatenated text of every comment on the line (line comments,
+    /// doc comments, and the in-line slice of block comments).
+    pub comment: String,
+}
+
+/// Scanner state that survives across newlines.
+enum Mode {
+    /// Plain code.
+    Code,
+    /// Inside a (possibly nested) block comment; payload is the depth.
+    Block(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string; payload is the number of `#` fence characters.
+    RawStr(u32),
+}
+
+/// Split `src` into per-line code/comment channels.
+pub fn scan(src: &str) -> Vec<ScannedLine> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+
+    macro_rules! flush_line {
+        () => {
+            lines.push(ScannedLine {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            flush_line!();
+            // A line comment ends at the newline; everything else persists.
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    // Line comment: consume to end of line into the
+                    // comment channel (the newline itself is handled
+                    // above on the next iteration).
+                    i += 2;
+                    while i < chars.len() && chars[i] != '\n' {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    mode = Mode::Block(1);
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    // Plain (or byte) string start: a `b` prefix needs no
+                    // special handling because the quote is what switches
+                    // modes, and raw strings were caught one char earlier
+                    // at their `r`.
+                    mode = Mode::Str;
+                    code.push('"');
+                    i += 1;
+                    continue;
+                }
+                if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    if let Some(adv) = raw_string_open(&chars, i) {
+                        mode = Mode::RawStr(adv.hashes);
+                        code.push('"');
+                        i += adv.len;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    if let Some(adv) = char_literal_len(&chars, i) {
+                        // Blank the whole literal, keeping delimiters so
+                        // `'a'` can never glue neighboring tokens.
+                        code.push('\'');
+                        code.push(' ');
+                        code.push('\'');
+                        i += adv;
+                        continue;
+                    }
+                    // A lifetime or loop label: ordinary code.
+                }
+                code.push(c);
+                i += 1;
+            }
+            Mode::Block(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    mode = Mode::Block(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                comment.push(c);
+                i += 1;
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // Skip the escaped character (covers \" and \\; a
+                    // multi-char escape like \x41 is fine to step through
+                    // one char at a time — none of its tail is a quote).
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    mode = Mode::Code;
+                    code.push('"');
+                    i += 1;
+                    continue;
+                }
+                i += 1;
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    mode = Mode::Code;
+                    code.push('"');
+                    i += 1 + hashes as usize;
+                    continue;
+                }
+                i += 1;
+            }
+        }
+    }
+    flush_line!();
+    lines
+}
+
+/// True when the char before `i` could continue an identifier — meaning a
+/// `r`/`b` at `i` is the tail of a name, not a literal prefix.
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+struct RawOpen {
+    /// Characters consumed by the opener (prefix + hashes + quote).
+    len: usize,
+    /// Number of `#` fence characters.
+    hashes: u32,
+}
+
+/// Parse a raw-string opener (`r"`, `r#"`, `br##"` …) at `i`; `None` when
+/// the chars at `i` are not one.
+fn raw_string_open(chars: &[char], i: usize) -> Option<RawOpen> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(RawOpen {
+            len: j + 1 - i,
+            hashes,
+        })
+    } else {
+        None
+    }
+}
+
+/// True when the `"` at `i` is followed by `hashes` `#` characters,
+/// closing the current raw string.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Length of the char literal starting at the `'` at `i`, or `None` when
+/// the quote starts a lifetime/label instead.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        // Escaped char: consume to the next unescaped closing quote.
+        Some('\\') => {
+            let mut j = i + 2;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\'' => return Some(j + 1 - i),
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        // Exactly one char then a quote: 'x' (incl. multi-byte chars).
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_move_to_comment_channel() {
+        let l = &scan("let x = 1; // HashMap here\n")[0];
+        assert!(!l.code.contains("HashMap"));
+        assert!(l.comment.contains("HashMap"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let ls = scan("a /* one /* two */ still */ b\nc /* open\nHashMap\n*/ d\n");
+        assert_eq!(
+            ls[0].code.split_whitespace().collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        assert!(ls[2].code.is_empty());
+        assert!(ls[2].comment.contains("HashMap"));
+        assert!(ls[3].code.contains('d'));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let c = code_of("let s = \"HashMap::new()\";\n");
+        assert!(!c[0].contains("HashMap"));
+        assert!(c[0].contains("\"\""));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let c = code_of("let s = \"a\\\"HashMap\"; let t = 1;\n");
+        assert!(!c[0].contains("HashMap"));
+        assert!(c[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let c = code_of("let s = r#\"Instant \" still in\"#; let u = 2;\n");
+        assert!(!c[0].contains("Instant"));
+        assert!(c[0].contains("let u = 2;"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let c = code_of("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; }\n");
+        assert!(c[0].contains("<'a>"));
+        assert!(c[0].contains("&'a str"));
+        // The quote char literal must not have opened a string.
+        assert!(c[0].contains("let n ="));
+    }
+
+    #[test]
+    fn comment_containing_quote_then_code() {
+        let ls = scan("x // say \"HashMap\"\nSystemTime y\n");
+        assert!(!ls[0].code.contains("HashMap"));
+        assert!(ls[1].code.contains("SystemTime"));
+    }
+}

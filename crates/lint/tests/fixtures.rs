@@ -1,0 +1,138 @@
+//! Fixture-corpus tests: known-bad files must produce exactly the expected
+//! findings, known-good files (including the tricky pattern-in-string
+//! cases) must produce none. The corpus lives in `fixtures/`, which the
+//! workspace walk skips — see `tests/workspace.rs` for the exclusion
+//! self-check.
+
+use ni_lint::{lint_source, Role, Rule};
+
+const BAD_HASH_ORDER: &str = include_str!("../fixtures/bad_hash_order.rs");
+const BAD_WALL_CLOCK: &str = include_str!("../fixtures/bad_wall_clock.rs");
+const BAD_AMBIENT: &str = include_str!("../fixtures/bad_ambient.rs");
+const BAD_DEBUG_ASSERT: &str = include_str!("../fixtures/bad_debug_assert.rs");
+const BAD_UNSAFE: &str = include_str!("../fixtures/bad_unsafe.rs");
+const BAD_ALLOW: &str = include_str!("../fixtures/bad_allow.rs");
+const GOOD_TRICKY: &str = include_str!("../fixtures/good_tricky.rs");
+const GOOD_ALLOWED: &str = include_str!("../fixtures/good_allowed.rs");
+
+/// `(line, rule)` pairs of a source linted at `role`.
+fn findings(src: &str, role: Role) -> Vec<(usize, Rule)> {
+    lint_source("fixture.rs", src, role, false)
+        .into_iter()
+        .map(|f| (f.line, f.rule))
+        .collect()
+}
+
+#[test]
+fn hash_order_fixture_fires_per_site_not_per_identifier() {
+    assert_eq!(
+        findings(BAD_HASH_ORDER, Role::SimState),
+        vec![
+            (4, Rule::HashOrder),
+            (5, Rule::HashOrder),
+            (10, Rule::HashOrder),
+        ],
+        "two use lines and one field; `HashMapLike` must not fire"
+    );
+}
+
+#[test]
+fn wall_clock_fixture_fires_on_both_clock_types() {
+    assert_eq!(
+        findings(BAD_WALL_CLOCK, Role::SimState),
+        vec![(5, Rule::WallClock), (7, Rule::WallClock)],
+    );
+}
+
+#[test]
+fn ambient_fixture_fires_on_all_three_entropy_sources() {
+    assert_eq!(
+        findings(BAD_AMBIENT, Role::SimState),
+        vec![
+            (5, Rule::AmbientNondeterminism),
+            (6, Rule::AmbientNondeterminism),
+            (8, Rule::AmbientNondeterminism),
+        ],
+    );
+}
+
+#[test]
+fn debug_assert_fixture_fires_including_multiline_bodies() {
+    assert_eq!(
+        findings(BAD_DEBUG_ASSERT, Role::SimState),
+        vec![
+            (6, Rule::DebugAssertSideEffect),
+            (7, Rule::DebugAssertSideEffect),
+        ],
+        "the multi-line invocation reports at its opening line"
+    );
+}
+
+#[test]
+fn unsafe_fixture_fires_without_a_safety_comment() {
+    assert_eq!(
+        findings(BAD_UNSAFE, Role::SimState),
+        vec![(5, Rule::UnguardedUnsafe)]
+    );
+}
+
+#[test]
+fn allow_fixture_misuse_is_unsuppressible() {
+    let got = findings(BAD_ALLOW, Role::SimState);
+    assert!(
+        got.contains(&(6, Rule::AllowMissingReason)),
+        "reasonless allow must be flagged: {got:?}"
+    );
+    assert!(
+        got.contains(&(6, Rule::HashOrder)),
+        "a rejected allow suppresses nothing: {got:?}"
+    );
+    assert!(
+        got.contains(&(8, Rule::AllowMissingReason)),
+        "a too-short reason counts as missing: {got:?}"
+    );
+    assert!(
+        got.contains(&(10, Rule::AllowUnknownRule)),
+        "unknown rule names must be flagged: {got:?}"
+    );
+    assert_eq!(got.len(), 4, "{got:?}");
+}
+
+#[test]
+fn tricky_good_fixture_is_clean() {
+    assert_eq!(
+        findings(GOOD_TRICKY, Role::SimState),
+        vec![],
+        "rule names inside strings, comments, raw strings, char literals \
+         and multi-line macro bodies must not fire"
+    );
+}
+
+#[test]
+fn justified_allows_suppress_cleanly() {
+    assert_eq!(findings(GOOD_ALLOWED, Role::SimState), vec![]);
+}
+
+#[test]
+fn role_scoping_relaxes_rules_outside_sim_state() {
+    // Hash maps are the harness's business...
+    assert_eq!(findings(BAD_HASH_ORDER, Role::Harness), vec![]);
+    assert_eq!(findings(BAD_HASH_ORDER, Role::Experiments), vec![]);
+    // ...and the experiments layer may not read clocks, but the harness may.
+    assert_eq!(
+        findings(BAD_WALL_CLOCK, Role::Experiments),
+        vec![(5, Rule::WallClock), (7, Rule::WallClock)],
+    );
+    assert_eq!(findings(BAD_WALL_CLOCK, Role::Harness), vec![]);
+    // Ambient entropy is banned everywhere.
+    assert_eq!(findings(BAD_AMBIENT, Role::Harness).len(), 3);
+}
+
+#[test]
+fn missing_docs_header_fires_only_for_sim_lib_roots() {
+    let src = "//! A sim-state crate root without the header.\npub fn f() {}\n";
+    let as_lib = lint_source("lib.rs", src, Role::SimState, true);
+    assert_eq!(as_lib.len(), 1);
+    assert_eq!(as_lib[0].rule, Rule::MissingDocsHeader);
+    assert!(lint_source("other.rs", src, Role::SimState, false).is_empty());
+}

@@ -1,0 +1,108 @@
+//! The workspace gate: plain `cargo test` runs the linter over the whole
+//! repository, so reintroducing a hazard (or stripping a justification off
+//! an allow) fails CI in both the debug and release legs — the binary form
+//! of the same pass gates the lint job.
+
+use std::path::Path;
+
+use ni_lint::{lint_source, lint_workspace, render_text, workspace_root_from, Role};
+
+fn root() -> std::path::PathBuf {
+    workspace_root_from(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint")
+}
+
+#[test]
+fn workspace_has_no_findings() {
+    let report = lint_workspace(&root()).expect("workspace scan");
+    assert!(
+        report.findings.is_empty(),
+        "determinism lint failed:\n{}",
+        render_text(&report)
+    );
+    // Guard against the walk silently scanning nothing (a path bug would
+    // make the assertion above pass vacuously).
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}
+
+/// Self-check, part 1: the fixture corpus is deliberately dirty when
+/// scanned directly...
+#[test]
+fn fixture_corpus_is_dirty_when_scanned_directly() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut bad_files = 0;
+    let mut findings = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        if !name.starts_with("bad_") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("fixture source");
+        bad_files += 1;
+        findings += lint_source(name, &src, Role::SimState, false).len();
+    }
+    assert!(
+        bad_files >= 6,
+        "fixture corpus shrank: {bad_files} bad files"
+    );
+    assert!(findings > bad_files, "bad fixtures must actually fire");
+}
+
+/// ...part 2: and the workspace walk excludes it, so the corpus can never
+/// fail the workspace pass.
+#[test]
+fn fixture_corpus_is_excluded_from_the_workspace_walk() {
+    let report = lint_workspace(&root()).expect("workspace scan");
+    assert!(
+        !report.findings.iter().any(|f| f.file.contains("fixtures")),
+        "fixtures leaked into the workspace pass:\n{}",
+        render_text(&report)
+    );
+}
+
+/// Self-check, part 3: the linter's own sources pass their role's rules —
+/// `ni_lint` eats its own dog food through the workspace gate above, and
+/// this pins the role its files are judged under.
+#[test]
+fn linter_lints_itself_clean() {
+    let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut entries: Vec<_> = std::fs::read_dir(&src_dir)
+        .expect("lint src dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    let mut checked = 0;
+    for path in entries {
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        if !name.ends_with(".rs") {
+            continue;
+        }
+        let rel = Path::new("crates/lint/src").join(&name);
+        assert_eq!(
+            ni_lint::role_of(&rel),
+            Some(Role::Harness),
+            "lint sources are harness code"
+        );
+        let found = lint_source(
+            &name,
+            &std::fs::read_to_string(&path).unwrap(),
+            Role::Harness,
+            false,
+        );
+        assert!(found.is_empty(), "{name} has findings: {found:?}");
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "expected the four lint modules, saw {checked}"
+    );
+}

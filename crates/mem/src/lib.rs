@@ -12,6 +12,8 @@
 //! stores a unique token; every read must observe the latest one in
 //! coherence order).
 
+#![warn(missing_docs)]
+
 pub mod addr;
 pub mod controller;
 

@@ -20,6 +20,8 @@
 //! own message enums and the chip maps them onto [`MessageClass`] virtual
 //! networks at injection time.
 
+#![warn(missing_docs)]
+
 pub mod mesh;
 pub mod nocout;
 pub mod packet;

@@ -11,6 +11,8 @@
 //! stores to the same cache block create one), so one 64-byte block holds
 //! two entries; CQ entries are 8 bytes (a single polling load covers one).
 
+#![warn(missing_docs)]
+
 pub mod queue;
 
 pub use queue::{CqEntry, QpConfig, QueuePair, RemoteOp, WqEntry};

@@ -14,7 +14,7 @@
 //! completing the operation with an error CQ status — so a dead link or
 //! node costs the issuing core a failed completion, never a hang.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use ni_coherence::{ClientKind, CohMsg, Egress};
 use ni_engine::{Counter, Cycle, DelayLine};
@@ -152,7 +152,9 @@ pub struct NiBackend {
     /// When the backend is not at the chip edge (NIper-tile), its network
     /// packets detour via this NI block (§6.2's indirection).
     edge_via: Option<NocNode>,
-    itt: HashMap<u32, IttEntry>,
+    /// Live transfers by slot. A `BTreeMap` so the watchdog's slot scan
+    /// and the `retain` purges below can never depend on hash order.
+    itt: BTreeMap<u32, IttEntry>,
     free_slots: Vec<u32>,
     /// Per-slot reuse generation (see [`IttEntry::gen`]).
     slot_gens: Vec<u16>,
@@ -165,7 +167,7 @@ pub struct NiBackend {
     /// Slots with blocks left to unroll, round-robin.
     active: VecDeque<u32>,
     /// Local reads outstanding for remote-write payloads: block -> slot.
-    pending_local_reads: HashMap<BlockAddr, Vec<u32>>,
+    pending_local_reads: BTreeMap<BlockAddr, Vec<u32>>,
     events: DelayLine<BeEv>,
     egress: VecDeque<RmcEgress>,
     stats: BackendStats,
@@ -195,13 +197,13 @@ impl NiBackend {
             home,
             n_banks,
             edge_via,
-            itt: HashMap::new(),
+            itt: BTreeMap::new(),
             free_slots: (0..cfg.itt_slots as u32).rev().collect(),
             slot_gens: vec![0; cfg.itt_slots],
             next_deadline: Cycle(u64::MAX),
             waiting: VecDeque::new(),
             active: VecDeque::new(),
-            pending_local_reads: HashMap::new(),
+            pending_local_reads: BTreeMap::new(),
             events: DelayLine::new(),
             egress: VecDeque::new(),
             stats: BackendStats::default(),
@@ -411,8 +413,7 @@ impl NiBackend {
 
     /// The ITT watchdog: when armed ([`RmcConfig::itt_timeout`]` > 0`) and
     /// the earliest possible deadline has passed, scan the slots in index
-    /// order (deterministic — never the hash map's iteration order) for
-    /// entries that made no progress for a full timeout. Each expiry
+    /// order for entries that made no progress for a full timeout. Each expiry
     /// either re-sends the transfer's missing blocks (while
     /// [`IttEntry::retries_left`] lasts) or frees the slot and completes
     /// the operation back to the core with an error CQ status.

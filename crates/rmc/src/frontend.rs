@@ -11,7 +11,7 @@
 //! poll is an independent multi-hop coherence transaction — a single
 //! outstanding miss would serialize eight cores behind one round trip.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use ni_coherence::{Access, AccessKind, AccessOrigin, CacheComplex};
 use ni_engine::{Cycle, DelayLine};
@@ -50,9 +50,9 @@ pub struct NiFrontend {
     /// `(qp, wq_id, ok)`.
     cq_queue: VecDeque<(u32, u64, bool)>,
     /// Outstanding WQ polls: access tag -> polled QP.
-    polls: HashMap<u64, u32>,
+    polls: BTreeMap<u64, u32>,
     /// QPs with a poll in flight (never poll the same QP twice at once).
-    in_poll: HashSet<u32>,
+    in_poll: BTreeSet<u32>,
     /// Outstanding CQ store, if any: (tag, qp, wq_id). CQ stores are
     /// serialized — same-block stores must retire in order.
     storing_cq: Option<(u64, u32, u64)>,
@@ -69,7 +69,7 @@ pub struct NiFrontend {
     /// A poll returning the newest-written id may race with the delayed
     /// `SendWq` events of the previous poll (the entries stay pending until
     /// the forward fires); this watermark keeps each entry forwarded once.
-    dispatched: HashMap<u32, u64>,
+    dispatched: BTreeMap<u32, u64>,
 }
 
 impl NiFrontend {
@@ -82,8 +82,8 @@ impl NiFrontend {
             backend,
             rr: 0,
             cq_queue: VecDeque::new(),
-            polls: HashMap::new(),
-            in_poll: HashSet::new(),
+            polls: BTreeMap::new(),
+            in_poll: BTreeSet::new(),
             storing_cq: None,
             cq_busy: false,
             events: DelayLine::new(),
@@ -91,7 +91,7 @@ impl NiFrontend {
             next_tag: 0,
             poll_ready_at: Cycle::ZERO,
             retry: None,
-            dispatched: HashMap::new(),
+            dispatched: BTreeMap::new(),
         }
     }
 

@@ -21,6 +21,8 @@
 //! NIper-tile, and a NOC message ([`NiMsg::WqFwd`] / [`NiMsg::CqNotify`]) in
 //! NIsplit.
 
+#![warn(missing_docs)]
+
 pub mod backend;
 pub mod config;
 pub mod frontend;

@@ -7,7 +7,7 @@
 //! address-interleaved among them by home-bank location (§4.3) so each
 //! request's on-chip path to its LLC slice is minimal.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use ni_coherence::{ClientKind, CohMsg, Egress};
 use ni_engine::{Counter, Cycle, DelayLine, RunningMean};
@@ -48,7 +48,9 @@ pub struct Rrpp {
     /// requesting nodes), so no tid-keyed lookup can be correct.
     queue: VecDeque<(RemoteReq, Cycle)>,
     /// Requests whose local access is outstanding, FIFO per block.
-    pending: HashMap<BlockAddr, Vec<(RemoteReq, Cycle)>>,
+    /// Keyed access only today, but a `BTreeMap` keeps any future
+    /// iteration (and `Debug` output) deterministic for free.
+    pending: BTreeMap<BlockAddr, Vec<(RemoteReq, Cycle)>>,
     outstanding: usize,
     started: DelayLine<(RemoteReq, Cycle)>,
     egress: VecDeque<RmcEgress>,
@@ -71,7 +73,7 @@ impl Rrpp {
             home,
             n_banks,
             queue: VecDeque::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             outstanding: 0,
             started: DelayLine::new(),
             egress: VecDeque::new(),

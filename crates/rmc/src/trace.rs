@@ -4,12 +4,15 @@
 //! the events into a [`TraceTable`] from which the Table 1/3 breakdowns and
 //! the Fig. 5 projections are computed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ni_engine::{Cycle, RunningMean};
 
 /// Lifecycle stages of one remote operation (a WQ entry).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// `Ord` follows declaration order, which is lifecycle order — the
+/// [`TraceTable`] keys its per-request stamps by stage.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Stage {
     /// Core begins composing the WQ entry.
     WqWriteStart,
@@ -60,9 +63,14 @@ pub struct TraceEvent {
 }
 
 /// Collected request traces.
+///
+/// Rows are ordered (`BTreeMap`): [`TraceTable::mean_between`] folds
+/// per-request durations into a float mean, and float summation is not
+/// associative — hash-order iteration here made the reported breakdowns
+/// differ between same-seed runs.
 #[derive(Debug, Default)]
 pub struct TraceTable {
-    rows: HashMap<(u32, u64), HashMap<Stage, Cycle>>,
+    rows: BTreeMap<(u32, u64), BTreeMap<Stage, Cycle>>,
 }
 
 impl TraceTable {

@@ -1,7 +1,7 @@
 //! The simulated node: cores, caches, directories, memory, RMC pipelines,
 //! interconnect, network router and rack fabric, ticked in lock step.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use ni_coherence::{wire_of, CacheComplex, ClientKind, CohMsg, DirectoryBank, Egress};
 use ni_engine::{Cycle, DelayLine};
@@ -105,22 +105,22 @@ pub struct Chip {
     noc: NocImpl,
     /// Tile complexes `[0..n_cores)`, then edge NI complexes (NIedge only).
     complexes: Vec<CacheComplex>,
-    complex_index: HashMap<NocNode, usize>,
+    complex_index: BTreeMap<NocNode, usize>,
     dirs: Vec<DirectoryBank>,
-    dir_index: HashMap<NocNode, usize>,
+    dir_index: BTreeMap<NocNode, usize>,
     mcs: Vec<MemoryController>,
-    mc_pending: HashMap<u64, (NocNode, bool)>,
+    mc_pending: BTreeMap<u64, (NocNode, bool)>,
     mc_seq: u64,
     /// Queue pairs, one per core.
     pub qps: Vec<QueuePair>,
     /// Cores, one per tile.
     pub cores: Vec<Core>,
     frontends: Vec<NiFrontend>,
-    fe_index: HashMap<NocNode, usize>,
+    fe_index: BTreeMap<NocNode, usize>,
     /// Frontend index serving each complex index (for NI completions).
-    fe_of_complex: HashMap<usize, usize>,
+    fe_of_complex: BTreeMap<usize, usize>,
     backends: Vec<NiBackend>,
-    backend_index: HashMap<NocNode, usize>,
+    backend_index: BTreeMap<NocNode, usize>,
     rrpps: Vec<Rrpp>,
     /// This chip's node id in the rack.
     node_id: u16,
@@ -261,7 +261,7 @@ impl Chip {
         // Tile complexes: NI cache present when frontends are per tile.
         let per_tile_fe = cfg.placement.frontend_per_tile();
         let mut complexes = Vec::new();
-        let mut complex_index = HashMap::new();
+        let mut complex_index = BTreeMap::new();
         for i in 0..n {
             let node = tile_node(i);
             complex_index.insert(node, complexes.len());
@@ -285,7 +285,7 @@ impl Chip {
 
         // Directory banks.
         let mut dirs = Vec::new();
-        let mut dir_index = HashMap::new();
+        let mut dir_index = BTreeMap::new();
         for b in 0..n_banks {
             let (node, mc) = match cfg.topology {
                 Topology::Mesh => {
@@ -333,7 +333,7 @@ impl Chip {
 
         // Backends.
         let mut backends = Vec::new();
-        let mut backend_index = HashMap::new();
+        let mut backend_index = BTreeMap::new();
         if cfg.placement.backend_per_tile() {
             for i in 0..n {
                 let node = tile_node(i);
@@ -360,8 +360,8 @@ impl Chip {
 
         // Frontends.
         let mut frontends = Vec::new();
-        let mut fe_index = HashMap::new();
-        let mut fe_of_complex = HashMap::new();
+        let mut fe_index = BTreeMap::new();
+        let mut fe_of_complex = BTreeMap::new();
         match cfg.placement {
             NiPlacement::Numa => {}
             NiPlacement::Edge => {
@@ -424,7 +424,7 @@ impl Chip {
             dirs,
             dir_index,
             mcs,
-            mc_pending: HashMap::new(),
+            mc_pending: BTreeMap::new(),
             mc_seq: 0,
             qps,
             cores,

@@ -25,6 +25,8 @@
 //! [`core_model::Workload`]/[`rack::TrafficPattern`] enums survive as
 //! [`scenario::Synthetic`]'s parameter vocabulary and thin constructors.
 
+#![warn(missing_docs)]
+
 pub mod bench;
 pub mod chip;
 pub mod config;

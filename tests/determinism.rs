@@ -1,0 +1,130 @@
+//! Same-seed bit-identity regression for the determinism cleanup ni_lint
+//! forced: build the same seeded rack twice *in the same process* and
+//! require identical fingerprints.
+//!
+//! This catches exactly the hazard class the linter's `hash-order` rule
+//! polices: `HashMap`'s per-instance `RandomState` draws fresh OS entropy
+//! for every map, so iteration order differs between two maps built in one
+//! process. Before the cleanup, the cache complex broke LRU-victim ties and
+//! the trace table folded float means in hash order — both converted to
+//! `BTreeMap` (along with the RMC pipeline and chip dispatch maps), and
+//! these runs pin the conversion down.
+
+use rackni::ni_fabric::{FaultPlan, RoutingKind, Torus3D};
+use rackni::ni_soc::{ChipConfig, Rack, RackSimConfig, TrafficPattern, Workload};
+
+/// Everything a reordered victim choice, retry, or delivery could perturb:
+/// aggregate and per-node completion counts, traffic/fault/watchdog
+/// counters, and the RRPP latency means (bit-compared — floats diverge if
+/// any sample's *order or timing* moves).
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    sent: u64,
+    responded: u64,
+    incoming: u64,
+    completed_ops: u64,
+    failed_ops: u64,
+    payload_bytes: u64,
+    hops: u64,
+    timeouts: u64,
+    retries: u64,
+    rrpp_means: Vec<f64>,
+    per_node_ops: Vec<u64>,
+}
+
+fn fingerprint(rack: &Rack) -> Fingerprint {
+    let fs = rack.fabric_stats();
+    let be = rack.backend_stats();
+    Fingerprint {
+        sent: fs.sent.get(),
+        responded: fs.responded.get(),
+        incoming: fs.incoming_generated.get(),
+        completed_ops: rack.completed_ops(),
+        failed_ops: rack.failed_ops(),
+        payload_bytes: rack.app_payload_bytes(),
+        hops: rack.hops_traversed(),
+        timeouts: be.itt_timeouts.get(),
+        retries: be.itt_retries.get(),
+        rrpp_means: rack.rrpp_mean_latencies(),
+        per_node_ops: rack.chips().iter().map(|c| c.completed_ops()).collect(),
+    }
+}
+
+/// A healthy seeded rack: 2x2x2 torus, every node issuing async remote
+/// reads. Exercises the frontend poll/dispatch maps, the RRPP pending
+/// queues, the directory and cache-complex maps on every chip.
+fn healthy_run(cycles: u64) -> Rack {
+    let mut cfg = RackSimConfig {
+        torus: Torus3D::new(2, 2, 2),
+        chip: ChipConfig {
+            active_cores: 2,
+            ..ChipConfig::default()
+        },
+        traffic: TrafficPattern::Uniform,
+        ..RackSimConfig::default()
+    };
+    cfg.chip.seed = 0xd51e;
+    let mut rack = Rack::new(
+        cfg,
+        Workload::AsyncRead {
+            size: 256,
+            poll_every: 4,
+        },
+    );
+    rack.run(cycles);
+    rack
+}
+
+/// A faulty seeded rack: a mid-run link kill under health-blind
+/// dimension-order routing, so transfers stall into the ITT watchdog. The
+/// watchdog's timeout scan walks the backend's transfer table and its retry
+/// purge `retain`s it — the iteration-order-sensitive paths the `BTreeMap`
+/// conversion fixed — and the retried traffic reshapes every downstream
+/// cache/directory map.
+fn faulty_run(cycles: u64) -> Rack {
+    let mut cfg = RackSimConfig {
+        torus: Torus3D::new(3, 3, 1),
+        chip: ChipConfig {
+            active_cores: 2,
+            ..ChipConfig::default()
+        },
+        traffic: TrafficPattern::Uniform,
+        routing: RoutingKind::DimensionOrder,
+        faults: FaultPlan::new().link_down(0, 1, 300),
+        ..RackSimConfig::default()
+    };
+    cfg.chip.seed = 0xfa11;
+    cfg.chip.rmc.itt_timeout = 1_500;
+    cfg.chip.rmc.itt_retries = 2;
+    let mut rack = Rack::new(
+        cfg,
+        Workload::AsyncRead {
+            size: 256,
+            poll_every: 4,
+        },
+    );
+    rack.run(cycles);
+    rack
+}
+
+#[test]
+fn same_seed_twice_in_one_process_is_bit_identical() {
+    let cycles = 4_000;
+    let a = fingerprint(&healthy_run(cycles));
+    assert!(a.completed_ops > 0, "run must do real work: {a:?}");
+    assert!(a.hops > 0, "run must cross the fabric: {a:?}");
+    let b = fingerprint(&healthy_run(cycles));
+    assert_eq!(a, b, "same seed, same process, different fingerprint");
+}
+
+#[test]
+fn same_seed_watchdog_run_is_bit_identical() {
+    let cycles = 12_000;
+    let a = fingerprint(&faulty_run(cycles));
+    assert!(
+        a.timeouts > 0,
+        "the dead link must trip the ITT watchdog: {a:?}"
+    );
+    let b = fingerprint(&faulty_run(cycles));
+    assert_eq!(a, b, "same seed, same faults, different fingerprint");
+}
