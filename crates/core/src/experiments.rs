@@ -7,7 +7,7 @@
 //! methodology.
 
 use ni_engine::Frequency;
-use ni_fabric::{Dir, FaultPlan, RoutingKind, Torus3D};
+use ni_fabric::{Dir, FaultPlan, ReplicaCfg, RoutingKind, Torus3D};
 use ni_noc::RoutingPolicy;
 use ni_rmc::NiPlacement;
 use ni_soc::bench::{run_bandwidth, run_sync_latency, stage_breakdown, StageBreakdown};
@@ -1067,20 +1067,22 @@ impl FaultCase {
     /// `at_cycle`. The link kill targets node 0's first real neighbor in
     /// dimension order (`+x` on any torus wider than one in x; degenerate
     /// 1-wide dimensions are skipped rather than producing a self-link).
-    ///
-    /// # Panics
-    /// Panics for [`FaultCase::LinkKill`] on a 1×1×1 "torus", which has no
-    /// link to kill.
+    /// On a 1×1×1 "torus" — a single node with no links — a
+    /// [`FaultCase::LinkKill`] degrades to the empty plan (there is
+    /// nothing to kill, and a healthy run is the honest result) instead of
+    /// panicking.
     pub fn plan(self, torus: Torus3D, at_cycle: u64) -> FaultPlan {
         match self {
             FaultCase::None => FaultPlan::new(),
             FaultCase::LinkKill => {
-                let neighbor = Dir::ALL
+                match Dir::ALL
                     .iter()
                     .map(|&d| torus.neighbor(0, d))
                     .find(|&n| n != 0)
-                    .expect("a link kill needs a torus with at least one link");
-                FaultPlan::new().link_down(0, neighbor, at_cycle)
+                {
+                    Some(neighbor) => FaultPlan::new().link_down(0, neighbor, at_cycle),
+                    None => FaultPlan::new(),
+                }
             }
             FaultCase::NodeKill => FaultPlan::new().node_down(0, at_cycle),
         }
@@ -1322,6 +1324,312 @@ pub fn failure_points_render(pts: &[FailurePoint]) -> String {
             p.packets_dropped.to_string(),
             p.dead_link_stalls.to_string(),
             p.escape_hops.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+// ---- availability sweep ------------------------------------------------------
+
+/// Placement seed every availability cell derives its [`ReplicaCfg`] from.
+const REPLICA_SEED: u64 = 0x5eed_ab1e;
+
+/// Which failure schedule one availability-sweep cell injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AvailFault {
+    /// Healthy rack — the baseline throughput/latency reference.
+    None,
+    /// Kill node 0 outright at `kill_at` and never repair it: the
+    /// single-permanent-failure case the zero-lost-reads claim is made on.
+    NodeKill,
+    /// A rolling fault storm: two waves of one random node kill each,
+    /// every kill repaired before the run ends — the churn case where
+    /// repair-aware re-balancing (new ops always restart at the primary)
+    /// matters.
+    Storm,
+}
+
+impl AvailFault {
+    /// The three cases in sweep order.
+    pub const ALL: [AvailFault; 3] = [AvailFault::None, AvailFault::NodeKill, AvailFault::Storm];
+
+    /// Stable label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            AvailFault::None => "none",
+            AvailFault::NodeKill => "node-kill",
+            AvailFault::Storm => "storm",
+        }
+    }
+
+    /// This case's canonical [`FaultPlan`] on `torus` under `params`.
+    pub fn plan(self, torus: Torus3D, params: FailureParams) -> FaultPlan {
+        match self {
+            AvailFault::None => FaultPlan::new(),
+            AvailFault::NodeKill => FaultPlan::new().node_down(0, params.kill_at),
+            AvailFault::Storm => FaultPlan::fault_storm(
+                torus,
+                REPLICA_SEED,
+                2,
+                1,
+                params.kill_at,
+                params.itt_timeout * 4,
+                params.itt_timeout * 2,
+            ),
+        }
+    }
+}
+
+/// One cell of the availability sweep: a capped job under one replication
+/// config (`k`, `w`) and one fault schedule, with WQ replay armed
+/// (`replay_budget == k - 1`) and fault-adaptive routing.
+#[derive(Clone, Debug)]
+pub struct AvailabilityPoint {
+    /// Traffic scenario label (`"reads"`, `"writes"`).
+    pub scenario: &'static str,
+    /// Injected fault schedule.
+    pub fault: AvailFault,
+    /// Replication degree.
+    pub k: u8,
+    /// Write quorum.
+    pub w: u8,
+    /// Torus dimensions.
+    pub dims: (u16, u16, u16),
+    /// Cycle the first fault fired at.
+    pub kill_at: u64,
+    /// Operations the capped job was expected to complete.
+    pub expected_ops: u64,
+    /// Operations that completed (ok or error).
+    pub completed_ops: u64,
+    /// Operations rack-wide that completed with an error CQ status.
+    pub failed_ops: u64,
+    /// Remote reads *lost* — error-completed on nodes the fault plan never
+    /// killed. Corpse-issued work is excluded on purpose: a dead server's
+    /// own in-flight client activity is not user traffic, while a
+    /// survivor's failed read is exactly the request loss replication
+    /// exists to prevent. The headline claim: `k >= 2` with replay keeps
+    /// this at zero under a node kill.
+    pub lost_reads: u64,
+    /// Error-completed reads on killed nodes (reported for transparency,
+    /// not counted as losses).
+    pub corpse_failed_reads: u64,
+    /// Operations that completed ok through a recovery path (replay or a
+    /// quorum that absorbed a dead leg) — the degraded-mode work.
+    pub degraded_ops: u64,
+    /// WQ replays rack-wide.
+    pub replays: u64,
+    /// Writes fanned out to a quorum rack-wide.
+    pub quorum_writes: u64,
+    /// Quorum fan-out legs lost to the watchdog rack-wide.
+    pub quorum_leg_failures: u64,
+    /// Cycles until every capped op completed (= the horizon on timeout).
+    pub completion_cycles: u64,
+    /// True when every expected op completed within the horizon.
+    pub completed_all: bool,
+    /// Recovery time: cycles from the first kill to the last observed
+    /// failed/degraded completion — how long the rack stayed visibly
+    /// degraded. Zero for the healthy baseline.
+    pub recovery_cycles: u64,
+    /// Degraded-mode throughput: completed ops per kilocycle.
+    pub ops_per_kcycle: f64,
+    /// Median latency of healthy (first-try) remote reads, cycles.
+    pub p50_read_cycles: u64,
+    /// 99th percentile of healthy remote reads, cycles.
+    pub p99_read_cycles: u64,
+    /// 99th percentile of *degraded* (replayed) remote reads, cycles — the
+    /// price of transparent failover, reported apart from the healthy tail.
+    pub p99_degraded_read_cycles: u64,
+}
+
+/// The availability sweep's traffic axis: a read-only and a write-only
+/// uniform job, so read failover and write quorums are each exercised in
+/// isolation and attribution stays unambiguous.
+fn availability_scenarios() -> Vec<(&'static str, ScenarioFactory)> {
+    vec![
+        ("reads", || {
+            Box::new(
+                Synthetic::from_workload(Workload::AsyncRead {
+                    size: 512,
+                    poll_every: 4,
+                })
+                .with_pattern(TrafficPattern::Uniform),
+            )
+        }),
+        ("writes", || {
+            Box::new(
+                Synthetic::from_workload(Workload::AsyncWrite {
+                    size: 512,
+                    poll_every: 4,
+                })
+                .with_pattern(TrafficPattern::Uniform),
+            )
+        }),
+    ]
+}
+
+/// The sweep's replication axis: no replication (the blast-radius
+/// baseline), mirrored pairs completing on one ack, and 3-way replication
+/// with a majority write quorum.
+pub const AVAIL_KW: [(u8, u8); 3] = [(1, 1), (2, 1), (3, 2)];
+
+/// Run one cell of the availability grid: `scenario` capped at
+/// `params.ops_per_core` ops per core on a `dims` rack with `k`-way
+/// replication (write quorum `w`, replay budget `k - 1`), under `fault`'s
+/// schedule and fault-adaptive routing, until the job completes or the
+/// horizon passes.
+pub fn run_availability_point(
+    dims: (u16, u16, u16),
+    scenario_label: &'static str,
+    scenario: Box<dyn Scenario>,
+    fault: AvailFault,
+    k: u8,
+    w: u8,
+    params: FailureParams,
+) -> AvailabilityPoint {
+    let active_cores = 2;
+    let torus = Torus3D::new(dims.0, dims.1, dims.2);
+    let mut chip = ChipConfig {
+        active_cores,
+        ..ChipConfig::default()
+    };
+    chip.rmc.itt_timeout = params.itt_timeout;
+    chip.rmc.itt_retries = params.itt_retries;
+    chip.rmc.replication = ReplicaCfg {
+        k,
+        w,
+        seed: REPLICA_SEED,
+    };
+    chip.rmc.replay_budget = u32::from(k.saturating_sub(1));
+    let plan = fault.plan(torus, params);
+    let killed = plan.killed_nodes();
+    let cfg = RackSimConfig {
+        torus,
+        chip,
+        routing: RoutingKind::FaultAdaptive,
+        faults: plan,
+        // Grid cells already saturate the host via `par_map`.
+        threads: 1,
+        ..RackSimConfig::default()
+    };
+    let expected_ops = u64::from(torus.nodes()) * active_cores as u64 * params.ops_per_core;
+    let capped = Capped::new(scenario, params.ops_per_core);
+    let mut rack = Rack::with_scenario(cfg, &capped);
+    const SLICE: u64 = 200;
+    // Track when the rack last *looked* degraded: the last slice boundary
+    // at which a failed or degraded completion landed.
+    let mut last_degraded_activity = 0u64;
+    let mut seen = (0u64, 0u64);
+    while rack.completed_ops() < expected_ops && rack.now().0 < params.horizon {
+        rack.run(SLICE.min(params.horizon - rack.now().0));
+        let cur = (rack.failed_ops(), rack.degraded_ops());
+        if cur != seen {
+            seen = cur;
+            last_degraded_activity = rack.now().0;
+        }
+    }
+    let (mut lost_reads, mut corpse_failed_reads) = (0u64, 0u64);
+    for (node, c) in rack.chips().iter().enumerate() {
+        if killed.contains(&(node as u32)) {
+            corpse_failed_reads += c.failed_reads();
+        } else {
+            lost_reads += c.failed_reads();
+        }
+    }
+    let hist = rack.read_latency_histogram();
+    let dhist = rack.degraded_read_latency_histogram();
+    let be = rack.backend_stats();
+    let completion_cycles = rack.now().0;
+    AvailabilityPoint {
+        scenario: scenario_label,
+        fault,
+        k,
+        w,
+        dims,
+        kill_at: params.kill_at,
+        expected_ops,
+        completed_ops: rack.completed_ops(),
+        failed_ops: rack.failed_ops(),
+        lost_reads,
+        corpse_failed_reads,
+        degraded_ops: rack.degraded_ops(),
+        replays: be.replays.get(),
+        quorum_writes: be.quorum_writes.get(),
+        quorum_leg_failures: be.quorum_leg_failures.get(),
+        completion_cycles,
+        completed_all: rack.completed_ops() >= expected_ops,
+        recovery_cycles: last_degraded_activity.saturating_sub(params.kill_at),
+        ops_per_kcycle: if completion_cycles == 0 {
+            0.0
+        } else {
+            rack.completed_ops() as f64 * 1000.0 / completion_cycles as f64
+        },
+        p50_read_cycles: hist.percentile(0.50),
+        p99_read_cycles: hist.percentile(0.99),
+        p99_degraded_read_cycles: dhist.percentile(0.99),
+    }
+}
+
+/// The availability grid at arbitrary torus dimensions:
+/// `{reads, writes}` × `{(k,w)}` × `{none, node-kill, storm}`, every cell
+/// under fault-adaptive routing with replay armed. Exposed separately from
+/// [`availability_sweep`] so tests can use small racks.
+pub fn availability_sweep_at(scale: Scale, dims: (u16, u16, u16)) -> Vec<AvailabilityPoint> {
+    let params = FailureParams::at(scale);
+    let grid: Vec<(&'static str, ScenarioFactory, (u8, u8), AvailFault)> = availability_scenarios()
+        .into_iter()
+        .flat_map(|(label, make)| {
+            AVAIL_KW.into_iter().flat_map(move |kw| {
+                AvailFault::ALL
+                    .into_iter()
+                    .map(move |f| (label, make, kw, f))
+            })
+        })
+        .collect();
+    par_map(grid, move |(label, make, (k, w), fault)| {
+        run_availability_point(dims, label, make(), fault, k, w, params)
+    })
+}
+
+/// The paper-facing availability study (ROADMAP's "transparent recovery"):
+/// on a 4×4×4 64-node rack, sweep replication degree and write quorum
+/// against mid-run node kills and fault storms, and report requests lost,
+/// degraded-mode throughput, replay counts, and recovery time. The claims
+/// the CI-run `examples/availability_study.rs` asserts — above all "a node
+/// kill at `k >= 2` loses zero reads" — come from exactly this grid.
+pub fn availability_sweep(scale: Scale) -> Vec<AvailabilityPoint> {
+    availability_sweep_at(scale, (4, 4, 4))
+}
+
+/// Render the availability sweep grouped by scenario, replication, fault.
+pub fn availability_points_render(pts: &[AvailabilityPoint]) -> String {
+    let mut t = Table::new(&[
+        "scenario",
+        "k/w",
+        "fault",
+        "ops",
+        "lost reads",
+        "degraded",
+        "replays",
+        "quorum legs lost",
+        "recovery (cycles)",
+        "ops/kcycle",
+        "p99 ok-read",
+        "p99 degraded",
+    ]);
+    for p in pts {
+        t.row_owned(vec![
+            p.scenario.into(),
+            format!("{}/{}", p.k, p.w),
+            p.fault.label().into(),
+            format!("{}/{}", p.completed_ops, p.expected_ops),
+            p.lost_reads.to_string(),
+            p.degraded_ops.to_string(),
+            p.replays.to_string(),
+            p.quorum_leg_failures.to_string(),
+            p.recovery_cycles.to_string(),
+            f1(p.ops_per_kcycle),
+            p.p99_read_cycles.to_string(),
+            p.p99_degraded_read_cycles.to_string(),
         ]);
     }
     t.render()

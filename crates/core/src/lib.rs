@@ -46,7 +46,9 @@ pub use ni_soc;
 /// Convenience re-exports for typical use.
 pub mod prelude {
     pub use ni_engine::{Cycle, Frequency};
-    pub use ni_fabric::{Fabric, RoutingKind, Torus3D, TorusFabric, TorusFabricConfig};
+    pub use ni_fabric::{
+        Fabric, FaultPlan, ReplicaCfg, RoutingKind, Torus3D, TorusFabric, TorusFabricConfig,
+    };
     // `RoutingPolicy` here is the *on-chip* CDR routing enum; the rack-level
     // torus routing trait is `ni_fabric::RoutingPolicy` (named by
     // `RoutingKind` in configs).

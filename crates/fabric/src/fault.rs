@@ -8,8 +8,11 @@
 //! incident links read as down to its neighbors. The plan is plain data — building one performs no
 //! I/O and draws no randomness — so a faulted run remains a pure function
 //! of its configuration, bit-identical at any thread count. For randomized
-//! studies, [`FaultPlan::random_link_kills`] derives a schedule from an
-//! explicit seed, keeping the determinism contract.
+//! studies, [`FaultPlan::random_link_kills`] and
+//! [`FaultPlan::random_node_kills`] derive schedules from an explicit seed,
+//! [`FaultPlan::region_kill`] takes out a whole X/Y/Z slab at once, and
+//! [`FaultPlan::fault_storm`] rolls seeded kill/repair waves — all keeping
+//! the determinism contract.
 //!
 //! What the layers above do about a fault is their business: routing
 //! policies see link health through
@@ -22,6 +25,18 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::torus::{Dir, Torus3D};
+
+/// A torus dimension, for slab-shaped region kills
+/// ([`FaultPlan::region_kill`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Axis {
+    /// The X dimension (fastest-varying in node ids).
+    X,
+    /// The Y dimension.
+    Y,
+    /// The Z dimension.
+    Z,
+}
 
 /// One scheduled fault (or repair) event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -179,6 +194,139 @@ impl FaultPlan {
         plan
     }
 
+    /// A seeded schedule of `count` distinct random node kills, all firing
+    /// at `at_cycle` — the node-granularity companion of
+    /// [`random_link_kills`](FaultPlan::random_link_kills), and a pure
+    /// function of `(torus, seed, count, at_cycle)`.
+    ///
+    /// # Panics
+    /// Panics when `count` exceeds the torus node count (a short plan
+    /// returned silently would make a study report fewer faults than it
+    /// configured).
+    pub fn random_node_kills(torus: Torus3D, seed: u64, count: usize, at_cycle: u64) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let mut chosen: Vec<u32> = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        while chosen.len() < count && attempts < count * 64 + 64 {
+            attempts += 1;
+            let node = rng.gen_range(0..torus.nodes());
+            if chosen.contains(&node) {
+                continue;
+            }
+            chosen.push(node);
+            plan = plan.node_down(node, at_cycle);
+        }
+        assert!(
+            chosen.len() == count,
+            "only {} of {count} distinct node kills fit the {:?} torus",
+            chosen.len(),
+            torus.dims()
+        );
+        plan
+    }
+
+    /// Kill every node of one torus slab — all nodes whose `axis`
+    /// coordinate equals `index` — at `at_cycle`: the correlated regional
+    /// failure (a rack row losing power, a switch taking its column down)
+    /// that single-node kills cannot model. The slab of a 4×4×4 torus is 16
+    /// nodes; replica placements that pack copies next to their primary die
+    /// with it, which is exactly what the spread-first
+    /// [`ReplicaMap`](crate::replica::ReplicaMap) placement avoids.
+    ///
+    /// # Panics
+    /// Panics when `index` is outside the torus extent along `axis`.
+    pub fn region_kill(self, torus: Torus3D, axis: Axis, index: u16, at_cycle: u64) -> FaultPlan {
+        let (dx, dy, dz) = torus.dims();
+        let extent = match axis {
+            Axis::X => dx,
+            Axis::Y => dy,
+            Axis::Z => dz,
+        };
+        assert!(
+            index < extent,
+            "slab {axis:?}={index} is outside the {:?} torus",
+            torus.dims()
+        );
+        let mut plan = self;
+        for node in 0..torus.nodes() {
+            let (x, y, z) = torus.coords(node);
+            let c = match axis {
+                Axis::X => x,
+                Axis::Y => y,
+                Axis::Z => z,
+            };
+            if c == index {
+                plan = plan.node_down(node, at_cycle);
+            }
+        }
+        plan
+    }
+
+    /// A rolling "fault storm": `waves` seeded waves of `kills_per_wave`
+    /// node kills, one wave every `period` cycles starting at `first_at`,
+    /// each killed node repairing `repair_after` cycles after its death.
+    /// Victims are distinct *while down* — a node is only eligible for a
+    /// wave once any earlier kill of it has repaired — so the storm models
+    /// churn (kill/repair/kill elsewhere) rather than monotone decay. A
+    /// pure function of its arguments, like every other constructor here.
+    ///
+    /// # Panics
+    /// Panics when a wave cannot find `kills_per_wave` eligible nodes
+    /// (storm too dense for the torus).
+    pub fn fault_storm(
+        torus: Torus3D,
+        seed: u64,
+        waves: usize,
+        kills_per_wave: usize,
+        first_at: u64,
+        period: u64,
+        repair_after: u64,
+    ) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        // Node -> cycle it comes back up (still-down nodes are ineligible).
+        let mut up_at: Vec<u64> = vec![0; torus.nodes() as usize];
+        for wave in 0..waves {
+            let at = first_at + wave as u64 * period;
+            let mut killed = 0usize;
+            let mut attempts = 0usize;
+            while killed < kills_per_wave && attempts < kills_per_wave * 64 + 64 {
+                attempts += 1;
+                let node = rng.gen_range(0..torus.nodes());
+                if up_at[node as usize] > at {
+                    continue; // still dead from an earlier wave
+                }
+                up_at[node as usize] = at + repair_after;
+                plan = plan.node_down(node, at).node_up(node, at + repair_after);
+                killed += 1;
+            }
+            assert!(
+                killed == kills_per_wave,
+                "wave {wave}: only {killed} of {kills_per_wave} kills fit the {:?} torus",
+                torus.dims()
+            );
+        }
+        plan
+    }
+
+    /// Every node this plan kills at any point (deduplicated, ascending).
+    /// Availability studies use it to separate requests *lost by survivors*
+    /// from the in-flight work that dies with a killed node itself.
+    pub fn killed_nodes(&self) -> Vec<u32> {
+        let mut nodes: Vec<u32> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::NodeDown { node, .. } => Some(node),
+                _ => None,
+            })
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
     /// The events sorted by firing cycle (stable: same-cycle events keep
     /// insertion order). Used by the fabric at construction.
     pub(crate) fn sorted_events(&self) -> Vec<FaultEvent> {
@@ -234,5 +382,92 @@ mod tests {
         assert_eq!(pairs.len(), 5, "kills must hit distinct links");
         let c = FaultPlan::random_link_kills(t, 8, 5, 100);
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn random_node_kills_are_seed_deterministic_and_distinct() {
+        let t = Torus3D::new(4, 4, 4);
+        let a = FaultPlan::random_node_kills(t, 7, 5, 100);
+        let b = FaultPlan::random_node_kills(t, 7, 5, 100);
+        assert_eq!(a, b, "same seed must reproduce the same plan");
+        assert_eq!(a.events().len(), 5);
+        let mut nodes: Vec<u32> = a
+            .events()
+            .iter()
+            .map(|e| match *e {
+                FaultEvent::NodeDown { node, at_cycle } => {
+                    assert_eq!(at_cycle, 100);
+                    node
+                }
+                ref other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        for &n in &nodes {
+            assert!(n < t.nodes(), "node {n} is outside the torus");
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 5, "kills must hit distinct nodes");
+        assert_eq!(a.killed_nodes(), nodes);
+        let c = FaultPlan::random_node_kills(t, 8, 5, 100);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct node kills")]
+    fn random_node_kills_panics_when_unsatisfiable() {
+        let _ = FaultPlan::random_node_kills(Torus3D::new(2, 1, 1), 7, 3, 100);
+    }
+
+    #[test]
+    fn region_kill_takes_exactly_one_slab() {
+        let t = Torus3D::new(4, 3, 2);
+        let p = FaultPlan::new().region_kill(t, Axis::Y, 1, 500);
+        // A y=1 slab of a 4x3x2 torus is 4*2 = 8 nodes.
+        assert_eq!(p.events().len(), 8);
+        for e in p.events() {
+            match *e {
+                FaultEvent::NodeDown { node, at_cycle } => {
+                    assert_eq!(at_cycle, 500);
+                    assert_eq!(t.coords(node).1, 1, "node {node} is outside the slab");
+                }
+                ref other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(p.killed_nodes().len(), 8);
+    }
+
+    #[test]
+    fn fault_storm_waves_are_deterministic_and_repair() {
+        let t = Torus3D::new(4, 4, 1);
+        let a = FaultPlan::fault_storm(t, 42, 3, 2, 1_000, 2_000, 1_500);
+        let b = FaultPlan::fault_storm(t, 42, 3, 2, 1_000, 2_000, 1_500);
+        assert_eq!(a, b, "same seed must reproduce the same storm");
+        // 3 waves x 2 kills, each with a matching repair.
+        assert_eq!(a.events().len(), 12);
+        let downs: Vec<(u32, u64)> = a
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::NodeDown { node, at_cycle } => Some((node, at_cycle)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(downs.len(), 6);
+        for (i, &(node, at)) in downs.iter().enumerate() {
+            assert_eq!(at, 1_000 + (i as u64 / 2) * 2_000, "waves fire on period");
+            // Every down has its repair exactly repair_after later.
+            assert!(
+                a.events().contains(&FaultEvent::NodeUp {
+                    node,
+                    at_cycle: at + 1_500
+                }),
+                "node {node} killed at {at} never repairs"
+            );
+        }
+        // Within any wave the two victims are distinct.
+        for w in downs.chunks(2) {
+            assert_ne!(w[0].0, w[1].0, "a wave must not kill one node twice");
+        }
     }
 }

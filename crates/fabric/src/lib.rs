@@ -31,7 +31,10 @@
 //! The transport also models failure: a deterministic [`fault::FaultPlan`]
 //! schedules link/node kills (and repairs) that the [`TorusFabric`] applies
 //! mid-run, with link health exposed to routing through
-//! [`routing::LinkView`] (see [`mod@fault`]).
+//! [`routing::LinkView`] (see [`mod@fault`]). The recovery side lives in
+//! [`mod@replica`]: a deterministic node → replica-set placement
+//! ([`replica::ReplicaMap`]) that the RMC backends rotate timed-out
+//! transfers through and fan replicated writes out over.
 
 #![warn(missing_docs)]
 
@@ -39,14 +42,16 @@ pub mod fabric;
 pub mod fault;
 pub mod port;
 pub mod rack;
+pub mod replica;
 pub mod routing;
 pub mod torus;
 pub mod torus_fabric;
 
 pub use fabric::{Fabric, FabricStats};
-pub use fault::{FaultEvent, FaultPlan};
+pub use fault::{Axis, FaultEvent, FaultPlan};
 pub use port::FabricPort;
 pub use rack::{RackConfig, RackEmulator, RemoteReq, RemoteResp};
+pub use replica::{ReplicaCfg, ReplicaMap};
 pub use routing::{
     DimensionOrder, FaultAdaptive, LinkView, MinimalAdaptive, RandomMinimal, RoutingKind,
     RoutingPolicy, ESCAPE_HOP_BUDGET,

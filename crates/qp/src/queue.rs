@@ -48,6 +48,11 @@ pub struct CqEntry {
     /// timeout whose retry budget ran out because a link or node died under
     /// it — so the application observes the failure instead of hanging.
     pub ok: bool,
+    /// Degraded-path flag: the operation completed, but only through a
+    /// recovery mechanism — a WQ replay to an alternate replica, or a write
+    /// quorum met despite a dead fan-out leg. Latency accounting keeps
+    /// degraded completions out of the healthy distributions.
+    pub degraded: bool,
 }
 
 /// Queue-pair geometry and software cost model.
@@ -245,17 +250,23 @@ impl QueuePair {
     /// NI records a successful completion for `wq_id` (writes the CQ
     /// entry).
     pub fn ni_complete(&mut self, wq_id: u64) {
-        self.ni_complete_with(wq_id, true);
+        self.ni_complete_with(wq_id, true, false);
     }
 
     /// NI records a completion for `wq_id` with an explicit status: `ok ==
     /// false` marks a failed transfer (ITT timeout after the retry budget,
-    /// see [`CqEntry::ok`]). Failed entries free their WQ slot like
+    /// see [`CqEntry::ok`]), `degraded == true` one that needed a recovery
+    /// path (replay/failover or a quorum carrying a dead leg, see
+    /// [`CqEntry::degraded`]). Failed entries free their WQ slot like
     /// successful ones — the NI owns the entry either way.
-    pub fn ni_complete_with(&mut self, wq_id: u64, ok: bool) {
+    pub fn ni_complete_with(&mut self, wq_id: u64, ok: bool, degraded: bool) {
         debug_assert!(self.inflight > 0, "completion without in-flight entry");
         self.inflight -= 1;
-        self.completions.push_back(CqEntry { wq_id, ok });
+        self.completions.push_back(CqEntry {
+            wq_id,
+            ok,
+            degraded,
+        });
         self.cq_tail += 1;
     }
 
@@ -310,11 +321,33 @@ mod tests {
             .enqueue(RemoteOp::Read, 1, Addr(0), Addr(0x100), 64)
             .unwrap();
         let e = q.ni_take().unwrap();
-        q.ni_complete_with(e.id, false);
+        q.ni_complete_with(e.id, false, false);
         assert_eq!(q.wq_free(), 128, "failed entries still free their slot");
         let c = q.app_reap().unwrap();
         assert_eq!(c.wq_id, id);
         assert!(!c.ok, "the error status must reach the application");
+    }
+
+    #[test]
+    fn degraded_completions_carry_the_flag_to_the_application() {
+        let mut q = qp();
+        let id = q
+            .enqueue(RemoteOp::Read, 1, Addr(0), Addr(0x100), 64)
+            .unwrap();
+        let e = q.ni_take().unwrap();
+        q.ni_complete_with(e.id, true, true);
+        let c = q.app_reap().unwrap();
+        assert_eq!(c.wq_id, id);
+        assert!(
+            c.ok && c.degraded,
+            "a replayed-but-successful op is ok+degraded"
+        );
+        // The plain success path never sets it.
+        q.enqueue(RemoteOp::Read, 1, Addr(0), Addr(0x100), 64)
+            .unwrap();
+        let e = q.ni_take().unwrap();
+        q.ni_complete(e.id);
+        assert!(!q.app_reap().unwrap().degraded);
     }
 
     #[test]

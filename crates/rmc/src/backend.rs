@@ -13,12 +13,28 @@
 //! transfer up to [`RmcConfig::itt_retries`] times before giving up and
 //! completing the operation with an error CQ status — so a dead link or
 //! node costs the issuing core a failed completion, never a hang.
+//!
+//! With a [`ReplicaMap`] installed ([`NiBackend::set_replicas`]) the
+//! backend goes one step further and makes recovery *transparent*:
+//!
+//! * **WQ replay (read failover).** When the watchdog exhausts a
+//!   transfer's retries, instead of error-completing it the backend
+//!   re-injects the whole operation from its WQ descriptor toward the next
+//!   replica of the original destination — up to
+//!   [`RmcConfig::replay_budget`] times, under a fresh slot generation so
+//!   stragglers from the abandoned destination are recognized as stale.
+//! * **Write fan-out with a W-of-K quorum.** A replicated write expands
+//!   into one ITT leg per replica; the single CQ notification fires once
+//!   [`ReplicaCfg::w`](ni_fabric::ReplicaCfg) legs acknowledged (or, as an
+//!   error, once too many legs died for the quorum to ever be met), so one
+//!   dead replica costs nothing but a `degraded` completion flag.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use ni_coherence::{ClientKind, CohMsg, Egress};
 use ni_engine::{Counter, Cycle, DelayLine};
-use ni_fabric::{RemoteReq, RemoteResp};
+use ni_fabric::{RemoteReq, RemoteResp, ReplicaMap};
 use ni_mem::BlockAddr;
 use ni_noc::NocNode;
 use ni_qp::{QpConfig, RemoteOp, WqEntry};
@@ -59,6 +75,24 @@ struct IttEntry {
     /// twice while another was lost" — the bitmap is what keeps an
     /// `ok == true` completion meaning all data actually transferred.
     acked: Vec<u64>,
+    /// The WQ descriptor's original destination — the anchor whose replica
+    /// set a WQ replay rotates `remote_node` through.
+    primary: u16,
+    /// Index into `replicas(primary)` this transfer currently targets
+    /// (0 = the primary itself).
+    replica_rank: u32,
+    /// WQ replays left: whole-transfer re-injections toward the next
+    /// replica after the retry budget toward one destination is spent.
+    /// Granted only to non-quorum transfers with somewhere else to go.
+    replays_left: u32,
+    /// The transfer needed at least one WQ replay — carried into the CQ
+    /// entry's `degraded` flag so the application can tell a failover
+    /// completion from a first-try one.
+    replayed: bool,
+    /// One leg of a replicated write fan-out: completion (success or
+    /// failure) routes through the quorum table instead of emitting a CQ
+    /// notification of its own.
+    quorum: bool,
 }
 
 impl IttEntry {
@@ -95,6 +129,42 @@ enum BeEv {
     RespDone(RemoteResp),
 }
 
+/// One unit of work headed for an ITT slot: a WQ entry — possibly one leg
+/// of a replicated write fan-out, with `remote_node` already rewritten to
+/// the leg's replica — plus its recovery bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    entry: WqEntry,
+    qp: u32,
+    fe: NocNode,
+    /// The descriptor's original destination (see [`IttEntry::primary`]).
+    primary: u16,
+    /// Replica rank this leg starts at (see [`IttEntry::replica_rank`]).
+    rank: u32,
+    /// Fan-out leg of a quorum write (see [`IttEntry::quorum`]).
+    quorum: bool,
+}
+
+/// Completion bookkeeping of one replicated write: its single CQ
+/// notification fires the moment the outcome is decided — `need` legs
+/// acknowledged (ok, degraded if any leg died), or so many legs dead that
+/// `need` can never be met (error). The state lives until every leg
+/// resolves, so stragglers after the notification account cleanly.
+#[derive(Debug)]
+struct QuorumState {
+    /// Legs that must acknowledge for the write to complete ok (W).
+    need: u32,
+    /// Legs fanned out (K, clamped to the replica set size).
+    total: u32,
+    acked: u32,
+    failed: u32,
+    /// Frontend to notify.
+    fe: NocNode,
+    /// The CQ notification already went out (a decided outcome); the
+    /// remaining legs only settle the table entry.
+    notified: bool,
+}
+
 /// Backend statistics.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BackendStats {
@@ -121,6 +191,17 @@ pub struct BackendStats {
     /// (slot freed or recycled under a newer generation), or the block was
     /// already answered (a duplicate minted by a retry).
     pub stale_responses: Counter,
+    /// WQ replays: transfers re-injected from their descriptor toward an
+    /// alternate replica after the retry budget toward one destination ran
+    /// out (bounded by [`RmcConfig::replay_budget`]).
+    pub replays: Counter,
+    /// Writes fanned out to a replica quorum (counted once per operation,
+    /// not per leg).
+    pub quorum_writes: Counter,
+    /// Fan-out legs of quorum writes abandoned by the watchdog. The
+    /// operation itself still completes ok while `w` live legs remain;
+    /// only `failed_transfers` counts operations lost outright.
+    pub quorum_leg_failures: Counter,
 }
 
 impl BackendStats {
@@ -136,6 +217,10 @@ impl BackendStats {
         self.itt_retries.add(other.itt_retries.get());
         self.failed_transfers.add(other.failed_transfers.get());
         self.stale_responses.add(other.stale_responses.get());
+        self.replays.add(other.replays.get());
+        self.quorum_writes.add(other.quorum_writes.get());
+        self.quorum_leg_failures
+            .add(other.quorum_leg_failures.get());
     }
 }
 
@@ -163,11 +248,17 @@ pub struct NiBackend {
     /// timeout may actually be due (and never when the watchdog is off).
     next_deadline: Cycle,
     /// Entries waiting for a free ITT slot.
-    waiting: VecDeque<(WqEntry, u32, NocNode)>,
+    waiting: VecDeque<Pending>,
     /// Slots with blocks left to unroll, round-robin.
     active: VecDeque<u32>,
     /// Local reads outstanding for remote-write payloads: block -> slot.
     pending_local_reads: BTreeMap<BlockAddr, Vec<u32>>,
+    /// The rack's replica placement, shared read-only across backends.
+    /// `None` (the default) keeps every recovery path compiled out of the
+    /// hot loop.
+    replicas: Option<Arc<ReplicaMap>>,
+    /// Outcome tracking for in-flight quorum writes, by `(qp, wq_id)`.
+    quorum: BTreeMap<(u32, u64), QuorumState>,
     events: DelayLine<BeEv>,
     egress: VecDeque<RmcEgress>,
     stats: BackendStats,
@@ -204,10 +295,21 @@ impl NiBackend {
             waiting: VecDeque::new(),
             active: VecDeque::new(),
             pending_local_reads: BTreeMap::new(),
+            replicas: None,
+            quorum: BTreeMap::new(),
             events: DelayLine::new(),
             egress: VecDeque::new(),
             stats: BackendStats::default(),
         }
+    }
+
+    /// Install the rack's replica placement (shared, read-only). Enables
+    /// WQ replay for reads ([`RmcConfig::replay_budget`]) and W-of-K write
+    /// fan-out for destinations whose replica set holds more than one
+    /// node. Chips call this once at construction; `None` (the default)
+    /// keeps every recovery path off.
+    pub fn set_replicas(&mut self, map: Option<Arc<ReplicaMap>>) {
+        self.replicas = map;
     }
 
     /// Where this backend lives.
@@ -229,6 +331,7 @@ impl NiBackend {
             && self.waiting.is_empty()
             && self.active.is_empty()
             && self.pending_local_reads.is_empty()
+            && self.quorum.is_empty()
             && self.events.is_empty()
             && self.egress.is_empty()
     }
@@ -339,8 +442,8 @@ impl NiBackend {
         }
         // Admit waiting entries into free ITT slots.
         while !self.waiting.is_empty() && !self.free_slots.is_empty() {
-            let (entry, qp, fe) = self.waiting.pop_front().expect("checked non-empty");
-            self.admit(now, entry, qp, fe);
+            let p = self.waiting.pop_front().expect("checked non-empty");
+            self.admit(now, p);
         }
         // Unroll active transfers.
         for _ in 0..self.cfg.unroll_per_cycle {
@@ -363,21 +466,79 @@ impl NiBackend {
 
     // ---- internals -------------------------------------------------------
 
+    /// A validated WQ entry finished RGP backend processing. With a
+    /// replica map and a multi-node replica set, a write expands here into
+    /// one ITT leg per replica plus a quorum-table entry that owns the
+    /// operation's single CQ notification; everything else becomes one
+    /// plain leg.
     fn activate(&mut self, now: Cycle, entry: WqEntry, qp: u32, fe: NocNode) {
-        if self.free_slots.is_empty() {
-            self.stats.itt_stalls.incr();
-            self.waiting.push_back((entry, qp, fe));
+        let primary = entry.remote_node;
+        let fan_out = entry.op == RemoteOp::Write
+            && self
+                .replicas
+                .as_ref()
+                .is_some_and(|m| m.replicas(primary).len() > 1);
+        if fan_out {
+            let map = self.replicas.clone().expect("fan_out implies a map");
+            let set = map.replicas(primary);
+            let need = u32::from(self.cfg.replication.w.max(1)).min(set.len() as u32);
+            self.stats.quorum_writes.incr();
+            self.quorum.insert(
+                (qp, entry.id),
+                QuorumState {
+                    need,
+                    total: set.len() as u32,
+                    acked: 0,
+                    failed: 0,
+                    fe,
+                    notified: false,
+                },
+            );
+            for (rank, &dst) in set.iter().enumerate() {
+                let mut leg = entry;
+                leg.remote_node = dst;
+                self.enqueue_leg(
+                    now,
+                    Pending {
+                        entry: leg,
+                        qp,
+                        fe,
+                        primary,
+                        rank: rank as u32,
+                        quorum: true,
+                    },
+                );
+            }
         } else {
-            self.admit(now, entry, qp, fe);
+            self.enqueue_leg(
+                now,
+                Pending {
+                    entry,
+                    qp,
+                    fe,
+                    primary,
+                    rank: 0,
+                    quorum: false,
+                },
+            );
         }
     }
 
-    fn admit(&mut self, now: Cycle, entry: WqEntry, qp: u32, fe: NocNode) {
+    fn enqueue_leg(&mut self, now: Cycle, p: Pending) {
+        if self.free_slots.is_empty() {
+            self.stats.itt_stalls.incr();
+            self.waiting.push_back(p);
+        } else {
+            self.admit(now, p);
+        }
+    }
+
+    fn admit(&mut self, now: Cycle, p: Pending) {
         let slot = self.free_slots.pop().expect("caller checked free slot");
         self.stats.transfers.incr();
         let gen = self.slot_gens[slot as usize].wrapping_add(1);
         self.slot_gens[slot as usize] = gen;
-        let total = entry.blocks();
+        let total = p.entry.blocks();
         // Per-block ack tracking only matters once retries can mint
         // duplicate responses; with the watchdog off the empty Vec keeps
         // the healthy path allocation-free.
@@ -386,16 +547,30 @@ impl NiBackend {
         } else {
             Vec::new()
         };
+        // A replay needs an armed watchdog to trigger it, an alternate
+        // destination to aim at, and a transfer that is not already a
+        // quorum leg (replicated writes recover through the quorum).
+        let replays_left = if !p.quorum
+            && self.cfg.itt_timeout > 0
+            && self
+                .replicas
+                .as_ref()
+                .is_some_and(|m| m.replicas(p.primary).len() > 1)
+        {
+            self.cfg.replay_budget
+        } else {
+            0
+        };
         self.itt.insert(
             slot,
             IttEntry {
-                qp,
-                fe,
-                wq_id: entry.id,
-                op: entry.op,
-                remote_node: entry.remote_node,
-                remote_base: entry.remote_addr.block(),
-                local_base: entry.local_addr.block(),
+                qp: p.qp,
+                fe: p.fe,
+                wq_id: p.entry.id,
+                op: p.entry.op,
+                remote_node: p.entry.remote_node,
+                remote_base: p.entry.remote_addr.block(),
+                local_base: p.entry.local_addr.block(),
                 total,
                 sent: 0,
                 responses: 0,
@@ -403,6 +578,11 @@ impl NiBackend {
                 last_progress: now,
                 retries_left: self.cfg.itt_retries,
                 acked,
+                primary: p.primary,
+                replica_rank: p.rank,
+                replays_left,
+                replayed: false,
+                quorum: p.quorum,
             },
         );
         if self.cfg.itt_timeout > 0 {
@@ -413,10 +593,13 @@ impl NiBackend {
 
     /// The ITT watchdog: when armed ([`RmcConfig::itt_timeout`]` > 0`) and
     /// the earliest possible deadline has passed, scan the slots in index
-    /// order for entries that made no progress for a full timeout. Each expiry
-    /// either re-sends the transfer's missing blocks (while
-    /// [`IttEntry::retries_left`] lasts) or frees the slot and completes
-    /// the operation back to the core with an error CQ status.
+    /// order for entries that made no progress for a full timeout. Each
+    /// expiry escalates through up to three rungs: re-send the transfer's
+    /// missing blocks (while [`IttEntry::retries_left`] lasts), replay the
+    /// whole transfer toward the next replica (while
+    /// [`IttEntry::replays_left`] lasts), and finally give up — free the
+    /// slot and complete the operation with an error CQ status (or, for a
+    /// quorum leg, record the dead leg and let the quorum decide).
     fn check_timeouts(&mut self, now: Cycle) {
         if self.cfg.itt_timeout == 0 || now < self.next_deadline || self.itt.is_empty() {
             return;
@@ -425,7 +608,8 @@ impl NiBackend {
         let mut next = Cycle(u64::MAX);
         for slot in 0..self.cfg.itt_slots as u32 {
             let mut retried = false;
-            let mut failed: Option<(u32, u64, NocNode)> = None;
+            let mut replayed = false;
+            let mut failed: Option<(u32, u64, NocNode, bool, bool)> = None;
             match self.itt.get_mut(&slot) {
                 None => continue,
                 Some(e) => {
@@ -442,8 +626,38 @@ impl NiBackend {
                         e.last_progress = now;
                         retried = true;
                         next = next.min(now + timeout);
+                    } else if e.replays_left > 0 {
+                        // WQ replay: re-inject the whole transfer from its
+                        // descriptor toward the next replica of the
+                        // original destination. Bumping the slot
+                        // generation (mirrored in `slot_gens` so admits
+                        // keep monotonic) makes every response the
+                        // abandoned destination still owes — including
+                        // blocks already counted — stale on arrival, which
+                        // is what lets the ack bitmap restart from zero
+                        // without double-count hazards.
+                        let map = self
+                            .replicas
+                            .as_ref()
+                            .expect("replay budget is only granted with a replica map");
+                        e.replays_left -= 1;
+                        e.replica_rank += 1;
+                        e.remote_node = map.alternate(e.primary, e.replica_rank);
+                        let gen = self.slot_gens[slot as usize].wrapping_add(1);
+                        self.slot_gens[slot as usize] = gen;
+                        e.gen = gen;
+                        e.sent = 0;
+                        e.responses = 0;
+                        for w in &mut e.acked {
+                            *w = 0;
+                        }
+                        e.retries_left = self.cfg.itt_retries;
+                        e.last_progress = now;
+                        e.replayed = true;
+                        replayed = true;
+                        next = next.min(now + timeout);
                     } else {
-                        failed = Some((e.qp, e.wq_id, e.fe));
+                        failed = Some((e.qp, e.wq_id, e.fe, e.quorum, e.replayed));
                     }
                 }
             }
@@ -454,9 +668,21 @@ impl NiBackend {
                     self.active.push_back(slot);
                 }
             }
-            if let Some((qp, wq_id, fe)) = failed {
+            if replayed {
                 self.stats.itt_timeouts.incr();
-                self.stats.failed_transfers.incr();
+                self.stats.replays.incr();
+                // Reads never hold local payload reads, but replay is
+                // op-agnostic: orphan any the old generation left behind.
+                self.pending_local_reads.retain(|_, slots| {
+                    slots.retain(|&s| s != slot);
+                    !slots.is_empty()
+                });
+                if !self.active.contains(&slot) {
+                    self.active.push_back(slot);
+                }
+            }
+            if let Some((qp, wq_id, fe, quorum, was_replayed)) = failed {
+                self.stats.itt_timeouts.incr();
                 self.itt.remove(&slot);
                 self.free_slots.push(slot);
                 if let Some(pos) = self.active.iter().position(|&s| s == slot) {
@@ -469,17 +695,92 @@ impl NiBackend {
                     slots.retain(|&s| s != slot);
                     !slots.is_empty()
                 });
-                self.egress.push_back(RmcEgress::Ni {
-                    dst: fe,
-                    msg: NiMsg::CqNotify {
-                        qp,
-                        wq_id,
-                        ok: false,
-                    },
-                });
+                if quorum {
+                    // A dead fan-out leg is not (yet) a failed operation:
+                    // the quorum table decides, and counts
+                    // `failed_transfers` only if the operation is lost.
+                    self.stats.quorum_leg_failures.incr();
+                    self.quorum_leg_done(now, qp, wq_id, false);
+                } else {
+                    self.stats.failed_transfers.incr();
+                    self.egress.push_back(RmcEgress::Ni {
+                        dst: fe,
+                        msg: NiMsg::CqNotify {
+                            qp,
+                            wq_id,
+                            ok: false,
+                            degraded: was_replayed,
+                        },
+                    });
+                }
             }
         }
         self.next_deadline = next;
+    }
+
+    /// One leg of a replicated write resolved (`ok` = every block
+    /// acknowledged by that replica). Updates the quorum and emits the
+    /// operation's single CQ notification at the moment the outcome is
+    /// decided: `need` acks (ok — degraded if any leg died first), or too
+    /// many dead legs for `need` to ever be met (error). The table entry
+    /// is dropped once every leg has resolved.
+    fn quorum_leg_done(&mut self, now: Cycle, qp: u32, wq_id: u64, ok: bool) {
+        let Some(st) = self.quorum.get_mut(&(qp, wq_id)) else {
+            debug_assert!(
+                false,
+                "quorum leg {qp}/{wq_id} resolved with no table entry"
+            );
+            return;
+        };
+        if ok {
+            st.acked += 1;
+        } else {
+            st.failed += 1;
+        }
+        let mut notify = None;
+        if !st.notified {
+            if st.acked >= st.need {
+                notify = Some(true);
+            } else if st.failed > st.total - st.need {
+                notify = Some(false);
+            }
+            if notify.is_some() {
+                st.notified = true;
+            }
+        }
+        let fe = st.fe;
+        let degraded = st.failed > 0;
+        if st.acked + st.failed >= st.total {
+            self.quorum.remove(&(qp, wq_id));
+        }
+        let Some(ok) = notify else { return };
+        if ok {
+            // The operation-level trace marks fire when the quorum is met
+            // — the application-visible completion instant.
+            self.egress.push_back(RmcEgress::Trace(TraceEvent {
+                qp,
+                wq_id,
+                stage: Stage::NetIn,
+                at: now,
+            }));
+            self.egress.push_back(RmcEgress::Trace(TraceEvent {
+                qp,
+                wq_id,
+                stage: Stage::DataWritten,
+                at: now,
+            }));
+        } else {
+            self.stats.failed_transfers.incr();
+        }
+        self.egress.push_back(RmcEgress::Ni {
+            dst: fe,
+            msg: NiMsg::CqNotify {
+                qp,
+                wq_id,
+                ok,
+                degraded,
+            },
+        });
     }
 
     fn unroll_one(&mut self, now: Cycle, slot: u32) {
@@ -502,6 +803,9 @@ impl NiBackend {
         }
         let idx = e.sent;
         let (qp, wq_id, op, gen) = (e.qp, e.wq_id, e.op, e.gen);
+        // Fan-out legs beyond the primary would otherwise mint duplicate
+        // per-operation NetOut trace marks.
+        let traces_net_out = !e.quorum || e.replica_rank == 0;
         let (remote_block, local_block, tgt) = (
             e.remote_base.step(idx),
             e.local_base.step(idx),
@@ -523,7 +827,7 @@ impl NiBackend {
                 self.active.push_back(s);
             }
         }
-        if idx == 0 {
+        if idx == 0 && traces_net_out {
             self.egress.push_back(RmcEgress::Trace(TraceEvent {
                 qp,
                 wq_id,
@@ -631,7 +935,11 @@ impl NiBackend {
         e.last_progress = now;
         let done = e.responses >= e.total;
         let (qp, wq_id, fe) = (e.qp, e.wq_id, e.fe);
-        let ever_retried = e.retries_left < self.cfg.itt_retries;
+        let (quorum, degraded) = (e.quorum, e.replayed);
+        // A replay resets `retries_left`, so check the replay marker too:
+        // its rewound slot has the same stale-`active` / orphaned-payload
+        // hazards a retry has.
+        let needs_purge = e.retries_left < self.cfg.itt_retries || e.replayed;
         if resp.is_read {
             let local = e.local_base.step(idx);
             self.stats.payload_bytes.add(ni_mem::BLOCK_BYTES);
@@ -645,27 +953,16 @@ impl NiBackend {
             }));
         }
         if done {
-            self.egress.push_back(RmcEgress::Trace(TraceEvent {
-                qp,
-                wq_id,
-                stage: Stage::NetIn,
-                at: now,
-            }));
-            self.egress.push_back(RmcEgress::Trace(TraceEvent {
-                qp,
-                wq_id,
-                stage: Stage::DataWritten,
-                at: now,
-            }));
             self.itt.remove(&slot);
             self.free_slots.push(slot);
-            // A transfer that retried can complete while its rewound slot
-            // still sits in `active` (a parked original response arriving
-            // after the watchdog re-queued it) or with duplicate local
-            // payload reads pending: purge both, or the freed slot's next
-            // occupant gets driven by the corpse's leftovers. Never
-            // reachable — and never paid for — without a retry.
-            if ever_retried {
+            // A transfer that retried (or replayed) can complete while its
+            // rewound slot still sits in `active` (a parked original
+            // response arriving after the watchdog re-queued it) or with
+            // duplicate local payload reads pending: purge both, or the
+            // freed slot's next occupant gets driven by the corpse's
+            // leftovers. Never reachable — and never paid for — without a
+            // retry or replay.
+            if needs_purge {
                 if let Some(pos) = self.active.iter().position(|&s| s == slot) {
                     self.active.remove(pos);
                 }
@@ -674,14 +971,33 @@ impl NiBackend {
                     !slots.is_empty()
                 });
             }
-            self.egress.push_back(RmcEgress::Ni {
-                dst: fe,
-                msg: NiMsg::CqNotify {
+            if quorum {
+                // One leg of a write fan-out: the quorum table owns the
+                // operation's CQ notification and trace marks.
+                self.quorum_leg_done(now, qp, wq_id, true);
+            } else {
+                self.egress.push_back(RmcEgress::Trace(TraceEvent {
                     qp,
                     wq_id,
-                    ok: true,
-                },
-            });
+                    stage: Stage::NetIn,
+                    at: now,
+                }));
+                self.egress.push_back(RmcEgress::Trace(TraceEvent {
+                    qp,
+                    wq_id,
+                    stage: Stage::DataWritten,
+                    at: now,
+                }));
+                self.egress.push_back(RmcEgress::Ni {
+                    dst: fe,
+                    msg: NiMsg::CqNotify {
+                        qp,
+                        wq_id,
+                        ok: true,
+                        degraded,
+                    },
+                });
+            }
         }
         let _ = self.qp_cfg;
     }

@@ -1,5 +1,7 @@
 //! RMC configuration: pipeline timings and the NI placement design space.
 
+use ni_fabric::ReplicaCfg;
+
 /// The NI design space of §3 plus the idealized NUMA baseline.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum NiPlacement {
@@ -91,6 +93,21 @@ pub struct RmcConfig {
     /// ([`ni_qp::CqEntry::ok`]` == false`). Only meaningful with a
     /// non-zero `itt_timeout`.
     pub itt_retries: u32,
+    /// K-way replication (`k`, write quorum `w`, placement seed). The
+    /// default ([`ReplicaCfg::off`], `k == 1`) disables every recovery path
+    /// and keeps all existing runs bit-identical. With `k > 1` the chip
+    /// derives a deterministic [`ReplicaMap`](ni_fabric::ReplicaMap) and
+    /// its backends fail reads over across it and fan writes out to a
+    /// `w`-of-`k` quorum.
+    pub replication: ReplicaCfg,
+    /// WQ replays per transfer: after the ITT watchdog exhausts
+    /// `itt_retries` re-sends toward one destination, the backend may
+    /// re-inject the whole transfer from its WQ descriptor toward the next
+    /// replica this many times before error-completing. `0` (the default)
+    /// disables replay; only meaningful with an armed watchdog, replication
+    /// `k > 1`, and read transfers (replicated writes recover through the
+    /// quorum instead).
+    pub replay_budget: u32,
 }
 
 impl Default for RmcConfig {
@@ -108,6 +125,8 @@ impl Default for RmcConfig {
             fe_poll_concurrency: 1,
             itt_timeout: 0,
             itt_retries: 1,
+            replication: ReplicaCfg::off(),
+            replay_budget: 0,
         }
     }
 }

@@ -32,8 +32,15 @@ enum FeEv {
     SendWq { qp: u32, wq_id: u64 },
     /// Begin the CQ store (after RCP frontend processing); `ok` is the
     /// completion status the backend reported (false for a transfer its
-    /// ITT watchdog abandoned).
-    CqStore { qp: u32, wq_id: u64, ok: bool },
+    /// ITT watchdog abandoned) and `degraded` marks a completion that
+    /// needed a recovery path (WQ replay or a quorum that absorbed a dead
+    /// leg).
+    CqStore {
+        qp: u32,
+        wq_id: u64,
+        ok: bool,
+        degraded: bool,
+    },
 }
 
 /// An RGP/RCP frontend.
@@ -47,8 +54,8 @@ pub struct NiFrontend {
     backend: NocNode,
     rr: usize,
     /// Pending completion notifications to turn into CQ entries:
-    /// `(qp, wq_id, ok)`.
-    cq_queue: VecDeque<(u32, u64, bool)>,
+    /// `(qp, wq_id, ok, degraded)`.
+    cq_queue: VecDeque<(u32, u64, bool, bool)>,
     /// Outstanding WQ polls: access tag -> polled QP.
     polls: BTreeMap<u64, u32>,
     /// QPs with a poll in flight (never poll the same QP twice at once).
@@ -107,10 +114,11 @@ impl NiFrontend {
 
     /// Deliver a completion notification (from the backend, via latch or
     /// NOC). `ok == false` marks a transfer the backend's ITT watchdog
-    /// abandoned; the frontend writes the CQ entry either way, with the
-    /// status flag carried through to the application.
-    pub fn on_notify(&mut self, qp: u32, wq_id: u64, ok: bool) {
-        self.cq_queue.push_back((qp, wq_id, ok));
+    /// abandoned; `degraded` marks a completion that needed a recovery
+    /// path. The frontend writes the CQ entry either way, with both flags
+    /// carried through to the application.
+    pub fn on_notify(&mut self, qp: u32, wq_id: u64, ok: bool, degraded: bool) {
+        self.cq_queue.push_back((qp, wq_id, ok, degraded));
     }
 
     /// True when the frontend holds no in-flight work: no outstanding WQ
@@ -178,10 +186,15 @@ impl NiFrontend {
                         },
                     });
                 }
-                FeEv::CqStore { qp, wq_id, ok } => {
+                FeEv::CqStore {
+                    qp,
+                    wq_id,
+                    ok,
+                    degraded,
+                } => {
                     let q = &mut qps[qp as usize];
                     let block = q.cq_tail_block();
-                    q.ni_complete_with(wq_id, ok);
+                    q.ni_complete_with(wq_id, ok, degraded);
                     let token = q.completions_written();
                     let tag = TAG_CQ | self.bump_tag();
                     self.storing_cq = Some((tag, qp, wq_id));
@@ -200,10 +213,18 @@ impl NiFrontend {
         }
         // CQ writes take priority over new polls.
         if !self.cq_busy {
-            if let Some((qp, wq_id, ok)) = self.cq_queue.pop_front() {
+            if let Some((qp, wq_id, ok, degraded)) = self.cq_queue.pop_front() {
                 self.cq_busy = true;
-                self.events
-                    .push_after(now, self.cfg.rcp_fe_proc, FeEv::CqStore { qp, wq_id, ok });
+                self.events.push_after(
+                    now,
+                    self.cfg.rcp_fe_proc,
+                    FeEv::CqStore {
+                        qp,
+                        wq_id,
+                        ok,
+                        degraded,
+                    },
+                );
                 return;
             }
         }

@@ -63,6 +63,11 @@ pub enum NiMsg {
         /// backend gave up on the transfer (ITT timeout past the retry
         /// budget) so the core observes the failure instead of hanging.
         ok: bool,
+        /// Degraded-path marker carried into
+        /// [`ni_qp::CqEntry::degraded`]: the transfer needed a WQ replay
+        /// to an alternate replica, or its write quorum absorbed a dead
+        /// fan-out leg.
+        degraded: bool,
     },
     /// A per-tile backend's unrolled request traveling to the chip edge.
     NetOut(RemoteReq),
@@ -125,6 +130,7 @@ mod tests {
             qp: 0,
             wq_id: 1,
             ok: true,
+            degraded: false,
         };
         assert_eq!(note.flits(), 1);
     }

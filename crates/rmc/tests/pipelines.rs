@@ -162,7 +162,8 @@ fn responses_complete_transfer_and_notify_frontend() {
                     NiMsg::CqNotify {
                         qp: 7,
                         wq_id: 9,
-                        ok: true
+                        ok: true,
+                        ..
                     }
                 )
         })
@@ -361,7 +362,8 @@ fn itt_timeout_resends_only_the_missing_blocks() {
             NiMsg::CqNotify {
                 qp: 0,
                 wq_id: 1,
-                ok: true
+                ok: true,
+                ..
             }
         )));
     assert_eq!(be.inflight(), 0);
@@ -389,7 +391,8 @@ fn exhausted_retry_budget_completes_with_an_error_status() {
                         NiMsg::CqNotify {
                             qp: 4,
                             wq_id: 7,
-                            ok: false
+                            ok: false,
+                            ..
                         }
                     )
             })

@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use ni_coherence::{wire_of, CacheComplex, ClientKind, CohMsg, DirectoryBank, Egress};
 use ni_engine::{Cycle, DelayLine};
-use ni_fabric::{Fabric, FabricStats, RackConfig, RackEmulator, RemoteResp, Torus3D};
+use ni_fabric::{Fabric, FabricStats, RackConfig, RackEmulator, RemoteResp, ReplicaMap, Torus3D};
 use ni_mem::{Addr, BlockAddr, MemRequestKind, MemoryController};
 use ni_noc::{Coord, Interconnect, MeshNoc, MessageClass, NocNode, NocOutNoc, NocStats, Packet};
 use ni_qp::QueuePair;
@@ -314,7 +314,8 @@ impl Chip {
             let wq = Addr(QP_BASE + i as u64 * QP_STRIDE);
             let cq = Addr(QP_BASE + i as u64 * QP_STRIDE + QP_STRIDE / 2);
             qps.push(QueuePair::new(i as u32, cfg.qp, wq, cq));
-            let ctx = OpCtx::bind(cfg.node_id, i, nodes, torus, core_seed(cfg.seed, i));
+            let mut ctx = OpCtx::bind(cfg.node_id, i, nodes, torus, core_seed(cfg.seed, i));
+            ctx.replication = cfg.rmc.replication;
             let gen: Box<dyn Scenario> = if i < cfg.active_cores {
                 scenario.for_core(&ctx)
             } else {
@@ -355,6 +356,22 @@ impl Chip {
                 backends.push(NiBackend::new(
                     node, r as u16, cfg.rmc, cfg.qp, home, n_banks, None,
                 ));
+            }
+        }
+
+        // K-way replication: every chip derives the identical placement
+        // from (geometry, seed, k) — no coordination messages — and every
+        // backend shares one read-only map. `k == 1` (the default) leaves
+        // the map out entirely: the recovery paths stay off and runs stay
+        // bit-identical with pre-replication builds.
+        if cfg.rmc.replication.enabled() {
+            let rep = cfg.rmc.replication;
+            let map = std::sync::Arc::new(match torus {
+                Some(t) => ReplicaMap::new(t, rep.seed, rep.k),
+                None => ReplicaMap::ring(nodes, rep.seed, rep.k),
+            });
+            for be in &mut backends {
+                be.set_replicas(Some(std::sync::Arc::clone(&map)));
             }
         }
 
@@ -543,6 +560,20 @@ impl Chip {
         self.cores.iter().map(|c| c.stats.failed).sum()
     }
 
+    /// Remote *reads* that completed with an error CQ status — the
+    /// user-visible request losses an availability study counts (writes
+    /// are reported separately through the quorum counters).
+    pub fn failed_reads(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.failed_reads).sum()
+    }
+
+    /// Operations that completed ok but through a recovery path: a WQ
+    /// replay to an alternate replica, or a write quorum that absorbed a
+    /// dead fan-out leg.
+    pub fn degraded_ops(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.degraded).sum()
+    }
+
     /// Aggregate RGP/RCP backend statistics over every backend of this
     /// chip — the per-node view of ITT pressure, timeouts, and retries.
     pub fn backend_stats(&self) -> ni_rmc::BackendStats {
@@ -560,6 +591,18 @@ impl Chip {
         let mut h = ni_engine::Histogram::new();
         for c in &self.cores {
             h.merge(c.read_latency_histogram());
+        }
+        h
+    }
+
+    /// Chip-wide latency distribution of *degraded* remote reads — those
+    /// that completed only through a recovery path — kept apart from
+    /// [`Chip::read_latency_histogram`] so failover cost is measurable
+    /// instead of smearing the healthy tail.
+    pub fn degraded_read_latency_histogram(&self) -> ni_engine::Histogram {
+        let mut h = ni_engine::Histogram::new();
+        for c in &self.cores {
+            h.merge(c.degraded_read_latency_histogram());
         }
         h
     }
@@ -1268,9 +1311,14 @@ impl Chip {
                 self.backends[b].on_wq_entry(now, entry, qp, fe);
                 self.wake_bes[b] = self.wake_bes[b].min(now);
             }
-            NiMsg::CqNotify { qp, wq_id, ok } => {
+            NiMsg::CqNotify {
+                qp,
+                wq_id,
+                ok,
+                degraded,
+            } => {
                 let f = self.fe_index[&dst];
-                self.frontends[f].on_notify(qp, wq_id, ok);
+                self.frontends[f].on_notify(qp, wq_id, ok, degraded);
                 self.wake_fes[f] = self.wake_fes[f].min(now);
             }
             NiMsg::NetOut(req) => {

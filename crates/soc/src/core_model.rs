@@ -99,6 +99,14 @@ pub struct CoreStats {
     /// ([`ni_qp::CqEntry::ok`]` == false`): the NI's ITT watchdog gave up
     /// on the transfer after a link or node death. Always `<= completed`.
     pub failed: u64,
+    /// Failed operations that were remote *reads* — the request losses an
+    /// availability study reports (replicated writes are covered by the
+    /// quorum counters instead). Always `<= failed`.
+    pub failed_reads: u64,
+    /// Operations that completed ok but only through a recovery path
+    /// ([`ni_qp::CqEntry::degraded`]): a WQ replay to an alternate replica
+    /// or a write quorum that absorbed a dead leg. Always `<= completed`.
+    pub degraded: u64,
     /// End-to-end latency of synchronous operations (cycles).
     pub latency: RunningMean,
 }
@@ -180,6 +188,11 @@ pub struct Core {
     /// (plus NUMA loads) — the tail-latency view congestion studies need,
     /// since bandwidth-bound workloads issue asynchronously.
     read_latency_hist: Histogram,
+    /// End-to-end latency of *degraded* remote reads (completed through a
+    /// recovery path), kept out of `read_latency_hist` so failover cost
+    /// shows as its own distribution instead of fattening the healthy
+    /// tail.
+    degraded_read_latency_hist: Histogram,
 }
 
 impl Core {
@@ -223,6 +236,7 @@ impl Core {
             latency_hist: Histogram::new(),
             issue_times: Vec::new(),
             read_latency_hist: Histogram::new(),
+            degraded_read_latency_hist: Histogram::new(),
         }
     }
 
@@ -322,6 +336,15 @@ impl Core {
     /// report p99 from.
     pub fn read_latency_histogram(&self) -> &Histogram {
         &self.read_latency_hist
+    }
+
+    /// Distribution of end-to-end latencies of *degraded* remote reads —
+    /// completions that needed a WQ replay to an alternate replica. Kept
+    /// separate from [`read_latency_histogram`](Core::read_latency_histogram)
+    /// (which holds first-try completions only) so availability studies can
+    /// quote healthy and failover percentiles side by side.
+    pub fn degraded_read_latency_histogram(&self) -> &Histogram {
+        &self.degraded_read_latency_hist
     }
 
     /// True when this core will never act again without external input: no
@@ -605,6 +628,9 @@ impl Core {
                         if !c.ok {
                             self.stats.failed += 1;
                         }
+                        if c.ok && c.degraded {
+                            self.stats.degraded += 1;
+                        }
                         self.inflight = self.inflight.saturating_sub(1);
                         if let Some(i) = self
                             .issue_times
@@ -612,13 +638,21 @@ impl Core {
                             .position(|&(id, _, _)| id == c.wq_id)
                         {
                             let (_, issued_at, op) = self.issue_times.swap_remove(i);
+                            if !c.ok && op == RemoteOp::Read {
+                                self.stats.failed_reads += 1;
+                            }
                             // Failed ops would only record the watchdog's
-                            // timeout; keep the read-latency distribution a
+                            // timeout; keep the read-latency distributions a
                             // property of *successful* transfers and report
-                            // failures separately.
+                            // failures separately. Degraded completions get
+                            // their own histogram.
                             if op == RemoteOp::Read && c.ok {
-                                self.read_latency_hist
-                                    .record(now.saturating_since(issued_at));
+                                let lat = now.saturating_since(issued_at);
+                                if c.degraded {
+                                    self.degraded_read_latency_hist.record(lat);
+                                } else {
+                                    self.read_latency_hist.record(lat);
+                                }
                             }
                         }
                         self.traces.push(TraceEvent {

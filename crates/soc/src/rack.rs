@@ -438,6 +438,22 @@ impl Rack {
         self.chips.iter().map(Chip::failed_ops).sum()
     }
 
+    /// Remote reads rack-wide that completed with an error CQ status —
+    /// the user-visible losses the availability sweep reports. At `k >= 2`
+    /// with replay enabled this should stay zero for reads issued by
+    /// surviving nodes (a dead node's own in-flight work is not counted as
+    /// lost user traffic by the sweep; see `Chip::failed_reads` per node).
+    pub fn failed_reads(&self) -> u64 {
+        self.chips.iter().map(Chip::failed_reads).sum()
+    }
+
+    /// Operations rack-wide that completed ok but through a recovery path
+    /// (WQ replay or a quorum that absorbed a dead leg) — the degraded-mode
+    /// work an availability study weighs against outright losses.
+    pub fn degraded_ops(&self) -> u64 {
+        self.chips.iter().map(Chip::degraded_ops).sum()
+    }
+
     /// Aggregate RGP/RCP backend statistics over every backend of every
     /// node — rack-wide ITT timeout/retry pressure.
     pub fn backend_stats(&self) -> ni_rmc::BackendStats {
@@ -507,6 +523,19 @@ impl Rack {
         let mut h = ni_engine::Histogram::new();
         for chip in &self.chips {
             h.merge(&chip.read_latency_histogram());
+        }
+        h
+    }
+
+    /// Rack-wide latency distribution of *degraded* remote reads — those
+    /// completed through a WQ replay to an alternate replica — merged over
+    /// every node. Reported next to [`Rack::read_latency_histogram`] so
+    /// failover cost is a distribution of its own, not a fattening of the
+    /// healthy tail.
+    pub fn degraded_read_latency_histogram(&self) -> ni_engine::Histogram {
+        let mut h = ni_engine::Histogram::new();
+        for chip in &self.chips {
+            h.merge(&chip.degraded_read_latency_histogram());
         }
         h
     }

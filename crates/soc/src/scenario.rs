@@ -32,7 +32,7 @@
 //! * [`GraphShard`] — bulk edge-list fetches (KBs) from remote graph shards.
 
 use ni_engine::Cycle;
-use ni_fabric::Torus3D;
+use ni_fabric::{ReplicaCfg, ReplicaMap, Torus3D};
 use ni_mem::Addr;
 use ni_qp::RemoteOp;
 use rand::rngs::SmallRng;
@@ -66,10 +66,17 @@ pub struct OpCtx {
     pub issued: u64,
     /// Current simulation time.
     pub now: Cycle,
+    /// The rack's replication config ([`ReplicaCfg::off`] unless the chip
+    /// enables K-way replication). Scenarios may condition on it — e.g.
+    /// [`ZipfHotspot`] spreads reads across a hot destination's replica set
+    /// when `k > 1` — and every generator may ignore it.
+    pub replication: ReplicaCfg,
 }
 
 impl OpCtx {
-    /// Binding-time context for one core (no ops issued, time zero).
+    /// Binding-time context for one core (no ops issued, time zero,
+    /// replication off — the chip overwrites [`OpCtx::replication`] after
+    /// binding when K-way replication is enabled).
     pub fn bind(node: u16, core: usize, nodes: u32, torus: Option<Torus3D>, seed: u64) -> OpCtx {
         OpCtx {
             node,
@@ -79,6 +86,7 @@ impl OpCtx {
             seed,
             issued: 0,
             now: Cycle::ZERO,
+            replication: ReplicaCfg::off(),
         }
     }
 }
@@ -621,6 +629,12 @@ struct ZipfState {
     rng: SmallRng,
     node_zipf: Zipf,
     key_zipf: Zipf,
+    /// Replica placement, derived lazily when [`OpCtx::replication`] has
+    /// `k > 1`: reads of a hot destination spread across its replica set
+    /// (any replica serves a read), which is the client-side half of the
+    /// availability story — the server-side half is the backend's failover
+    /// and quorum machinery.
+    replicas: Option<ReplicaMap>,
 }
 
 impl Default for ZipfHotspot {
@@ -678,10 +692,16 @@ impl Scenario for ZipfHotspot {
     fn next_op(&mut self, ctx: &OpCtx) -> Op {
         let nodes = ctx.nodes.max(1);
         let (theta, keys) = (self.theta, self.keys.max(1));
+        let replication = ctx.replication;
+        let torus = ctx.torus;
         let st = self.state.get_or_insert_with(|| ZipfState {
             rng: SmallRng::seed_from_u64(ctx.seed),
             node_zipf: Zipf::new(u64::from(nodes), theta),
             key_zipf: Zipf::new(keys, theta),
+            replicas: replication.enabled().then(|| match torus {
+                Some(t) => ReplicaMap::new(t, replication.seed, replication.k),
+                None => ReplicaMap::ring(nodes, replication.seed, replication.k),
+            }),
         });
         let rank = st.node_zipf.sample(&mut st.rng) as u32;
         let mut to = ((self.hot_node + rank) % nodes) as u16;
@@ -697,6 +717,20 @@ impl Scenario for ZipfHotspot {
         } else {
             RemoteOp::Read
         };
+        // With replication on, any replica serves a read: spread the hot
+        // destination's read load uniformly across its replica set (writes
+        // stay on the primary — the backend fans them out to the quorum).
+        if op == RemoteOp::Read {
+            if let Some(map) = &st.replicas {
+                let set = map.replicas(to);
+                if set.len() > 1 {
+                    let pick = set[st.rng.gen_range(0..set.len())];
+                    if pick != ctx.node {
+                        to = pick;
+                    }
+                }
+            }
+        }
         Op::Remote {
             op,
             to,

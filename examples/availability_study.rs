@@ -1,0 +1,192 @@
+//! Availability study: how much of a rack's work survives node failures
+//! as a function of replication degree and write quorum.
+//!
+//! The grid is `experiments::availability_sweep` — a 4x4x4 64-node rack
+//! running capped read-only and write-only jobs under
+//! `{k=1, k=2/w=1, k=3/w=2}` × `{none, node-kill, storm}`, fault-adaptive
+//! routing, ITT watchdog armed, WQ replay budget `k - 1`:
+//!
+//! * **k = 1** is the blast-radius baseline: a node kill error-completes
+//!   every op addressed to the corpse.
+//! * **k >= 2, reads** — the headline claim: surviving nodes lose *zero*
+//!   reads. Every timed-out read replays from its WQ descriptor toward an
+//!   alternate replica and completes (degraded, measurably slower, but
+//!   complete). A dead node's own in-flight client work is excluded — a
+//!   corpse's issue queue is not user traffic.
+//! * **k >= 2, writes** — writes fan out to all `k` replicas and complete
+//!   once `w` acknowledge, so a dead replica costs a degraded flag, not an
+//!   error.
+//!
+//! The assertions below are the acceptance criteria CI enforces (set
+//! `RACKNI_AVAIL_GATE=off` to report without failing); the cell table
+//! lands in `BENCH_availability.json` (schema `rackni-bench-availability/1`)
+//! next to `BENCH_failure.json`.
+//!
+//! ```sh
+//! cargo run --release --example availability_study            # quick (CI)
+//! RACKNI_SCALE=full cargo run --release --example availability_study
+//! ```
+
+use std::fmt::Write as _;
+
+use rackni::experiments::{
+    availability_points_render, availability_sweep, AvailFault, AvailabilityPoint, FailureParams,
+    Scale, AVAIL_KW,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = FailureParams::at(scale);
+    let gate = !matches!(
+        std::env::var("RACKNI_AVAIL_GATE").as_deref(),
+        Ok("off") | Ok("0")
+    );
+    println!(
+        "availability_study: 4x4x4 rack, first fault at cycle {}, ITT watchdog {} cycles x{} \
+         retries, replay budget k-1 [scale: {scale:?}, gate: {}]\n",
+        params.kill_at,
+        params.itt_timeout,
+        params.itt_retries,
+        if gate { "on" } else { "off" }
+    );
+
+    let pts = availability_sweep(scale);
+    println!("{}", availability_points_render(&pts));
+    println!("'lost reads' counts error-completed reads on *surviving* nodes only;");
+    println!("a dead node's own in-flight client work is reported as corpse losses.");
+
+    let find = |scenario: &str, k: u8, fault: AvailFault| -> &AvailabilityPoint {
+        pts.iter()
+            .find(|p| p.scenario == scenario && p.k == k && p.fault == fault)
+            .expect("sweep covers the full grid")
+    };
+    let check = |ok: bool, msg: String| {
+        if ok {
+            return;
+        }
+        if gate {
+            panic!("{msg}");
+        }
+        println!("GATE OFF, would have failed: {msg}");
+    };
+
+    // Control group: healthy cells complete everything with no losses, no
+    // degraded completions, no replays — at every replication degree.
+    for p in pts.iter().filter(|p| p.fault == AvailFault::None) {
+        check(
+            p.completed_all && p.failed_ops == 0 && p.degraded_ops == 0 && p.replays == 0,
+            format!("healthy {}/k={} cell degraded: {p:?}", p.scenario, p.k),
+        );
+    }
+
+    // Baseline: without replication a node kill must cost read losses —
+    // this is the blast radius the recovery machinery is judged against.
+    let base = find("reads", 1, AvailFault::NodeKill);
+    check(
+        base.lost_reads > 0,
+        format!("k=1 node kill must lose reads or the cell is not stressing anything: {base:?}"),
+    );
+
+    // Headline: at k >= 2 with replay, a node kill loses ZERO reads on
+    // surviving nodes — every read addressed to the corpse fails over.
+    for (k, _) in AVAIL_KW.iter().copied().filter(|&(k, _)| k >= 2) {
+        for fault in [AvailFault::NodeKill, AvailFault::Storm] {
+            let p = find("reads", k, fault);
+            check(
+                p.completed_all,
+                format!("reads/k={k}/{}: job did not complete: {p:?}", fault.label()),
+            );
+            check(
+                p.lost_reads == 0,
+                format!(
+                    "reads/k={k}/{}: {} reads lost on surviving nodes (expected 0): {p:?}",
+                    fault.label(),
+                    p.lost_reads
+                ),
+            );
+        }
+        let p = find("reads", k, AvailFault::NodeKill);
+        check(
+            p.degraded_ops > 0 && p.replays > 0,
+            format!("reads/k={k}/node-kill: recovery should be visible as replays: {p:?}"),
+        );
+    }
+
+    // Writes: the quorum absorbs the dead replica — no errors on surviving
+    // nodes, and the absorbed legs show up in the quorum counters.
+    for (k, w) in AVAIL_KW.iter().copied().filter(|&(k, _)| k >= 2) {
+        let p = find("writes", k, AvailFault::NodeKill);
+        check(
+            p.completed_all && p.lost_reads == 0,
+            format!("writes/k={k}/w={w}/node-kill: losses on surviving nodes: {p:?}"),
+        );
+        check(
+            p.quorum_writes > 0,
+            format!("writes/k={k}: no write ever fanned out — replication not engaged: {p:?}"),
+        );
+    }
+
+    let nk2 = find("reads", 2, AvailFault::NodeKill);
+    println!(
+        "\nnode-kill reads: k=1 lost {} reads; k=2 lost {} (of {} ops, {} degraded via {} \
+         replays, recovery {} cycles, p99 ok {} vs degraded {})",
+        base.lost_reads,
+        nk2.lost_reads,
+        nk2.expected_ops,
+        nk2.degraded_ops,
+        nk2.replays,
+        nk2.recovery_cycles,
+        nk2.p99_read_cycles,
+        nk2.p99_degraded_read_cycles,
+    );
+
+    // Machine-readable table for CI artifacts.
+    let mut rows = Vec::new();
+    for p in &pts {
+        rows.push(format!(
+            r#"    {{"scenario": "{}", "fault": "{}", "k": {}, "w": {}, "torus": "{}x{}x{}", "kill_at": {}, "expected_ops": {}, "completed_ops": {}, "failed_ops": {}, "lost_reads": {}, "corpse_failed_reads": {}, "degraded_ops": {}, "replays": {}, "quorum_writes": {}, "quorum_leg_failures": {}, "completed_all": {}, "completion_cycles": {}, "recovery_cycles": {}, "ops_per_kcycle": {:.4}, "p50_ok_read": {}, "p99_ok_read": {}, "p99_degraded_read": {}}}"#,
+            p.scenario,
+            p.fault.label(),
+            p.k,
+            p.w,
+            p.dims.0,
+            p.dims.1,
+            p.dims.2,
+            p.kill_at,
+            p.expected_ops,
+            p.completed_ops,
+            p.failed_ops,
+            p.lost_reads,
+            p.corpse_failed_reads,
+            p.degraded_ops,
+            p.replays,
+            p.quorum_writes,
+            p.quorum_leg_failures,
+            p.completed_all,
+            p.completion_cycles,
+            p.recovery_cycles,
+            p.ops_per_kcycle,
+            p.p50_read_cycles,
+            p.p99_read_cycles,
+            p.p99_degraded_read_cycles,
+        ));
+    }
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, r#"  "schema": "rackni-bench-availability/1","#);
+    let _ = writeln!(
+        json,
+        r#"  "scale": "{}","#,
+        format!("{scale:?}").to_lowercase()
+    );
+    let _ = writeln!(json, r#"  "kill_at": {},"#, params.kill_at);
+    let _ = writeln!(json, r#"  "itt_timeout": {},"#, params.itt_timeout);
+    let _ = writeln!(json, r#"  "itt_retries": {},"#, params.itt_retries);
+    let _ = writeln!(json, r#"  "points": ["#);
+    let _ = writeln!(json, "{}", rows.join(",\n"));
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    let path = "BENCH_availability.json";
+    std::fs::write(path, &json).expect("write BENCH_availability.json");
+    println!("\navailability table written to {path}");
+}

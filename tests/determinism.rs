@@ -10,7 +10,7 @@
 //! `BTreeMap` (along with the RMC pipeline and chip dispatch maps), and
 //! these runs pin the conversion down.
 
-use rackni::ni_fabric::{FaultPlan, RoutingKind, Torus3D};
+use rackni::ni_fabric::{FaultPlan, ReplicaCfg, RoutingKind, Torus3D};
 use rackni::ni_soc::{ChipConfig, Rack, RackSimConfig, TrafficPattern, Workload};
 
 /// Everything a reordered victim choice, retry, or delivery could perturb:
@@ -28,6 +28,9 @@ struct Fingerprint {
     hops: u64,
     timeouts: u64,
     retries: u64,
+    replays: u64,
+    quorum_writes: u64,
+    degraded: u64,
     rrpp_means: Vec<f64>,
     per_node_ops: Vec<u64>,
 }
@@ -45,6 +48,9 @@ fn fingerprint(rack: &Rack) -> Fingerprint {
         hops: rack.hops_traversed(),
         timeouts: be.itt_timeouts.get(),
         retries: be.itt_retries.get(),
+        replays: be.replays.get(),
+        quorum_writes: be.quorum_writes.get(),
+        degraded: rack.degraded_ops(),
         rrpp_means: rack.rrpp_mean_latencies(),
         per_node_ops: rack.chips().iter().map(|c| c.completed_ops()).collect(),
     }
@@ -107,6 +113,38 @@ fn faulty_run(cycles: u64) -> Rack {
     rack
 }
 
+/// A recovering seeded rack: K=2 replication with WQ replay armed, a node
+/// kill mid-run. The recovery machinery adds two new order-sensitive
+/// structures — the quorum table (write legs joining out of order) and the
+/// replay path (generation bumps, alternate-destination re-injection) —
+/// and this run pins both to the same-seed contract. A 95/5 GET/PUT mix
+/// exercises read replay and write quorum in the same run.
+fn recovery_run(cycles: u64) -> Rack {
+    let mut cfg = RackSimConfig {
+        torus: Torus3D::new(3, 3, 1),
+        chip: ChipConfig {
+            active_cores: 2,
+            ..ChipConfig::default()
+        },
+        traffic: TrafficPattern::Uniform,
+        routing: RoutingKind::FaultAdaptive,
+        faults: FaultPlan::new().node_down(4, 300),
+        ..RackSimConfig::default()
+    };
+    cfg.chip.seed = 0x4ec0;
+    cfg.chip.rmc.itt_timeout = 1_500;
+    cfg.chip.rmc.itt_retries = 1;
+    cfg.chip.rmc.replication = ReplicaCfg {
+        k: 2,
+        w: 1,
+        seed: 0x4ec0,
+    };
+    cfg.chip.rmc.replay_budget = 1;
+    let mut rack = Rack::with_scenario(cfg, &rackni::ni_soc::KvStore::default());
+    rack.run(cycles);
+    rack
+}
+
 #[test]
 fn same_seed_twice_in_one_process_is_bit_identical() {
     let cycles = 4_000;
@@ -127,4 +165,24 @@ fn same_seed_watchdog_run_is_bit_identical() {
     );
     let b = fingerprint(&faulty_run(cycles));
     assert_eq!(a, b, "same seed, same faults, different fingerprint");
+}
+
+#[test]
+fn same_seed_recovery_run_is_bit_identical() {
+    let cycles = 20_000;
+    let a = fingerprint(&recovery_run(cycles));
+    assert!(
+        a.replays > 0,
+        "the node kill must force WQ replays through the replica map: {a:?}"
+    );
+    assert!(
+        a.quorum_writes > 0,
+        "the PUT slice must fan out through the quorum table: {a:?}"
+    );
+    assert!(
+        a.degraded > 0,
+        "replayed reads must complete with the degraded flag: {a:?}"
+    );
+    let b = fingerprint(&recovery_run(cycles));
+    assert_eq!(a, b, "same seed, same recovery, different fingerprint");
 }

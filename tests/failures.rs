@@ -6,7 +6,7 @@
 //! `fault-adaptive` and `minimal-adaptive` through the whole rack stack.
 
 use rackni::experiments::{run_failure_point, FailureParams, FaultCase};
-use rackni::ni_fabric::{FaultPlan, RoutingKind, Torus3D};
+use rackni::ni_fabric::{FaultPlan, ReplicaCfg, RoutingKind, Torus3D};
 use rackni::ni_soc::{Capped, ChipConfig, Rack, RackSimConfig, Synthetic, Workload, ZipfHotspot};
 
 /// Small-rack sweep parameters: tight enough for debug-profile tier-1
@@ -193,5 +193,125 @@ fn link_repair_restores_the_job_without_casualties() {
     assert!(
         rack.fault_stats().dead_link_stalls.get() > 0,
         "the kill window must have actually stalled traffic"
+    );
+}
+
+/// A recovery-enabled rack: K-way replication + WQ replay armed, node 4
+/// killed mid-run, fault-adaptive routing, a capped job so completion is
+/// checkable. Shared by the two transparent-recovery property tests below.
+fn recovery_rack(workload: Workload, k: u8, w: u8) -> (Rack, u32, u64) {
+    let killed = 4u32;
+    let mut chip = ChipConfig {
+        active_cores: 2,
+        seed: 0x4ec1,
+        ..ChipConfig::default()
+    };
+    chip.rmc.itt_timeout = 1_500;
+    chip.rmc.itt_retries = 1;
+    chip.rmc.replication = ReplicaCfg { k, w, seed: 0x4ec1 };
+    chip.rmc.replay_budget = u32::from(k.max(1)) - 1;
+    let cfg = RackSimConfig {
+        torus: Torus3D::new(3, 3, 1),
+        chip,
+        routing: RoutingKind::FaultAdaptive,
+        faults: FaultPlan::new().node_down(killed, 300),
+        threads: 1,
+        ..RackSimConfig::default()
+    };
+    let ops_per_core = 6u64;
+    let capped = Capped::new(Box::new(Synthetic::from_workload(workload)), ops_per_core);
+    let mut rack = Rack::with_scenario(cfg, &capped);
+    // 8 surviving nodes x 2 cores x 6 ops; the corpse's own job is void.
+    let survivor_expected = 8 * 2 * ops_per_core;
+    let mut guard = 0;
+    loop {
+        rack.run(2_000);
+        let done: u64 = rack
+            .chips()
+            .iter()
+            .enumerate()
+            .filter(|&(n, _)| n as u32 != killed)
+            .map(|(_, c)| c.completed_ops())
+            .sum();
+        if done >= survivor_expected {
+            break;
+        }
+        guard += 1;
+        assert!(
+            guard < 100,
+            "survivors never completed the job: {done}/{survivor_expected}"
+        );
+    }
+    // With W=1 a quorum write notifies on the first ack, so the job can
+    // finish while legs addressed to the corpse are still in flight. Drain
+    // past the watchdog so every straggler leg resolves before we inspect
+    // the counters.
+    rack.run(8_000);
+    (rack, killed, survivor_expected)
+}
+
+/// The tentpole acceptance property at tier-1 size: with K=2 replicas and
+/// WQ replay armed, a node kill loses ZERO reads on surviving nodes —
+/// every read addressed to the corpse replays toward the alternate replica
+/// and completes, degraded but successful.
+#[test]
+fn node_kill_at_k2_loses_zero_reads_on_survivors() {
+    let (rack, killed, _) = recovery_rack(
+        Workload::AsyncRead {
+            size: 256,
+            poll_every: 4,
+        },
+        2,
+        1,
+    );
+    for (n, chip) in rack.chips().iter().enumerate() {
+        if n as u32 == killed {
+            continue;
+        }
+        assert_eq!(
+            chip.failed_reads(),
+            0,
+            "survivor {n} lost reads despite K=2 + replay"
+        );
+    }
+    let be = rack.backend_stats();
+    assert!(
+        be.replays.get() > 0,
+        "recovery must actually run through the replay path"
+    );
+    assert!(
+        rack.degraded_ops() > 0,
+        "replayed reads must surface the degraded completion flag"
+    );
+}
+
+/// Quorum writes survive one dead replica: with K=2/W=1 every write fans
+/// out to both replicas and completes on the surviving ack, so survivors
+/// see no error completions and the dead legs land in the leg-failure
+/// counter instead of `failed_transfers`.
+#[test]
+fn quorum_writes_survive_one_dead_replica() {
+    let (rack, killed, _) = recovery_rack(
+        Workload::AsyncWrite {
+            size: 256,
+            poll_every: 4,
+        },
+        2,
+        1,
+    );
+    for (n, chip) in rack.chips().iter().enumerate() {
+        if n as u32 == killed {
+            continue;
+        }
+        assert_eq!(chip.failed_ops(), 0, "survivor {n} saw an error CQ entry");
+    }
+    let be = rack.backend_stats();
+    assert!(
+        be.quorum_writes.get() > 0,
+        "K=2 writes must fan out through the quorum table"
+    );
+    assert!(
+        be.quorum_leg_failures.get() > 0,
+        "the dead replica's legs must be absorbed by the quorum"
     );
 }
