@@ -8,12 +8,14 @@
 
 use ni_engine::Frequency;
 use ni_fabric::{Dir, FaultPlan, ReplicaCfg, RoutingKind, Torus3D};
+use ni_metrics::{interference_index, SloSummary};
 use ni_noc::RoutingPolicy;
 use ni_rmc::NiPlacement;
 use ni_soc::bench::{run_bandwidth, run_sync_latency, stage_breakdown, StageBreakdown};
 use ni_soc::{
-    builtin_scenarios, Bursty, Capped, ChipConfig, Rack, RackSimConfig, Scenario, Synthetic,
-    TickMode, Topology, TrafficPattern, Workload, ZipfHotspot,
+    builtin_scenarios, Bursty, Capped, ChipConfig, ClosedLoop, GraphShard, KvStore, Rack,
+    RackSimConfig, Scenario, Synthetic, TenantMix, TickMode, Topology, TrafficPattern, Workload,
+    ZipfHotspot,
 };
 
 use crate::paper;
@@ -1633,6 +1635,254 @@ pub fn availability_points_render(pts: &[AvailabilityPoint]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Tenant tag of the latency-sensitive closed-loop KV tenant in the
+/// serving sweep (tag 0 is reserved for idle filler cores).
+pub const TENANT_KV: u8 = 1;
+
+/// Tenant tag of the throughput-oriented bulk graph tenant.
+pub const TENANT_BULK: u8 = 2;
+
+/// Closed-loop window of the KV tenant: outstanding requests per core.
+pub const SERVING_WINDOW: u64 = 4;
+
+/// Mean think-time parameter of the KV tenant at peak load; think times
+/// are drawn uniformly from `[1, 2·think]` per op.
+pub const SERVING_THINK: u64 = 64;
+
+/// Remote service time the serving RRPP "computes" per KV GET block
+/// before replying — what makes the GETs two-sided request–response ops.
+pub const SERVING_KV_SERVICE: u64 = 150;
+
+/// Human label for a serving-sweep tenant tag.
+pub fn tenant_label(tag: u8) -> &'static str {
+    match tag {
+        TENANT_KV => "kv",
+        TENANT_BULK => "bulk",
+        _ => "other",
+    }
+}
+
+/// The latency-sensitive tenant: a closed-loop Zipf KV front end whose
+/// GETs are two-sided RPCs ([`SERVING_KV_SERVICE`] cycles of remote
+/// compute per block), [`SERVING_WINDOW`] outstanding per core, seeded
+/// think times around `think`.
+fn serving_kv(think: u64) -> Box<dyn Scenario> {
+    Box::new(ClosedLoop::new(
+        Box::new(KvStore::default().with_service(SERVING_KV_SERVICE)),
+        SERVING_WINDOW,
+        think,
+    ))
+}
+
+/// The bulk tenant: open-loop graph-shard adjacency fetches — large
+/// payloads that keep the shared NI and fabric busy.
+fn serving_bulk() -> Box<dyn Scenario> {
+    Box::new(GraphShard::default())
+}
+
+/// Idle filler occupying a tenant slot so solo runs place the live
+/// tenant on exactly the cores it owns in the shared run.
+fn serving_idle() -> Box<dyn Scenario> {
+    Box::new(Synthetic::from_workload(Workload::Idle))
+}
+
+/// Solo KV baseline: KV on the even cores (as in the shared mix), the
+/// bulk tenant's cores idle.
+fn serving_mix_solo_kv(think: u64) -> Box<dyn Scenario> {
+    Box::new(
+        TenantMix::new()
+            .with_tenant(TENANT_KV, serving_kv(think), 1)
+            .with_tenant(0, serving_idle(), 1),
+    )
+}
+
+/// Solo bulk baseline: the KV cores idle, bulk on the odd cores.
+fn serving_mix_solo_bulk() -> Box<dyn Scenario> {
+    Box::new(
+        TenantMix::new()
+            .with_tenant(0, serving_idle(), 1)
+            .with_tenant(TENANT_BULK, serving_bulk(), 1),
+    )
+}
+
+/// The shared mix: both tenants live, on the same disjoint core sets
+/// the solo baselines used, contending for NI pipelines and fabric.
+fn serving_mix_shared(think: u64) -> Box<dyn Scenario> {
+    Box::new(
+        TenantMix::new()
+            .with_tenant(TENANT_KV, serving_kv(think), 1)
+            .with_tenant(TENANT_BULK, serving_bulk(), 1),
+    )
+}
+
+/// One tenant's row of a serving point.
+#[derive(Clone, Copy, Debug)]
+pub struct ServingTenant {
+    /// Tenant tag (see [`TENANT_KV`] / [`TENANT_BULK`]).
+    pub tag: u8,
+    /// Human label for the tag.
+    pub label: &'static str,
+    /// The tenant's SLO summary over the measured window.
+    pub slo: SloSummary,
+}
+
+/// One cell of the serving sweep: a tenant mix run on a full rack, with
+/// per-tenant SLO observables.
+#[derive(Clone, Debug)]
+pub struct ServingPoint {
+    /// Case label (`"solo-kv"`, `"solo-bulk"`, `"shared"`, `"diurnal"`).
+    pub case: &'static str,
+    /// Torus dimensions.
+    pub dims: (u16, u16, u16),
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Live tenants (idle filler excluded), in tag order.
+    pub tenants: Vec<ServingTenant>,
+}
+
+impl ServingPoint {
+    /// This point's SLO summary for `tag`, if that tenant was live.
+    pub fn tenant(&self, tag: u8) -> Option<&SloSummary> {
+        self.tenants.iter().find(|t| t.tag == tag).map(|t| &t.slo)
+    }
+}
+
+/// Run one serving case: `scenario` on a `dims` rack for `cycles` cycles.
+/// With `phase2`, the run is diurnal: the rack starts under `scenario`
+/// (off-peak), then [`Rack::reset_scenario`] swaps every core to
+/// `phase2`'s generators at half-time (peak) — in-flight ops drain
+/// normally across the phase change.
+pub fn run_serving_point(
+    dims: (u16, u16, u16),
+    case: &'static str,
+    scenario: &dyn Scenario,
+    phase2: Option<&dyn Scenario>,
+    cycles: u64,
+) -> ServingPoint {
+    let cfg = RackSimConfig {
+        torus: Torus3D::new(dims.0, dims.1, dims.2),
+        chip: ChipConfig {
+            // One KV core and one bulk core per chip: every chip hosts
+            // both tenants, so they share its NI pipelines, not just links.
+            active_cores: 2,
+            ..ChipConfig::default()
+        },
+        // Grid cells already saturate the host via `par_map`.
+        threads: 1,
+        ..RackSimConfig::default()
+    };
+    let mut rack = Rack::with_scenario(cfg, scenario);
+    match phase2 {
+        Some(peak) => {
+            rack.run(cycles / 2);
+            rack.reset_scenario(peak);
+            rack.run(cycles - cycles / 2);
+        }
+        None => rack.run(cycles),
+    }
+    let tenants = rack
+        .tenant_stats()
+        .iter()
+        // Idle filler cores report tag 0 with nothing issued; drop them.
+        .filter(|(_, a)| a.issued > 0)
+        .map(|(tag, a)| ServingTenant {
+            tag: *tag,
+            label: tenant_label(*tag),
+            slo: SloSummary::over(a, cycles),
+        })
+        .collect();
+    ServingPoint {
+        case,
+        dims,
+        cycles,
+        tenants,
+    }
+}
+
+/// The serving grid at arbitrary torus dimensions: solo baselines for
+/// each tenant, the shared mix, and a diurnal run that phase-changes
+/// from off-peak (8× think time, no bulk) to the peak shared mix at
+/// half-time. Exposed separately from [`serving_sweep`] so tests can use
+/// small racks.
+pub fn serving_sweep_at(scale: Scale, dims: (u16, u16, u16)) -> Vec<ServingPoint> {
+    let cycles = scale.rack_cycles();
+    type Mk = fn() -> Box<dyn Scenario>;
+    let grid: Vec<(&'static str, Mk, Option<Mk>)> = vec![
+        ("solo-kv", || serving_mix_solo_kv(SERVING_THINK), None),
+        ("solo-bulk", serving_mix_solo_bulk, None),
+        ("shared", || serving_mix_shared(SERVING_THINK), None),
+        (
+            "diurnal",
+            || serving_mix_solo_kv(8 * SERVING_THINK),
+            Some(|| serving_mix_shared(SERVING_THINK)),
+        ),
+    ];
+    par_map(grid, move |(case, mk, mk2)| {
+        let phase2 = mk2.map(|f| f());
+        run_serving_point(dims, case, mk().as_ref(), phase2.as_deref(), cycles)
+    })
+}
+
+/// The paper-facing multi-tenant serving study: on a 4×4×4 64-node rack,
+/// a closed-loop KV tenant and a bulk graph tenant on disjoint cores of
+/// every chip, measured solo and shared. The claims the CI-run
+/// `examples/serving_study.rs` gates on — the KV tenant's p99 SLO under
+/// the shared mix, its goodput floor, and measurable cross-tenant
+/// interference — come from exactly this grid.
+pub fn serving_sweep(scale: Scale) -> Vec<ServingPoint> {
+    serving_sweep_at(scale, (4, 4, 4))
+}
+
+/// The KV tenant's interference index across a serving sweep: its p99
+/// under the `"shared"` mix over its p99 running `"solo-kv"` (NaN when
+/// either case is missing or the solo tail is empty).
+pub fn serving_interference(pts: &[ServingPoint]) -> f64 {
+    let p99 = |case: &str| {
+        pts.iter()
+            .find(|p| p.case == case)
+            .and_then(|p| p.tenant(TENANT_KV))
+            .map_or(0, |s| s.p99)
+    };
+    interference_index(p99("shared"), p99("solo-kv"))
+}
+
+/// Render the serving sweep: one row per (case, tenant), plus the KV
+/// interference index.
+pub fn serving_points_render(pts: &[ServingPoint]) -> String {
+    let mut t = Table::new(&[
+        "case",
+        "tenant",
+        "offered/kcyc",
+        "achieved/kcyc",
+        "goodput B/kcyc",
+        "p50",
+        "p99",
+        "p999",
+        "fail",
+    ]);
+    for p in pts {
+        for ten in &p.tenants {
+            t.row_owned(vec![
+                p.case.into(),
+                ten.label.into(),
+                f1(ten.slo.offered_per_kcycle),
+                f1(ten.slo.achieved_per_kcycle),
+                f1(ten.slo.goodput_bytes_per_kcycle),
+                ten.slo.p50.to_string(),
+                ten.slo.p99.to_string(),
+                ten.slo.p999.to_string(),
+                pct(100.0 * ten.slo.failure_rate),
+            ]);
+        }
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nkv interference index (shared p99 / solo p99): {:.2}x\n",
+        serving_interference(pts)
+    ));
+    out
 }
 
 /// The default size sweep of the paper's latency figures (64B to 16KB).

@@ -38,6 +38,7 @@ pub use ni_coherence;
 pub use ni_engine;
 pub use ni_fabric;
 pub use ni_mem;
+pub use ni_metrics;
 pub use ni_noc;
 pub use ni_qp;
 pub use ni_rmc;
@@ -52,12 +53,13 @@ pub mod prelude {
     // `RoutingPolicy` here is the *on-chip* CDR routing enum; the rack-level
     // torus routing trait is `ni_fabric::RoutingPolicy` (named by
     // `RoutingKind` in configs).
+    pub use ni_metrics::{interference_index, SloSummary, TenantAccum, TenantStats};
     pub use ni_noc::RoutingPolicy;
     pub use ni_rmc::NiPlacement;
     pub use ni_soc::{
         builtin_scenarios, run_bandwidth, run_chip_scenario, run_sync_latency, BandwidthResult,
-        Chip, ChipConfig, GraphShard, KvStore, LatencyResult, LinkReportFormat, Op, OpCtx, Rack,
-        RackSimConfig, Scenario, ScenarioRunResult, Synthetic, Topology, TrafficPattern, Workload,
-        Zipf, ZipfHotspot,
+        Chip, ChipConfig, ClosedLoop, GraphShard, KvStore, LatencyResult, LinkReportFormat, Op,
+        OpCtx, Rack, RackSimConfig, Scenario, ScenarioRunResult, Synthetic, TenantMix, TenantSpec,
+        Topology, TrafficPattern, Workload, Zipf, ZipfHotspot,
     };
 }

@@ -151,6 +151,7 @@ mod tests {
             target_node: 1,
             remote_block: BlockAddr(9),
             value: 0,
+            service: 0,
         }
     }
 

@@ -237,6 +237,7 @@ mod tests {
             target_node: target,
             remote_block: BlockAddr(5),
             value: 0,
+            service: 0,
         }
     }
 

@@ -30,6 +30,10 @@ pub struct RemoteReq {
     pub remote_block: BlockAddr,
     /// Write payload (ignored for reads).
     pub value: u64,
+    /// Remote compute cycles the servicing RRPP spends on this block before
+    /// replying (two-sided request–response ops). Zero for one-sided
+    /// remote-memory operations.
+    pub service: u64,
 }
 
 /// Response to a [`RemoteReq`].
@@ -158,7 +162,9 @@ impl RackEmulator {
     /// incoming request is generated one network traversal from now.
     pub fn send(&mut self, now: Cycle, req: RemoteReq) {
         self.stats.sent.incr();
-        let rtt = 2 * self.network_latency() + self.rrpp_estimate.round() as u64;
+        // Two-sided ops also wait out the remote compute time before the
+        // emulated peer replies.
+        let rtt = 2 * self.network_latency() + self.rrpp_estimate.round() as u64 + req.service;
         let value = if req.is_read {
             Self::remote_value(req.remote_block)
         } else {
@@ -204,6 +210,7 @@ impl RackEmulator {
                 target_node: 0,
                 remote_block: block,
                 value: Self::remote_value(block),
+                service: 0,
             },
         );
     }
@@ -258,6 +265,7 @@ mod tests {
             target_node: 1,
             remote_block: BlockAddr(42),
             value: 0,
+            service: 0,
         }
     }
 
@@ -273,6 +281,20 @@ mod tests {
         let resp = r.pop_response(Cycle(348)).expect("due");
         assert_eq!(resp.tid, 7);
         assert_eq!(resp.value, RackEmulator::remote_value(BlockAddr(42)));
+    }
+
+    #[test]
+    fn service_time_extends_the_emulated_round_trip() {
+        let mut r = RackEmulator::new(RackConfig {
+            mirror_incoming: false,
+            ..RackConfig::default()
+        });
+        let mut rq = req(9);
+        rq.service = 500;
+        r.send(Cycle(0), rq);
+        // 2 x 70 + 208 + 500 = 848.
+        assert!(r.pop_response(Cycle(847)).is_none());
+        assert!(r.pop_response(Cycle(848)).is_some());
     }
 
     #[test]

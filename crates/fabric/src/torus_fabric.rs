@@ -708,6 +708,7 @@ mod tests {
             target_node: target,
             remote_block: BlockAddr(5),
             value: 0,
+            service: 0,
         }
     }
 

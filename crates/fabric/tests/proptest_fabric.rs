@@ -108,6 +108,7 @@ proptest! {
                     target_node: 1,
                     remote_block: BlockAddr(i as u64),
                     value: 0,
+                    service: 0,
                 },
             );
         }
@@ -141,6 +142,7 @@ proptest! {
                     target_node: 1,
                     remote_block: BlockAddr(7),
                     value: 0,
+                    service: 0,
                 },
             );
         }
@@ -184,6 +186,7 @@ fn fabric_req(tid: u64, target: u16) -> RemoteReq {
         target_node: target,
         remote_block: BlockAddr(tid),
         value: 0,
+        service: 0,
     }
 }
 

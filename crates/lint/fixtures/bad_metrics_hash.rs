@@ -1,0 +1,13 @@
+//! Deliberately bad: a metrics-style per-tenant aggregation over a
+//! HashMap. Tenant maps feed bench JSON and gate assertions, so their
+//! iteration order must be deterministic — sim-state rules apply to
+//! `crates/metrics` exactly as to the simulation crates.
+use std::collections::HashMap;
+
+pub fn render(per_tenant: &HashMap<u8, u64>) -> String {
+    let mut out = String::new();
+    for (tag, ops) in per_tenant {
+        out.push_str(&format!("tenant {tag}: {ops}\n"));
+    }
+    out
+}

@@ -49,11 +49,15 @@ pub struct LintReport {
 }
 
 /// Simulation-state crates: their contents can reach a run fingerprint.
-const SIM_STATE_CRATES: [&str; 8] = [
+/// `metrics` qualifies because per-tenant aggregation output lands in
+/// bench JSON and gate assertions — hash-order iteration there would make
+/// reports seed-unstable.
+const SIM_STATE_CRATES: [&str; 9] = [
     "engine",
     "noc",
     "coherence",
     "mem",
+    "metrics",
     "qp",
     "rmc",
     "fabric",
@@ -248,6 +252,10 @@ mod tests {
             Some(Role::SimState)
         );
         assert_eq!(
+            role_of(Path::new("crates/metrics/src/lib.rs")),
+            Some(Role::SimState)
+        );
+        assert_eq!(
             role_of(Path::new("crates/core/src/experiments.rs")),
             Some(Role::Experiments)
         );
@@ -281,6 +289,7 @@ mod tests {
     #[test]
     fn sim_lib_detection() {
         assert!(is_sim_lib(Path::new("crates/soc/src/lib.rs")));
+        assert!(is_sim_lib(Path::new("crates/metrics/src/lib.rs")));
         assert!(!is_sim_lib(Path::new("crates/soc/src/chip.rs")));
         assert!(!is_sim_lib(Path::new("crates/core/src/lib.rs")));
         assert!(!is_sim_lib(Path::new("crates/lint/src/lib.rs")));

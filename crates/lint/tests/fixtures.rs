@@ -4,9 +4,12 @@
 //! workspace walk skips — see `tests/workspace.rs` for the exclusion
 //! self-check.
 
-use ni_lint::{lint_source, Role, Rule};
+use std::path::Path;
+
+use ni_lint::{lint_source, role_of, Role, Rule};
 
 const BAD_HASH_ORDER: &str = include_str!("../fixtures/bad_hash_order.rs");
+const BAD_METRICS_HASH: &str = include_str!("../fixtures/bad_metrics_hash.rs");
 const BAD_WALL_CLOCK: &str = include_str!("../fixtures/bad_wall_clock.rs");
 const BAD_AMBIENT: &str = include_str!("../fixtures/bad_ambient.rs");
 const BAD_DEBUG_ASSERT: &str = include_str!("../fixtures/bad_debug_assert.rs");
@@ -111,6 +114,21 @@ fn tricky_good_fixture_is_clean() {
 #[test]
 fn justified_allows_suppress_cleanly() {
     assert_eq!(findings(GOOD_ALLOWED, Role::SimState), vec![]);
+}
+
+#[test]
+fn metrics_crate_lints_under_sim_state_rules() {
+    // The role the walk assigns to ni_metrics sources is SimState...
+    let role = role_of(Path::new("crates/metrics/src/lib.rs")).expect("metrics is scanned");
+    assert_eq!(role, Role::SimState);
+    // ...so a HashMap-iterating tenant aggregation is a finding there,
+    // while the same source passes as harness code.
+    assert_eq!(
+        findings(BAD_METRICS_HASH, role),
+        vec![(5, Rule::HashOrder), (7, Rule::HashOrder)],
+        "the use line and the parameter type must both fire"
+    );
+    assert_eq!(findings(BAD_METRICS_HASH, Role::Harness), vec![]);
 }
 
 #[test]

@@ -30,6 +30,11 @@ pub struct WqEntry {
     pub local_addr: Addr,
     /// Transfer length in bytes.
     pub length: u64,
+    /// Remote compute cycles the serving RRPP spends on each block of this
+    /// operation before replying — the two-sided request–response shape.
+    /// Zero (the default for one-sided ops) reproduces the paper's pure
+    /// remote-memory semantics.
+    pub service: u64,
 }
 
 impl WqEntry {
@@ -171,6 +176,25 @@ impl QueuePair {
         local_addr: Addr,
         length: u64,
     ) -> Result<u64, ()> {
+        self.enqueue_with_service(op, remote_node, remote_addr, local_addr, length, 0)
+    }
+
+    /// As [`enqueue`](QueuePair::enqueue), with a per-op remote service
+    /// time: the serving RRPP "computes" for `service` cycles per block
+    /// before replying (see [`WqEntry::service`]).
+    ///
+    /// # Errors
+    /// Returns `Err(())` when the WQ is full.
+    #[allow(clippy::result_unit_err)]
+    pub fn enqueue_with_service(
+        &mut self,
+        op: RemoteOp,
+        remote_node: u16,
+        remote_addr: Addr,
+        local_addr: Addr,
+        length: u64,
+        service: u64,
+    ) -> Result<u64, ()> {
         if self.wq_full() {
             return Err(());
         }
@@ -182,6 +206,7 @@ impl QueuePair {
             remote_addr,
             local_addr,
             length,
+            service,
         };
         self.pending.push_back(e);
         self.wq_tail += 1;

@@ -93,6 +93,11 @@ struct IttEntry {
     /// failure) routes through the quorum table instead of emitting a CQ
     /// notification of its own.
     quorum: bool,
+    /// Remote compute cycles the serving RRPP spends on each block before
+    /// replying (two-sided request–response ops); stamped into every
+    /// network request this transfer unrolls into. Zero for one-sided
+    /// remote-memory operations.
+    service: u64,
 }
 
 impl IttEntry {
@@ -420,6 +425,7 @@ impl NiBackend {
             target_node: e.remote_node,
             remote_block: e.remote_base.step(idx),
             value,
+            service: e.service,
         };
         // Outbound write payload counts as application data moved (the
         // write-direction analog of §6.2's read accounting).
@@ -583,6 +589,7 @@ impl NiBackend {
                 replays_left,
                 replayed: false,
                 quorum: p.quorum,
+                service: p.entry.service,
             },
         );
         if self.cfg.itt_timeout > 0 {
@@ -802,7 +809,7 @@ impl NiBackend {
             return;
         }
         let idx = e.sent;
-        let (qp, wq_id, op, gen) = (e.qp, e.wq_id, e.op, e.gen);
+        let (qp, wq_id, op, gen, service) = (e.qp, e.wq_id, e.op, e.gen, e.service);
         // Fan-out legs beyond the primary would otherwise mint duplicate
         // per-operation NetOut trace marks.
         let traces_net_out = !e.quorum || e.replica_rank == 0;
@@ -844,6 +851,7 @@ impl NiBackend {
                     target_node: tgt,
                     remote_block,
                     value: 0,
+                    service,
                 };
                 self.emit_net(now, req);
             }

@@ -115,6 +115,7 @@ mod tests {
             remote_addr: Addr(0),
             local_addr: Addr(0),
             length: 64,
+            service: 0,
         }
     }
 
@@ -144,6 +145,7 @@ mod tests {
             target_node: 0,
             remote_block: ni_mem::BlockAddr(0),
             value: 0,
+            service: 0,
         };
         let write_req = RemoteReq {
             is_read: false,

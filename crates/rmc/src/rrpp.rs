@@ -127,7 +127,12 @@ impl Rrpp {
         if self.outstanding < self.cfg.rrpp_max_outstanding {
             if let Some(entry) = self.queue.pop_front() {
                 self.outstanding += 1;
-                self.started.push_after(now, self.cfg.rrpp_proc, entry);
+                // Two-sided ops carry a per-block compute time the serving
+                // node spends before touching memory; it extends the fixed
+                // pipeline delay, so the recorded service latency (arrival
+                // to response injection) includes it.
+                let proc = self.cfg.rrpp_proc + entry.0.service;
+                self.started.push_after(now, proc, entry);
             }
         }
         // Issue the local memory access after the processing delay.

@@ -32,6 +32,7 @@ fn entry(id: u64, op: RemoteOp, len: u64) -> WqEntry {
         remote_addr: Addr(0x10_0000),
         local_addr: Addr(0x20_0000),
         length: len,
+        service: 0,
     }
 }
 
@@ -570,6 +571,7 @@ fn req(tid: u64, is_read: bool, block: u64) -> RemoteReq {
         target_node: 0,
         remote_block: BlockAddr(block),
         value: 0x77,
+        service: 0,
     }
 }
 

@@ -607,6 +607,39 @@ impl Chip {
         h
     }
 
+    /// Per-tenant SLO accumulators: every core's application-level counts
+    /// and read-latency distribution, grouped by the tenant tag its bound
+    /// generator reports ([`Scenario::tenant`]).
+    /// Single-tenant scenarios land under tag 0; a
+    /// [`TenantMix`](crate::TenantMix) splits cores across its tags. Merge
+    /// chip maps rack-wide with [`ni_metrics::merge_tenant_stats`].
+    pub fn tenant_stats(&self) -> ni_metrics::TenantStats {
+        let mut map = ni_metrics::TenantStats::new();
+        for c in &self.cores {
+            let acc = map.entry(c.scenario().tenant()).or_default();
+            acc.issued += c.stats.issued;
+            acc.completed += c.stats.completed;
+            acc.failed += c.stats.failed;
+            acc.degraded += c.stats.degraded;
+            acc.bytes += c.stats.bytes_completed;
+            acc.latency.merge(c.read_latency_histogram());
+        }
+        map
+    }
+
+    /// Rebind every active core to a fresh generator from the prototype
+    /// `scenario` (idle filler cores stay idle) and wake the chip. The
+    /// phase-change entry point for diurnal/bursty serving studies:
+    /// in-flight operations drain normally, new issues come from the new
+    /// phase's generators, per-core seeds are unchanged.
+    pub fn reset_scenario(&mut self, scenario: &dyn Scenario) {
+        let active = self.cfg.active_cores;
+        for c in self.cores.iter_mut().take(active) {
+            c.rebind_scenario(scenario);
+        }
+        self.wake();
+    }
+
     /// Mean zero-load RRPP service latency measured so far.
     pub fn rrpp_mean_latency(&self) -> f64 {
         let mut sum = 0.0;

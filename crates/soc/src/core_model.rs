@@ -107,6 +107,14 @@ pub struct CoreStats {
     /// ([`ni_qp::CqEntry::degraded`]): a WQ replay to an alternate replica
     /// or a write quorum that absorbed a dead leg. Always `<= completed`.
     pub degraded: u64,
+    /// Operations issued into the NI (QP enqueues and NUMA loads): the
+    /// *offered* side of an offered-vs-achieved load comparison, counted at
+    /// issue rather than reap.
+    pub issued: u64,
+    /// Payload bytes of successfully completed operations — goodput, as
+    /// distinct from the transport-level payload counters which also see
+    /// retried and failed traffic.
+    pub bytes_completed: u64,
     /// End-to-end latency of synchronous operations (cycles).
     pub latency: RunningMean,
 }
@@ -180,10 +188,11 @@ pub struct Core {
     pub stats: CoreStats,
     /// Full latency distribution of synchronous operations.
     latency_hist: Histogram,
-    /// Issue timestamps of in-flight QP ops (`wq_id`, issue cycle, kind),
-    /// bounded by the WQ depth. Feeds the per-op read-latency distribution,
-    /// which unlike `latency_hist` also covers asynchronous reads.
-    issue_times: Vec<(u64, Cycle, RemoteOp)>,
+    /// Issue timestamps of in-flight QP ops (`wq_id`, issue cycle, kind,
+    /// size), bounded by the WQ depth. Feeds the per-op read-latency
+    /// distribution — which unlike `latency_hist` also covers asynchronous
+    /// reads — and the goodput byte count.
+    issue_times: Vec<(u64, Cycle, RemoteOp, u64)>,
     /// End-to-end latency of every completed remote read, sync or async
     /// (plus NUMA loads) — the tail-latency view congestion studies need,
     /// since bandwidth-bound workloads issue asynchronously.
@@ -302,6 +311,31 @@ impl Core {
         }
     }
 
+    /// Bind a fresh per-core generator from the prototype `scenario` —
+    /// using the same binding context as construction (issue counters
+    /// rewound to zero, identity and seed preserved) — and swap it in
+    /// *without* disturbing the issue state machine. Unlike
+    /// [`reset_scenario`](Core::reset_scenario) this is safe mid-operation:
+    /// an op in flight (doorbell stores, CQ polls, a sync spin) keeps its
+    /// scheduled events and drains normally; only *new* ops come from the
+    /// new generator. This is how phase-changing experiments (diurnal
+    /// load, burst arrival) swap the whole rack's workload mid-run.
+    pub fn rebind_scenario(&mut self, scenario: &dyn Scenario) {
+        let mut ctx = self.ctx;
+        ctx.issued = 0;
+        ctx.inflight = 0;
+        ctx.now = Cycle::ZERO;
+        self.scenario = scenario.for_core(&ctx);
+        self.issued = 0;
+        self.op_seq = 0;
+        self.last_poll_at_issue = u64::MAX;
+        // A pending IdleFor ends now: the new phase decides its own pacing.
+        self.idle_until = Cycle::ZERO;
+        if let Some(t) = self.scenario.fixed_target() {
+            self.target_node = t;
+        }
+    }
+
     /// Switch to a new [`Workload`], keeping the current target node
     /// (compatibility wrapper over [`reset_scenario`](Core::reset_scenario)
     /// with a freshly bound [`Synthetic`](crate::Synthetic) generator).
@@ -316,6 +350,7 @@ impl Core {
     pub fn on_numa_response(&mut self, now: Cycle) {
         debug_assert_eq!(self.phase, Phase::WaitNuma);
         self.stats.completed += 1;
+        self.stats.bytes_completed += ni_mem::BLOCK_BYTES;
         let lat = now.saturating_since(self.iter_start);
         self.stats.latency.record(lat);
         self.latency_hist.record(lat);
@@ -443,6 +478,7 @@ impl Core {
                         target_node: to,
                         remote_block: block,
                         value: 0,
+                        service: 0,
                     });
                 }
             }
@@ -474,6 +510,7 @@ impl Core {
         }
         // Ready for the next application operation: ask the scenario.
         self.ctx.issued = self.op_seq;
+        self.ctx.inflight = self.inflight;
         self.ctx.now = now;
         let op = self.scenario.next_op(&self.ctx);
         self.op_seq += 1;
@@ -507,11 +544,25 @@ impl Core {
                 sync,
             } => {
                 self.target_node = to;
-                self.begin_issue(now, qp, op, to, addr, size, sync);
+                self.begin_issue(now, qp, op, to, addr, size, 0, sync);
+            }
+            Op::Rpc {
+                to,
+                addr,
+                size,
+                service,
+                sync,
+            } => {
+                // A two-sided request–response rides the read path — the
+                // response payload is what comes back — with the remote
+                // compute time carried in the WQ entry.
+                self.target_node = to;
+                self.begin_issue(now, qp, RemoteOp::Read, to, addr, size, service, sync);
             }
             Op::Numa { to, addr } => {
                 self.target_node = to;
                 self.phase = Phase::WaitNuma;
+                self.stats.issued += 1;
                 self.events.push_after(
                     now,
                     1,
@@ -533,20 +584,22 @@ impl Core {
         to: u16,
         remote: Addr,
         size: u64,
+        service: u64,
         sync: bool,
     ) {
         let local = self.local_addr(size);
         // Record where the entry's stores land *before* enqueueing advances
         // the tail.
         let id = qp
-            .enqueue(op, to, remote, local, size)
+            .enqueue_with_service(op, to, remote, local, size, service)
             .expect("caller checks wq_full");
         self.cur_id = id;
         self.awaiting_sync = sync.then_some(id);
         self.issued += 1;
         self.inflight += 1;
+        self.stats.issued += 1;
         self.iter_start = now;
-        self.issue_times.push((id, now, op));
+        self.issue_times.push((id, now, op, size));
         self.traces.push(TraceEvent {
             qp: self.qp_id,
             wq_id: id,
@@ -635,11 +688,14 @@ impl Core {
                         if let Some(i) = self
                             .issue_times
                             .iter()
-                            .position(|&(id, _, _)| id == c.wq_id)
+                            .position(|&(id, _, _, _)| id == c.wq_id)
                         {
-                            let (_, issued_at, op) = self.issue_times.swap_remove(i);
+                            let (_, issued_at, op, size) = self.issue_times.swap_remove(i);
                             if !c.ok && op == RemoteOp::Read {
                                 self.stats.failed_reads += 1;
+                            }
+                            if c.ok {
+                                self.stats.bytes_completed += size;
                             }
                             // Failed ops would only record the watchdog's
                             // timeout; keep the read-latency distributions a

@@ -45,6 +45,6 @@ pub use core_model::{Core, CoreStats, Workload, REMOTE_BASE};
 pub use ni_fabric::RoutingKind;
 pub use rack::{LinkReportFormat, Rack, RackSimConfig, TrafficPattern};
 pub use scenario::{
-    builtin_scenarios, core_seed, Bursty, Capped, GraphShard, KvStore, Op, OpCtx, Scenario,
-    Synthetic, Zipf, ZipfHotspot,
+    builtin_scenarios, core_seed, Bursty, Capped, ClosedLoop, GraphShard, KvStore, Op, OpCtx,
+    Scenario, Synthetic, TenantMix, TenantSpec, Zipf, ZipfHotspot,
 };

@@ -285,6 +285,16 @@ impl Rack {
         chip
     }
 
+    /// Rebind every active core of every chip to a fresh generator from
+    /// the prototype `scenario` (see [`Chip::reset_scenario`]): the
+    /// rack-wide phase change used by diurnal serving studies. In-flight
+    /// operations drain normally under the new phase.
+    pub fn reset_scenario(&mut self, scenario: &dyn Scenario) {
+        for chip in &mut self.chips {
+            chip.reset_scenario(scenario);
+        }
+    }
+
     /// Exchange-phase prologue for cycle `now`: advance the shared fabric
     /// exactly once, then distribute its freshly delivered arrivals into
     /// the per-chip port inboxes in node-id order.
@@ -538,6 +548,18 @@ impl Rack {
             h.merge(&chip.degraded_read_latency_histogram());
         }
         h
+    }
+
+    /// Rack-wide per-tenant SLO accumulators: every chip's
+    /// [`Chip::tenant_stats`] merged by tenant tag in node-id order. The
+    /// input `experiments::serving_sweep` summarizes into per-tenant
+    /// offered/achieved load, goodput, and latency percentiles.
+    pub fn tenant_stats(&self) -> ni_metrics::TenantStats {
+        let mut map = ni_metrics::TenantStats::new();
+        for chip in &self.chips {
+            ni_metrics::merge_tenant_stats(&mut map, &chip.tenant_stats());
+        }
+        map
     }
 
     /// Largest per-link peak bandwidth seen so far, GB/s.

@@ -64,6 +64,10 @@ pub struct OpCtx {
     pub seed: u64,
     /// Operations this core has fetched from the scenario so far.
     pub issued: u64,
+    /// Operations this core has issued but not yet reaped from the CQ.
+    /// What a closed-loop generator conditions on to bound its outstanding
+    /// window; open-loop scenarios may ignore it.
+    pub inflight: u64,
     /// Current simulation time.
     pub now: Cycle,
     /// The rack's replication config ([`ReplicaCfg::off`] unless the chip
@@ -85,6 +89,7 @@ impl OpCtx {
             torus,
             seed,
             issued: 0,
+            inflight: 0,
             now: Cycle::ZERO,
             replication: ReplicaCfg::off(),
         }
@@ -129,6 +134,24 @@ pub enum Op {
         to: u16,
         /// Remote address of the loaded block.
         addr: Addr,
+    },
+    /// A two-sided request–response operation: shaped like a remote read,
+    /// but the serving node's RRPP "computes" for `service` cycles per
+    /// block before replying, so the measured completion latency includes
+    /// remote service time — the serving-tier request shape, vs the
+    /// pure remote-memory semantics of [`Op::Remote`].
+    Rpc {
+        /// Serving node in the rack.
+        to: u16,
+        /// Remote address the response payload is read from.
+        addr: Addr,
+        /// Response length in bytes.
+        size: u64,
+        /// Remote per-block compute time in cycles.
+        service: u64,
+        /// Synchronous vs asynchronous issue discipline (see
+        /// [`Op::Remote`]).
+        sync: bool,
     },
 }
 
@@ -212,6 +235,15 @@ pub trait Scenario: std::fmt::Debug + Send + Sync {
     /// default) is always safe and merely forgoes the fast path.
     fn is_done(&self) -> bool {
         false
+    }
+
+    /// Tenant tag this generator's operations are accounted to. Per-tenant
+    /// SLO aggregation (`ni_metrics`) groups core statistics by this tag;
+    /// single-tenant scenarios keep the default tenant 0. [`TenantMix`]
+    /// assigns distinct tags per tenant, and combinators delegate so the
+    /// tag survives wrapping.
+    fn tenant(&self) -> u8 {
+        0
     }
 }
 
@@ -315,6 +347,10 @@ impl Scenario for Capped {
     fn is_done(&self) -> bool {
         self.issued >= self.ops_per_core || self.inner.is_done()
     }
+
+    fn tenant(&self) -> u8 {
+        self.inner.tenant()
+    }
 }
 
 // ---- Bursty -----------------------------------------------------------------
@@ -395,6 +431,261 @@ impl Scenario for Bursty {
 
     fn is_done(&self) -> bool {
         self.inner.is_done()
+    }
+
+    fn tenant(&self) -> u8 {
+        self.inner.tenant()
+    }
+}
+
+// ---- ClosedLoop -------------------------------------------------------------
+
+/// Turns any open-loop scenario into a *closed-loop client*: at most
+/// `window` operations outstanding per core, with a seeded think time drawn
+/// after every completion-freeing issue.
+///
+/// Open-loop generators issue as fast as the WQ admits, so offered load
+/// tracks simulator capacity rather than a client population. A closed
+/// loop models `window` synchronous clients per core: while
+/// [`OpCtx::inflight`] is at the window the generator returns [`Op::Idle`]
+/// (the core keeps polling its CQ until a completion frees a slot), and
+/// each real operation is preceded by a think-time window drawn uniformly
+/// from `[1, 2·think]` cycles (mean `think`; `think == 0` disables it) from
+/// an RNG salted off [`OpCtx::seed`] — decorrelated from the inner
+/// scenario's own draws.
+#[derive(Debug)]
+pub struct ClosedLoop {
+    inner: Box<dyn Scenario>,
+    window: u64,
+    think: u64,
+    /// A real op was handed out since the last think window: the next
+    /// below-window call owes a think time first.
+    owe_think: bool,
+    rng: Option<SmallRng>,
+    name: String,
+}
+
+impl ClosedLoop {
+    /// Close the loop over `inner`: at most `window` outstanding ops per
+    /// core (min 1), `think` mean cycles between issues (0 = back to back).
+    pub fn new(inner: Box<dyn Scenario>, window: u64, think: u64) -> ClosedLoop {
+        let name = format!("{}-closed", inner.name());
+        ClosedLoop {
+            inner,
+            window: window.max(1),
+            think,
+            owe_think: false,
+            rng: None,
+            name,
+        }
+    }
+
+    /// The per-core outstanding-operation bound.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+}
+
+impl Scenario for ClosedLoop {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn for_core(&self, ctx: &OpCtx) -> Box<dyn Scenario> {
+        Box::new(ClosedLoop {
+            inner: self.inner.for_core(ctx),
+            window: self.window,
+            think: self.think,
+            owe_think: false,
+            rng: None,
+            name: self.name.clone(),
+        })
+    }
+
+    fn next_op(&mut self, ctx: &OpCtx) -> Op {
+        if ctx.inflight >= self.window {
+            // Window full: stall one cycle. The core polls its CQ while
+            // anything is inflight, so a completion re-opens the window.
+            return Op::Idle;
+        }
+        if self.owe_think && self.think > 0 {
+            self.owe_think = false;
+            let rng = self
+                .rng
+                .get_or_insert_with(|| SmallRng::seed_from_u64(ctx.seed ^ 0x7411_6b71_3e5a_11ed));
+            return Op::IdleFor {
+                cycles: rng.gen_range(1..=2 * self.think),
+            };
+        }
+        let op = self.inner.next_op(ctx);
+        if !matches!(op, Op::Idle | Op::IdleFor { .. }) {
+            self.owe_think = true;
+        }
+        op
+    }
+
+    /// Closed loops poll every issue: a full window makes progress only
+    /// through reaped completions, so the CQ must be checked eagerly.
+    fn poll_every(&self) -> u32 {
+        1
+    }
+
+    fn retarget(&mut self, node: u16) {
+        self.inner.retarget(node);
+    }
+
+    fn fixed_target(&self) -> Option<u16> {
+        self.inner.fixed_target()
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    fn tenant(&self) -> u8 {
+        self.inner.tenant()
+    }
+}
+
+// ---- TenantMix --------------------------------------------------------------
+
+/// One tenant of a [`TenantMix`]: a tag for per-tenant accounting, the
+/// scenario prototype its cores run, and a share of the chip's cores.
+#[derive(Debug)]
+pub struct TenantSpec {
+    /// Tenant tag stamped on every core this tenant owns (reported by
+    /// [`Scenario::tenant`] and grouped by `ni_metrics`).
+    pub tag: u8,
+    /// Scenario prototype the tenant's cores bind generators from.
+    pub scenario: Box<dyn Scenario>,
+    /// Relative share of cores (cores are striped over cumulative shares).
+    pub share: u32,
+}
+
+/// Statically partitions a chip's cores among tenants: core `i` belongs to
+/// the tenant owning slot `i mod Σshares` of the share vector, and runs a
+/// generator bound from that tenant's prototype, tagged with the tenant's
+/// tag.
+///
+/// The partition is by *core*, not by op — tenants share the NI pipelines,
+/// the NOC, and the fabric, which is exactly the contention surface a
+/// multi-tenant serving study measures. Per-core seeds already decorrelate
+/// the tenants' randomness; the tag rides [`Scenario::tenant`] from
+/// generator to core to chip, where per-tenant statistics are grouped.
+#[derive(Debug)]
+pub struct TenantMix {
+    tenants: Vec<TenantSpec>,
+}
+
+impl TenantMix {
+    /// An empty mix; add tenants with [`with_tenant`](TenantMix::with_tenant).
+    pub fn new() -> TenantMix {
+        TenantMix {
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Add a tenant running `scenario` on `share` of every `Σshares` cores.
+    pub fn with_tenant(mut self, tag: u8, scenario: Box<dyn Scenario>, share: u32) -> TenantMix {
+        self.tenants.push(TenantSpec {
+            tag,
+            scenario,
+            share: share.max(1),
+        });
+        self
+    }
+
+    /// The tenant owning core index `core`.
+    fn spec_for(&self, core: usize) -> &TenantSpec {
+        assert!(
+            !self.tenants.is_empty(),
+            "TenantMix needs at least one tenant"
+        );
+        let total: u32 = self.tenants.iter().map(|t| t.share).sum();
+        let mut slot = (core as u32) % total;
+        for t in &self.tenants {
+            if slot < t.share {
+                return t;
+            }
+            slot -= t.share;
+        }
+        unreachable!("slot < total is covered by the cumulative scan")
+    }
+}
+
+impl Default for TenantMix {
+    fn default() -> Self {
+        TenantMix::new()
+    }
+}
+
+/// A bound tenant generator: delegates everything to the tenant's inner
+/// generator but reports the tenant's tag.
+#[derive(Debug)]
+struct Tagged {
+    inner: Box<dyn Scenario>,
+    tag: u8,
+}
+
+impl Scenario for Tagged {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn for_core(&self, ctx: &OpCtx) -> Box<dyn Scenario> {
+        Box::new(Tagged {
+            inner: self.inner.for_core(ctx),
+            tag: self.tag,
+        })
+    }
+
+    fn next_op(&mut self, ctx: &OpCtx) -> Op {
+        self.inner.next_op(ctx)
+    }
+
+    fn poll_every(&self) -> u32 {
+        self.inner.poll_every()
+    }
+
+    fn retarget(&mut self, node: u16) {
+        self.inner.retarget(node);
+    }
+
+    fn fixed_target(&self) -> Option<u16> {
+        self.inner.fixed_target()
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    fn tenant(&self) -> u8 {
+        self.tag
+    }
+}
+
+impl Scenario for TenantMix {
+    fn name(&self) -> &str {
+        "tenant-mix"
+    }
+
+    fn for_core(&self, ctx: &OpCtx) -> Box<dyn Scenario> {
+        let spec = self.spec_for(ctx.core);
+        Box::new(Tagged {
+            inner: spec.scenario.for_core(ctx),
+            tag: spec.tag,
+        })
+    }
+
+    fn next_op(&mut self, ctx: &OpCtx) -> Op {
+        // The mix is a prototype: cores draw from their bound per-tenant
+        // generators, never from the mix itself.
+        let _ = ctx;
+        Op::Idle
+    }
+
+    fn is_done(&self) -> bool {
+        self.tenants.iter().all(|t| t.scenario.is_done())
     }
 }
 
@@ -763,6 +1054,11 @@ pub struct KvStore {
     pub sync: bool,
     /// Async poll cadence.
     pub poll_every: u32,
+    /// Remote per-block compute time in cycles. Zero (the default) keeps
+    /// GETs one-sided remote reads; non-zero turns them into two-sided
+    /// [`Op::Rpc`] request–responses whose serving RRPP computes for this
+    /// long before replying — the serving-tier shape.
+    pub service: u64,
     rng: Option<SmallRng>,
 }
 
@@ -788,6 +1084,13 @@ impl KvStore {
         self.keys = keys.max(1);
         self
     }
+
+    /// Make GETs two-sided: the serving RRPP computes for `cycles` per
+    /// block before replying (0 = one-sided reads, the default).
+    pub fn with_service(mut self, cycles: u64) -> KvStore {
+        self.service = cycles;
+        self
+    }
 }
 
 impl Default for KvStore {
@@ -800,6 +1103,7 @@ impl Default for KvStore {
             keys: 65_536,
             sync: false,
             poll_every: 4,
+            service: 0,
             rng: None,
         }
     }
@@ -838,10 +1142,22 @@ impl Scenario for KvStore {
         } else {
             RemoteOp::Write
         };
+        let addr = Addr(REMOTE_BASE + key * Self::MAX_VALUE_BYTES);
+        if op == RemoteOp::Read && self.service > 0 {
+            // Two-sided GET: the server computes before the value comes
+            // back; PUTs stay one-sided remote writes either way.
+            return Op::Rpc {
+                to,
+                addr,
+                size,
+                service: self.service,
+                sync: self.sync,
+            };
+        }
         Op::Remote {
             op,
             to,
-            addr: Addr(REMOTE_BASE + key * Self::MAX_VALUE_BYTES),
+            addr,
             size,
             sync: self.sync,
         }
@@ -1068,6 +1384,105 @@ mod tests {
         // ...and a permanently idle inner makes the wrapper done even with
         // budget left.
         assert!(g.is_done());
+    }
+
+    #[test]
+    fn closed_loop_stalls_at_the_window_and_draws_think_time() {
+        let c = ctx(0, 0, 8, 17);
+        let proto = ClosedLoop::new(Box::new(KvStore::default()), 4, 100);
+        assert_eq!(proto.name(), "kv-store-closed");
+        assert_eq!(proto.poll_every(), 1, "closed loops poll eagerly");
+        let mut g = proto.for_core(&c);
+        let mut cx = c;
+        // At the window: idle, and the inner scenario is not consulted.
+        cx.inflight = 4;
+        for _ in 0..8 {
+            assert_eq!(g.next_op(&cx), Op::Idle);
+        }
+        // Below the window: a real op, then a think window, alternating.
+        cx.inflight = 0;
+        let mut real = 0;
+        let mut thinks = 0;
+        for i in 0..40u64 {
+            cx.issued = i;
+            match g.next_op(&cx) {
+                Op::Idle => {}
+                Op::IdleFor { cycles } => {
+                    assert!((1..=200).contains(&cycles), "think {cycles}");
+                    thinks += 1;
+                }
+                _ => real += 1,
+            }
+        }
+        assert!(real > 0 && thinks > 0);
+        assert_eq!(real, thinks, "every issue owes exactly one think window");
+    }
+
+    #[test]
+    fn closed_loop_replays_identically_from_the_same_ctx() {
+        let c = ctx(2, 3, 8, 0xabcd);
+        let run = |n: usize| {
+            let proto = ClosedLoop::new(Box::new(KvStore::default()), 8, 50);
+            let mut g = proto.for_core(&c);
+            let mut cx = c;
+            (0..n)
+                .map(|i| {
+                    cx.issued = i as u64;
+                    cx.inflight = (i as u64) % 9;
+                    g.next_op(&cx)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(256), run(256));
+    }
+
+    #[test]
+    fn tenant_mix_stripes_cores_and_tags_ops() {
+        let mix = TenantMix::new()
+            .with_tenant(1, Box::new(KvStore::default()), 3)
+            .with_tenant(2, Box::new(GraphShard::default()), 1);
+        // Shares 3:1 over 16 cores: cores 0..3 mod 4 → kv,kv,kv,graph.
+        let mut counts = [0u32; 3];
+        for core in 0..16 {
+            let c = OpCtx::bind(0, core, 8, Some(Torus3D::new(2, 2, 2)), 9);
+            let g = mix.for_core(&c);
+            counts[usize::from(g.tenant())] += 1;
+            match g.tenant() {
+                1 => assert_eq!(g.name(), "kv-store"),
+                2 => assert_eq!(g.name(), "graph-shard"),
+                t => panic!("unexpected tenant {t}"),
+            }
+        }
+        assert_eq!(counts, [0, 12, 4]);
+    }
+
+    #[test]
+    fn tenant_tag_survives_combinator_wrapping() {
+        let mix = TenantMix::new().with_tenant(7, Box::new(KvStore::default()), 1);
+        let c = ctx(0, 0, 8, 1);
+        let bound = mix.for_core(&c);
+        let wrapped = ClosedLoop::new(Capped::new(bound, 100).for_core(&c), 4, 0);
+        assert_eq!(wrapped.tenant(), 7);
+    }
+
+    #[test]
+    fn kv_service_turns_gets_into_rpcs() {
+        let c = ctx(1, 0, 8, 5);
+        let mut saw_rpc = false;
+        for op in stream(&KvStore::default().with_service(300), &c, 300) {
+            match op {
+                Op::Rpc { service, size, .. } => {
+                    assert_eq!(service, 300);
+                    assert!([64, 128, 256, 512].contains(&size));
+                    saw_rpc = true;
+                }
+                Op::Remote { op, .. } => {
+                    assert_eq!(op, RemoteOp::Write, "only PUTs stay one-sided")
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_rpc);
     }
 
     #[test]

@@ -10,8 +10,16 @@
 //! `BTreeMap` (along with the RMC pipeline and chip dispatch maps), and
 //! these runs pin the conversion down.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
 use rackni::ni_fabric::{FaultPlan, ReplicaCfg, RoutingKind, Torus3D};
-use rackni::ni_soc::{ChipConfig, Rack, RackSimConfig, TrafficPattern, Workload};
+use rackni::ni_soc::{
+    ChipConfig, ClosedLoop, GraphShard, KvStore, Op, OpCtx, Rack, RackSimConfig, Scenario,
+    TenantMix, TrafficPattern, Workload,
+};
 
 /// Everything a reordered victim choice, retry, or delivery could perturb:
 /// aggregate and per-node completion counts, traffic/fault/watchdog
@@ -145,6 +153,63 @@ fn recovery_run(cycles: u64) -> Rack {
     rack
 }
 
+/// A multi-tenant serving rack: a closed-loop KV tenant (two-sided RPCs
+/// via a per-block service time, seeded think times) interleaved with a
+/// bulk graph tenant on disjoint cores. Adds the serving tier's own
+/// order-sensitive surfaces — the closed-loop window bookkeeping
+/// (`OpCtx::inflight`), the think-time RNG, the RRPP service-time delay
+/// queue, and the per-tenant `BTreeMap` aggregation — to the same-seed
+/// contract.
+fn serving_run(cycles: u64) -> Rack {
+    let mut cfg = RackSimConfig {
+        torus: Torus3D::new(3, 3, 1),
+        chip: ChipConfig {
+            active_cores: 2,
+            ..ChipConfig::default()
+        },
+        ..RackSimConfig::default()
+    };
+    cfg.chip.seed = 0x5e41;
+    let mix = TenantMix::new()
+        .with_tenant(
+            1,
+            Box::new(ClosedLoop::new(
+                Box::new(KvStore::default().with_service(150)),
+                4,
+                64,
+            )),
+            1,
+        )
+        .with_tenant(2, Box::new(GraphShard::default()), 1);
+    let mut rack = Rack::with_scenario(cfg, &mix);
+    rack.run(cycles);
+    rack
+}
+
+/// One tenant's observable row: (tag, issued, completed, bytes, p99).
+type TenantRow = (u8, u64, u64, u64, u64);
+
+/// The serving fingerprint: the transport fingerprint plus the per-tenant
+/// SLO observables (counts, goodput bytes, tail percentiles) the metrics
+/// crate aggregates — a reordering that only moved *which tenant* an op
+/// was accounted to would slip past the transport-level fields.
+fn serving_fingerprint(rack: &Rack) -> (Fingerprint, Vec<TenantRow>) {
+    let tenants = rack
+        .tenant_stats()
+        .iter()
+        .map(|(tag, a)| {
+            (
+                *tag,
+                a.issued,
+                a.completed,
+                a.bytes,
+                a.latency.percentile(0.99),
+            )
+        })
+        .collect();
+    (fingerprint(rack), tenants)
+}
+
 #[test]
 fn same_seed_twice_in_one_process_is_bit_identical() {
     let cycles = 4_000;
@@ -185,4 +250,79 @@ fn same_seed_recovery_run_is_bit_identical() {
     );
     let b = fingerprint(&recovery_run(cycles));
     assert_eq!(a, b, "same seed, same recovery, different fingerprint");
+}
+
+#[test]
+fn same_seed_serving_run_is_bit_identical_per_tenant() {
+    let cycles = 10_000;
+    let (a, ta) = serving_fingerprint(&serving_run(cycles));
+    assert!(a.completed_ops > 0, "run must do real work: {a:?}");
+    let kv = ta.iter().find(|t| t.0 == 1).expect("kv tenant reported");
+    let bulk = ta.iter().find(|t| t.0 == 2).expect("bulk tenant reported");
+    assert!(kv.2 > 0, "kv tenant must complete ops: {ta:?}");
+    assert!(bulk.2 > 0, "bulk tenant must complete ops: {ta:?}");
+    let (b, tb) = serving_fingerprint(&serving_run(cycles));
+    assert_eq!(a, b, "same seed, same mix, different fingerprint");
+    assert_eq!(ta, tb, "same seed, different per-tenant accounting");
+}
+
+/// Wraps the scenario *inside* a [`ClosedLoop`] and records the largest
+/// `ctx.inflight` it was consulted at — the closed loop only reaches its
+/// inner generator when it decides to issue a real op, so this observes
+/// exactly the pre-issue outstanding count the window must bound.
+#[derive(Debug)]
+struct Probe {
+    inner: Box<dyn Scenario>,
+    max_inflight: Arc<AtomicU64>,
+}
+
+impl Scenario for Probe {
+    fn name(&self) -> &str {
+        "probe"
+    }
+    fn for_core(&self, ctx: &OpCtx) -> Box<dyn Scenario> {
+        Box::new(Probe {
+            inner: self.inner.for_core(ctx),
+            max_inflight: Arc::clone(&self.max_inflight),
+        })
+    }
+    fn next_op(&mut self, ctx: &OpCtx) -> Op {
+        self.max_inflight.fetch_max(ctx.inflight, Ordering::Relaxed);
+        self.inner.next_op(ctx)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The closed-loop bound, as a property over the window and think
+    /// parameters: across a real rack run, the core never asks the inner
+    /// generator for an op while `window` requests are already
+    /// outstanding.
+    #[test]
+    fn closed_loop_never_exceeds_its_window(window in 1u64..=6, think in 0u64..=100) {
+        let max_inflight = Arc::new(AtomicU64::new(0));
+        let probe = Probe {
+            inner: Box::new(KvStore::default().with_service(100)),
+            max_inflight: Arc::clone(&max_inflight),
+        };
+        let closed = ClosedLoop::new(Box::new(probe), window, think);
+        let mut cfg = RackSimConfig {
+            torus: Torus3D::new(2, 1, 1),
+            chip: ChipConfig {
+                active_cores: 2,
+                ..ChipConfig::default()
+            },
+            ..RackSimConfig::default()
+        };
+        cfg.chip.seed = 0xc105;
+        let mut rack = Rack::with_scenario(cfg, &closed);
+        rack.run(4_000);
+        prop_assert!(rack.completed_ops() > 0, "run must do real work");
+        let seen = max_inflight.load(Ordering::Relaxed);
+        prop_assert!(
+            seen < window,
+            "inner generator consulted at inflight {seen} >= window {window}"
+        );
+    }
 }
